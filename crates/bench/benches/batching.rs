@@ -1,0 +1,31 @@
+//! E5 — burst batching (§3.8): one signature per burst vs one per update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pvr_core::batch::SignedBatch;
+use pvr_crypto::{drbg::HmacDrbg, Identity};
+use std::hint::black_box;
+
+fn bench_batching(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_u64_labeled(5, "bench-batch");
+    let identity = Identity::generate(100, 1024, &mut rng);
+    let mut g = c.benchmark_group("e5_batching");
+    g.sample_size(10);
+    for n in [1usize, 16, 256] {
+        let items: Vec<Vec<u8>> = (0..n).map(|i| format!("update {i}").into_bytes()).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("individual", n), |b| {
+            b.iter(|| {
+                for it in &items {
+                    black_box(identity.sign(it));
+                }
+            });
+        });
+        g.bench_function(BenchmarkId::new("batched", n), |b| {
+            b.iter(|| black_box(SignedBatch::sign(&identity, 1, &items)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E3 — primitive costs (§3.8): SHA-256 vs RSA sign/verify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_crypto::{drbg::HmacDrbg, sha256, RsaPrivateKey};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_sha256");
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0xabu8; size];
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| black_box(sha256(d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_rsa");
+    g.sample_size(10);
+    let msg = vec![0xabu8; 1024];
+    for bits in [512usize, 1024] {
+        let mut rng = HmacDrbg::from_u64_labeled(1, "bench-rsa");
+        let key = RsaPrivateKey::generate(bits, &mut rng);
+        g.bench_function(BenchmarkId::new("sign", bits), |b| {
+            b.iter(|| black_box(key.sign(&msg)));
+        });
+        let sig = key.sign(&msg);
+        g.bench_function(BenchmarkId::new("verify", bits), |b| {
+            b.iter(|| key.public().verify(&msg, &sig).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E2 — multi-operator graph navigation (§3.5–3.7): reconstruct +
+//! structural promise check at the receiver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_bgp::Asn;
+use pvr_core::{Figure1Bed, VisibleGraph};
+use pvr_mht::Label;
+use pvr_rfg::AccessPolicy;
+use std::hint::black_box;
+
+fn bench_navigation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_navigation");
+    g.sample_size(10);
+    for k in [2usize, 8, 32] {
+        let lens: Vec<usize> = (0..k).map(|i| 2 + (i % 8)).collect();
+        let bed = Figure1Bed::build_figure2(&lens, 7);
+        let committer = bed.honest_committer();
+        let everyone: Vec<Asn> = bed.ns.iter().copied().chain([bed.b]).collect();
+        let alpha = AccessPolicy::paper_example(&bed.graph, &everyone);
+        let reveals = committer.graph_disclosure_for(bed.b, &alpha);
+        let root = committer.signed_root().root;
+        let out = Label::Var(bed.output_var.0);
+        let inputs: Vec<Label> = bed.input_vars.iter().map(|v| Label::Var(v.0)).collect();
+        g.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| {
+                let vg = VisibleGraph::reconstruct(&reveals, &root).unwrap();
+                assert!(vg.check_figure2_promise(&out, &inputs[0], &inputs[1..]));
+                black_box(vg.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_navigation);
+criterion_main!(benches);

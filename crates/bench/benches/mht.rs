@@ -1,0 +1,40 @@
+//! E6 — sparse-MHT scaling (§3.6): build, prove, verify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_mht::{Label, SparseMht};
+use std::hint::black_box;
+
+fn items(n: u32) -> Vec<(Label, Vec<u8>)> {
+    (0..n).map(|i| (Label::Var(i), vec![i as u8; 32])).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_mht_build");
+    g.sample_size(10);
+    for n in [16u32, 256, 1024] {
+        let xs = items(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| black_box(SparseMht::build(xs, [7; 32])));
+        });
+    }
+    g.finish();
+}
+
+fn bench_prove_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_mht_proofs");
+    for n in [16u32, 1024] {
+        let tree = SparseMht::build(&items(n), [7; 32]);
+        g.bench_function(BenchmarkId::new("prove", n), |b| {
+            b.iter(|| black_box(tree.prove(&Label::Var(0)).unwrap()));
+        });
+        let proof = tree.prove(&Label::Var(0)).unwrap();
+        let root = tree.root();
+        g.bench_function(BenchmarkId::new("verify", n), |b| {
+            b.iter(|| assert!(proof.verify(&root)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_prove_verify);
+criterion_main!(benches);

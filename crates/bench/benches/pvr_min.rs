@@ -1,0 +1,40 @@
+//! E1 scaling — the §3.3 minimum-operator protocol as the provider
+//! count k grows: commitment, disclosure, verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_core::{verify_as_receiver, Figure1Bed};
+use std::hint::black_box;
+
+fn bench_commit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_commit");
+    g.sample_size(10);
+    for k in [2usize, 8, 32] {
+        let lens: Vec<usize> = (0..k).map(|i| 2 + (i % 8)).collect();
+        let bed = Figure1Bed::build(&lens, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &bed, |b, bed| {
+            b.iter(|| black_box(bed.honest_committer().signed_root().root));
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_verify");
+    g.sample_size(10);
+    for k in [2usize, 8, 32] {
+        let lens: Vec<usize> = (0..k).map(|i| 2 + (i % 8)).collect();
+        let bed = Figure1Bed::build(&lens, 1);
+        let committer = bed.honest_committer();
+        let d = committer.disclosure_for_receiver(bed.b);
+        g.bench_function(BenchmarkId::new("receiver", k), |b| {
+            b.iter(|| {
+                let o = verify_as_receiver(bed.b, bed.a, &bed.round, &bed.params, &d, &bed.keys);
+                assert!(o.is_accept());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit, bench_verify);
+criterion_main!(benches);

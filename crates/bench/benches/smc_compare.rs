@@ -1,0 +1,36 @@
+//! E4 — PVR vs the GMW strawman (§3.1), measured side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_core::{run_min_round, Figure1Bed};
+use pvr_crypto::drbg::HmacDrbg;
+use pvr_smc::{min_circuit, run_gmw, to_bits};
+use std::hint::black_box;
+
+fn bench_pvr_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_pvr_round");
+    g.sample_size(10);
+    let bed = Figure1Bed::build(&[2, 3, 4, 5, 6], 4);
+    g.bench_function("k5", |b| {
+        b.iter(|| {
+            let r = run_min_round(&bed, None);
+            assert!(r.clean());
+        });
+    });
+    g.finish();
+}
+
+fn bench_gmw_local(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_gmw_local");
+    for k in [2usize, 5, 10] {
+        let circuit = min_circuit(k, 8);
+        let inputs: Vec<Vec<bool>> = (0..k).map(|i| to_bits(i as u64 + 2, 8)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &circuit, |b, circuit| {
+            let mut rng = HmacDrbg::from_u64_labeled(4, "bench-gmw");
+            b.iter(|| black_box(run_gmw(circuit, &inputs, &mut rng).outputs));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pvr_round, bench_gmw_local);
+criterion_main!(benches);

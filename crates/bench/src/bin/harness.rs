@@ -1,0 +1,37 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run --release -p pvr-bench --bin harness           # all
+//!   cargo run --release -p pvr-bench --bin harness e3 e4     # subset
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+
+    println!("PVR reproduction — experiment harness");
+    println!("paper: Gurney et al., HotNets-X 2011 (see EXPERIMENTS.md)\n");
+
+    let runners: Vec<(&str, fn() -> String)> = vec![
+        ("e1", pvr_bench::e1_detection_matrix),
+        ("e2", pvr_bench::e2_graph_navigation),
+        ("e3", pvr_bench::e3_crypto_costs),
+        ("e4", pvr_bench::e4_strawman_comparison),
+        ("e5", pvr_bench::e5_batching),
+        ("e6", pvr_bench::e6_mht_scaling),
+        ("e7", pvr_bench::e7_confidentiality),
+        ("e8", pvr_bench::e8_internet_overhead),
+        ("e9", pvr_bench::e9_ring_scaling),
+        ("e10", pvr_bench::e10_promise_ladder),
+        ("e11", pvr_bench::e11_ablations),
+    ];
+
+    for (id, run) in runners {
+        if !wanted.is_empty() && !wanted.contains(&id) {
+            continue;
+        }
+        let t = std::time::Instant::now();
+        let table = run();
+        println!("{table}");
+        println!("[{id} completed in {:.2} s]\n{}", t.elapsed().as_secs_f64(), "=".repeat(72));
+    }
+}

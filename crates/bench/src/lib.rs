@@ -1,0 +1,709 @@
+//! Experiment implementations for the PVR reproduction.
+//!
+//! Each `eN` function regenerates one experiment from EXPERIMENTS.md
+//! (the paper has no numbered tables; the experiments map its figures
+//! and quantitative prose claims — see DESIGN.md §4 for the index).
+//! The `harness` binary prints them; integration tests assert on the
+//! returned rows.
+
+use pvr_bgp::{internet_like, Asn, InstantiateOptions, InternetParams};
+use pvr_core::{
+    batch, claimed_min, run_min_round, verify_as_provider, verify_as_receiver, Figure1Bed,
+    Misbehavior, Verdict,
+};
+use pvr_crypto::{drbg::HmacDrbg, ring_sign, ring_verify, sha256, Identity, RsaPrivateKey};
+use pvr_mht::{Label, SparseMht};
+use pvr_netsim::RunLimits;
+use pvr_rfg::{AccessPolicy, Promise};
+use pvr_smc::{majority_circuit, min_circuit, run_gmw, to_bits, SmcCostModel, ZkpCostModel};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall-clock of `n` runs of `f`, in seconds.
+pub fn median_secs<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.2} µs", secs * 1e6)
+    } else {
+        format!("{:.0} ns", secs * 1e9)
+    }
+}
+
+/// E1 — Figure 1 / §3.3: detection matrix for the minimum operator.
+/// Rows: behavior → detected? evidence? guilty verdicts? false
+/// positives are counted across honest seeds.
+pub fn e1_detection_matrix() -> String {
+    let mut out = String::new();
+    writeln!(out, "E1: minimum-operator detection matrix (Figure 1, §3.3)").unwrap();
+    writeln!(out, "{:<22} {:>9} {:>9} {:>8}", "behavior", "detected", "evidence", "guilty").unwrap();
+
+    // Honest runs across seeds: false-positive rate must be 0.
+    let mut false_positives = 0;
+    let honest_runs = 10;
+    for seed in 0..honest_runs {
+        let bed = Figure1Bed::build(&[2, 3, 5], 1000 + seed);
+        if !run_min_round(&bed, None).clean() {
+            false_positives += 1;
+        }
+    }
+    writeln!(out, "{:<22} {:>9} {:>9} {:>8}", "honest (10 seeds)", false_positives, 0, 0).unwrap();
+
+    let bed = Figure1Bed::build(&[2, 3, 5], 42);
+    let behaviors = vec![
+        ("export-longer", Misbehavior::ExportLonger),
+        ("suppress-min-input", Misbehavior::SuppressInput { victim: bed.ns[0] }),
+        ("deny-all", Misbehavior::DenyAll),
+        ("equivocate", Misbehavior::Equivocate { victim: bed.ns[0] }),
+        ("non-monotone-bits", Misbehavior::NonMonotoneBits),
+        ("fabricate-export", Misbehavior::FabricateExport),
+        ("refuse-reveal", Misbehavior::RefuseReveal { victim: bed.ns[0] }),
+        ("corrupt-opening", Misbehavior::CorruptOpening { victim: bed.ns[0] }),
+    ];
+    for (name, b) in behaviors {
+        let report = run_min_round(&bed, Some(b));
+        let guilty = report.verdicts.iter().filter(|(_, v)| *v == Verdict::Guilty).count();
+        writeln!(
+            out,
+            "{:<22} {:>9} {:>9} {:>8}",
+            name,
+            report.detected(),
+            report.verdicts.len(),
+            guilty
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: honest row all zeros; every row below detected=true;").unwrap();
+    writeln!(out, " omission faults — refuse/corrupt — detected without evidence)").unwrap();
+    out
+}
+
+/// E2 — Figure 2 / §3.5–3.7: multi-operator graph verification and
+/// disclosure sizes as the provider count grows.
+pub fn e2_graph_navigation() -> String {
+    let mut out = String::new();
+    writeln!(out, "E2: multi-operator graph navigation (Figure 2, §3.5-3.7)").unwrap();
+    writeln!(
+        out,
+        "{:>4} {:>9} {:>12} {:>14} {:>12}",
+        "k", "vertices", "reveals→B", "bytes→B", "verify time"
+    )
+    .unwrap();
+    for k in [2usize, 4, 8, 16, 32] {
+        let lens: Vec<usize> = (0..k).map(|i| 2 + (i % 8)).collect();
+        let bed = Figure1Bed::build_figure2(&lens, 7);
+        let c = bed.honest_committer();
+        let everyone: Vec<Asn> = bed.ns.iter().copied().chain([bed.b]).collect();
+        let alpha = AccessPolicy::paper_example(&bed.graph, &everyone);
+        let reveals = c.graph_disclosure_for(bed.b, &alpha);
+        let bytes: usize = {
+            use pvr_crypto::Wire;
+            reveals.iter().map(|r| r.to_wire().len()).sum()
+        };
+        let out_label = Label::Var(bed.output_var.0);
+        let inputs: Vec<Label> = bed.input_vars.iter().map(|v| Label::Var(v.0)).collect();
+        let root = c.signed_root().root;
+        let t = median_secs(5, || {
+            let g = pvr_core::VisibleGraph::reconstruct(&reveals, &root).unwrap();
+            assert!(g.check_figure2_promise(&out_label, &inputs[0], &inputs[1..]));
+        });
+        writeln!(
+            out,
+            "{:>4} {:>9} {:>12} {:>14} {:>12}",
+            k,
+            bed.graph.vars().count() + bed.graph.ops().count(),
+            reveals.len(),
+            bytes,
+            fmt_time(t)
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: reveals and bytes linear in k; verify time ~linear)").unwrap();
+    out
+}
+
+/// E3 — §3.8: "a cryptographic hash-function (such as SHA-256), which
+/// are relatively cheap, and a public-key signature scheme (such as
+/// RSA). A RSA-1024 signature takes about two milliseconds."
+pub fn e3_crypto_costs() -> String {
+    let mut out = String::new();
+    writeln!(out, "E3: primitive costs (§3.8)").unwrap();
+
+    // SHA-256 over a BGP-update-sized message.
+    let msg = vec![0xabu8; 4096];
+    let t_hash = median_secs(51, || {
+        std::hint::black_box(sha256(&msg));
+    });
+    writeln!(out, "{:<28} {:>12}", "SHA-256 (4 KiB)", fmt_time(t_hash)).unwrap();
+
+    for bits in [512usize, 1024, 2048] {
+        let mut rng = HmacDrbg::from_u64_labeled(3, "e3-keys");
+        let key = RsaPrivateKey::generate(bits, &mut rng);
+        let t_sign = median_secs(11, || {
+            std::hint::black_box(key.sign(&msg));
+        });
+        let sig = key.sign(&msg);
+        let t_verify = median_secs(11, || {
+            key.public().verify(&msg, &sig).unwrap();
+        });
+        writeln!(
+            out,
+            "{:<28} {:>12}   verify {:>10}",
+            format!("RSA-{bits} sign"),
+            fmt_time(t_sign),
+            fmt_time(t_verify)
+        )
+        .unwrap();
+        if bits == 1024 {
+            writeln!(
+                out,
+                "  paper claim: RSA-1024 ≈ 2 ms (2011 hardware); measured {}",
+                fmt_time(t_sign)
+            )
+            .unwrap();
+        }
+    }
+    writeln!(out, "(expected shape: hash µs-scale, signatures ms-scale, quadratic-ish in bits)").unwrap();
+    out
+}
+
+/// E4 — §3.1: the strawman comparison. "even with only five players,
+/// state-of-the-art SMC systems take about 15 seconds … for a simple
+/// task like voting \[2\]".
+pub fn e4_strawman_comparison() -> String {
+    let mut out = String::new();
+    writeln!(out, "E4: PVR vs. the SMC/ZKP strawmen (§3.1), k = 5 providers").unwrap();
+
+    // PVR: one full min-operator round (commit + all disclosures + all
+    // verifications), measured.
+    let bed = Figure1Bed::build(&[2, 3, 4, 5, 6], 4);
+    let t_pvr = median_secs(5, || {
+        let report = run_min_round(&bed, None);
+        assert!(report.clean());
+    });
+
+    // GMW on the equivalent min circuit (8-bit lengths), measured
+    // locally and modeled on a WAN.
+    let circuit = min_circuit(5, 8);
+    let inputs: Vec<Vec<bool>> = [2u64, 3, 4, 5, 6].iter().map(|&v| to_bits(v, 8)).collect();
+    let mut rng = HmacDrbg::from_u64_labeled(4, "e4-gmw");
+    let t_gmw_local = median_secs(5, || {
+        let r = run_gmw(&circuit, &inputs, &mut rng);
+        std::hint::black_box(r.outputs);
+    });
+    let gmw_stats = run_gmw(&circuit, &inputs, &mut rng).stats;
+    let model = SmcCostModel::fairplay_calibrated();
+    let t_gmw_wan = model.estimate_seconds(&gmw_stats);
+
+    // FairplayMP calibration point: majority vote, 5 players.
+    let vote = majority_circuit(5);
+    let vote_inputs: Vec<Vec<bool>> = (0..5).map(|i| vec![i % 2 == 0]).collect();
+    let vote_stats = run_gmw(&vote, &vote_inputs, &mut rng).stats;
+    let t_vote_wan = model.estimate_seconds(&vote_stats);
+
+    // Generic ZKP strawman over the min circuit.
+    let zkp = ZkpCostModel::generic();
+    let t_zkp = zkp.estimate_seconds(&circuit);
+
+    writeln!(out, "{:<44} {:>12}", "PVR full round (measured)", fmt_time(t_pvr)).unwrap();
+    writeln!(out, "{:<44} {:>12}", "GMW min-circuit, local compute (measured)", fmt_time(t_gmw_local)).unwrap();
+    writeln!(
+        out,
+        "{:<44} {:>12}   ({} ANDs, {} rounds, {} OTs)",
+        "GMW min-circuit, WAN model",
+        fmt_time(t_gmw_wan),
+        gmw_stats.and_gates,
+        gmw_stats.rounds,
+        gmw_stats.equivalent_ots
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<44} {:>12}   (paper cites ≈15 s)",
+        "FairplayMP calibration: 5-player voting",
+        fmt_time(t_vote_wan)
+    )
+    .unwrap();
+    writeln!(out, "{:<44} {:>12}", "generic ZKP model, min circuit", fmt_time(t_zkp)).unwrap();
+    writeln!(
+        out,
+        "PVR vs SMC-on-WAN speedup: {:.0}×   (expected: ≥3 orders of magnitude)",
+        t_gmw_wan / t_pvr
+    )
+    .unwrap();
+    out
+}
+
+/// E5 — §3.8: batched signing of update bursts with a small MHT.
+pub fn e5_batching() -> String {
+    let mut out = String::new();
+    writeln!(out, "E5: batched signing of BGP bursts (§3.8), RSA-1024").unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>16} {:>16} {:>10} {:>14}",
+        "burst", "per-update sign", "batched sign", "speedup", "bytes/update"
+    )
+    .unwrap();
+    let mut rng = HmacDrbg::from_u64_labeled(5, "e5-key");
+    let identity = Identity::generate(100, 1024, &mut rng);
+    for n in [1usize, 4, 16, 64, 256, 1024] {
+        let items: Vec<Vec<u8>> = (0..n).map(|i| format!("update {i}").into_bytes()).collect();
+        let t_individual = median_secs(3, || {
+            for it in &items {
+                std::hint::black_box(identity.sign(it));
+            }
+        }) / n as f64;
+        let t_batched = median_secs(3, || {
+            std::hint::black_box(batch::SignedBatch::sign(&identity, 1, &items));
+        }) / n as f64;
+        let b = batch::SignedBatch::sign(&identity, 1, &items);
+        let bytes = b.item(0).unwrap().byte_size();
+        writeln!(
+            out,
+            "{:>6} {:>16} {:>16} {:>9.1}x {:>14}",
+            n,
+            fmt_time(t_individual),
+            fmt_time(t_batched),
+            t_individual / t_batched,
+            bytes
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: per-update cost flat; batched cost ~1/n toward the hash floor;").unwrap();
+    writeln!(out, " bytes/update grows only logarithmically)").unwrap();
+    out
+}
+
+/// E6 — §3.6: commitment and selective-disclosure scaling.
+pub fn e6_mht_scaling() -> String {
+    let mut out = String::new();
+    writeln!(out, "E6: sparse-MHT commitment & disclosure scaling (§3.6)").unwrap();
+    writeln!(
+        out,
+        "{:>7} {:>12} {:>12} {:>12} {:>12}",
+        "leaves", "build", "proof bytes", "verify", "nodes"
+    )
+    .unwrap();
+    for n in [1usize, 16, 64, 256, 1024, 4096] {
+        let items: Vec<(Label, Vec<u8>)> =
+            (0..n as u32).map(|i| (Label::Var(i), vec![i as u8; 32])).collect();
+        let t_build = median_secs(3, || {
+            std::hint::black_box(SparseMht::build(&items, [7; 32]));
+        });
+        let tree = SparseMht::build(&items, [7; 32]);
+        let proof = tree.prove(&Label::Var(0)).unwrap();
+        let root = tree.root();
+        let t_verify = median_secs(11, || {
+            assert!(proof.verify(&root));
+        });
+        writeln!(
+            out,
+            "{:>7} {:>12} {:>12} {:>12} {:>12}",
+            n,
+            fmt_time(t_build),
+            proof.byte_size(),
+            fmt_time(t_verify),
+            tree.node_count()
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: build ~linear; proof size and verify time ~flat —").unwrap();
+    writeln!(out, " bounded by the label bit-length, not the leaf count)").unwrap();
+    out
+}
+
+/// E7 — §2.3 Confidentiality: counterfactual audit summary.
+pub fn e7_confidentiality() -> String {
+    use pvr_core::confidential::counterfactual_min_audit;
+    let mut out = String::new();
+    writeln!(out, "E7: counterfactual indistinguishability audit (§2.3)").unwrap();
+    writeln!(
+        out,
+        "{:<28} {:<14} {:>10} {:>14}",
+        "worlds (lens A vs B)", "authorized", "leaks", "raw-differs"
+    )
+    .unwrap();
+    let cases: Vec<(&[usize], &[usize], Vec<Asn>)> = vec![
+        (&[2, 3], &[2, 5], vec![Asn(2)]),
+        (&[2, 9, 12, 5], &[2, 3, 4, 16], vec![Asn(2), Asn(3), Asn(4)]),
+        (&[2, 4, 6], &[2, 4, 9], vec![Asn(3)]),
+        (&[3, 3], &[3, 3], vec![]),
+    ];
+    for (a, b, authorized) in cases {
+        let outcome = counterfactual_min_audit(a, b, 7);
+        let leaks = outcome
+            .content_changed
+            .iter()
+            .filter(|(n, &c)| c && !authorized.contains(n))
+            .count();
+        let raw = outcome.raw_changed.values().filter(|&&c| c).count();
+        writeln!(
+            out,
+            "{:<28} {:<14} {:>10} {:>14}",
+            format!("{a:?} vs {b:?}"),
+            format!("{authorized:?}"),
+            leaks,
+            raw
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: leaks column all zeros — only opaque commitment").unwrap();
+    writeln!(out, " material may differ, never opened content)").unwrap();
+    out
+}
+
+/// E8 — §1/§3.8: PVR on an Internet-like topology: substrate overhead
+/// with and without signatures, plus per-decision PVR costs.
+pub fn e8_internet_overhead() -> String {
+    let mut out = String::new();
+    writeln!(out, "E8: Internet-like topology overhead (§3.8)").unwrap();
+    let params = InternetParams { tier1: 3, tier2: 8, stubs: 20, t2_peering_prob: 0.25 };
+    let topology = internet_like(params, 11);
+    writeln!(
+        out,
+        "topology: {} ASes, {} edges",
+        topology.as_count(),
+        topology.edge_count()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>14} {:>14}",
+        "mode", "events", "updates", "bytes", "bytes/update"
+    )
+    .unwrap();
+    let mut plain_per_update = 0f64;
+    for signed in [false, true] {
+        let mut net = topology.instantiate(InstantiateOptions {
+            seed: 11,
+            signed,
+            key_bits: 512,
+            ..Default::default()
+        });
+        net.converge(RunLimits::none());
+        let stats = net.sim.stats();
+        let per_update = stats.bytes_sent as f64 / stats.delivered.max(1) as f64;
+        if !signed {
+            plain_per_update = per_update;
+        }
+        writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>14} {:>14.0}",
+            if signed { "S-BGP" } else { "plain" },
+            stats.events,
+            stats.delivered,
+            stats.bytes_sent,
+            per_update
+        )
+        .unwrap();
+        if signed {
+            writeln!(
+                out,
+                "attestation overhead: {:.1}× bytes per update",
+                per_update / plain_per_update
+            )
+            .unwrap();
+        }
+    }
+
+    // Per-decision PVR round cost at k = 4 providers.
+    let bed = Figure1Bed::build(&[2, 3, 4, 5], 11);
+    let report = run_min_round(&bed, None);
+    let total: usize = report.transcripts.values().map(|t| t.total_bytes()).sum();
+    writeln!(
+        out,
+        "PVR round (k=4): {} bytes of roots+gossip+disclosures per decision",
+        total
+    )
+    .unwrap();
+    out
+}
+
+/// E9 — §3.2: ring-signature link-state variant scaling.
+pub fn e9_ring_scaling() -> String {
+    let mut out = String::new();
+    writeln!(out, "E9: ring signatures for the link-state variant (§3.2)").unwrap();
+    writeln!(out, "{:>6} {:>12} {:>12} {:>12}", "ring", "sign", "verify", "sig bytes").unwrap();
+    let mut rng = HmacDrbg::from_u64_labeled(9, "e9-ring");
+    let keys: Vec<RsaPrivateKey> =
+        (0..16).map(|_| RsaPrivateKey::generate(512, &mut rng)).collect();
+    for k in [2usize, 4, 8, 16] {
+        let ring: Vec<_> = keys[..k].iter().map(|x| x.public().clone()).collect();
+        let t_sign = median_secs(3, || {
+            std::hint::black_box(
+                ring_sign(b"a route exists", &ring, 0, &keys[0], &mut rng).unwrap(),
+            );
+        });
+        let sig = ring_sign(b"a route exists", &ring, 0, &keys[0], &mut rng).unwrap();
+        let t_verify = median_secs(3, || {
+            ring_verify(b"a route exists", &ring, &sig).unwrap();
+        });
+        let bytes = sig.v.len() * (1 + sig.xs.len());
+        writeln!(
+            out,
+            "{:>6} {:>12} {:>12} {:>12}",
+            k,
+            fmt_time(t_sign),
+            fmt_time(t_verify),
+            bytes
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: sign ≈ 1 private op + k-1 public ops; verify k public ops;").unwrap();
+    writeln!(out, " size linear in k)").unwrap();
+    out
+}
+
+/// E10 — §2: the promise ladder; static implementation and
+/// minimum-access checks for every promise type.
+pub fn e10_promise_ladder() -> String {
+    let mut out = String::new();
+    writeln!(out, "E10: promise ladder static checks (§2)").unwrap();
+    writeln!(
+        out,
+        "{:<34} {:>12} {:>12} {:>12}",
+        "promise", "fig1 graph", "fig2 graph", "verifiable"
+    )
+    .unwrap();
+    let bed1 = Figure1Bed::build(&[2, 3, 4], 10);
+    let bed2 = Figure1Bed::build_figure2(&[2, 3, 4], 10);
+    let everyone: Vec<Asn> = bed1.ns.iter().copied().chain([bed1.b]).collect();
+    let alpha1 = AccessPolicy::paper_example(&bed1.graph, &everyone);
+    let subset: BTreeSet<Asn> = bed1.ns.iter().copied().collect();
+    let promises: Vec<(&str, Promise)> = vec![
+        ("1: shortest overall", Promise::ShortestOverall),
+        ("2: shortest of subset", Promise::ShortestOfSubset { subset: subset.clone() }),
+        ("3: within ε=2 of best", Promise::WithinHopsOfBest { epsilon: 2 }),
+        ("4: no longer than others", Promise::NoLongerThanOthers),
+        ("exists (§3.2)", Promise::Existential { subset: subset.clone() }),
+        (
+            "fig2: prefer unless shorter",
+            Promise::PreferUnlessShorter {
+                fallback: bed1.ns[0],
+                preferred: bed1.ns[1..].iter().copied().collect(),
+            },
+        ),
+    ];
+    for (name, p) in promises {
+        writeln!(
+            out,
+            "{:<34} {:>12} {:>12} {:>12}",
+            name,
+            p.implemented_by(&bed1.graph, bed1.b),
+            p.implemented_by(&bed2.graph, bed2.b),
+            p.verifiable_under(&bed1.graph, &alpha1, bed1.b)
+        )
+        .unwrap();
+    }
+    writeln!(out, "(expected: the min graph implements 1,2,3,4,∃ — not fig2's promise;").unwrap();
+    writeln!(out, " the fig2 graph implements only its own promise)").unwrap();
+    out
+}
+
+
+/// E11 — ablations of the design choices (DESIGN.md §5): the naive
+/// per-route commitment strawman vs the paper's bit vector, and blinded
+/// vs unblinded MHT siblings.
+pub fn e11_ablations() -> String {
+    use pvr_core::compare_naive_vs_paper;
+    use pvr_mht::{unblinded_phantom, SiblingBlinding, SparseMht};
+
+    let mut out = String::new();
+    writeln!(out, "E11: design-choice ablations (DESIGN.md §5)").unwrap();
+
+    // Ablation 1: naive per-route commitments leak the length multiset.
+    writeln!(out, "\n-- bit vector (paper) vs per-route commitments (naive) --").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>22} {:>14} {:>14}",
+        "k", "naive leak (lengths)", "naive bytes", "paper bytes"
+    )
+    .unwrap();
+    for lens in [vec![2usize, 5], vec![2, 3, 5, 7], vec![2, 3, 4, 5, 6, 7, 8, 9]] {
+        let bed = Figure1Bed::build(&lens, 21);
+        let report = compare_naive_vs_paper(&bed);
+        let leaked: Vec<u32> = report.naive_leak.values().copied().collect();
+        writeln!(
+            out,
+            "{:<8} {:>22} {:>14} {:>14}",
+            lens.len(),
+            format!("{leaked:?}"),
+            report.naive_bytes,
+            report.paper_bytes
+        )
+        .unwrap();
+    }
+    writeln!(out, "(paper protocol reveals only the minimum — already visible via the route)").unwrap();
+
+    // Ablation 2: blinded vs unblinded phantom siblings.
+    writeln!(out, "\n-- blinded (paper) vs unblinded phantom siblings --").unwrap();
+    let xs = vec![(Label::Var(0), b"leaf".to_vec())];
+    let path = Label::Var(0).to_bits();
+    let mut detected = [0usize; 2];
+    for (i, mode) in [SiblingBlinding::Unblinded, SiblingBlinding::Blinded]
+        .into_iter()
+        .enumerate()
+    {
+        let tree = SparseMht::build_with(&xs, [9; 32], mode);
+        let proof = tree.prove(&Label::Var(0)).unwrap();
+        for (j, sib) in proof.siblings.iter().enumerate() {
+            let depth = path.len() - 1 - j;
+            let sib_path = path.prefix(depth).push(!path.bit(depth));
+            if *sib == unblinded_phantom(&sib_path) {
+                detected[i] += 1;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "unblinded: attacker identifies {}/{} siblings as empty subtrees",
+        detected[0],
+        path.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "blinded:   attacker identifies {}/{} (expected 0 — absence is hidden)",
+        detected[1],
+        path.len()
+    )
+    .unwrap();
+
+    // Ablation 3: MRAI batching interacts with burst signing (E5).
+    writeln!(out, "\n-- MRAI churn damping (substrate, feeds §3.8 batching) --").unwrap();
+    {
+        use pvr_bgp::{workload, LocalEvent, Topology};
+        use pvr_netsim::SimDuration;
+        let build = || {
+            let mut t = Topology::new();
+            let origin = Asn(1);
+            let provider = Asn(2);
+            let prefix = pvr_bgp::Prefix::parse("10.0.0.0/8").unwrap();
+            t.provider_customer(provider, origin);
+            t.originate(origin, prefix);
+            workload::flap(
+                &mut t,
+                origin,
+                prefix,
+                SimDuration::from_millis(50),
+                SimDuration::from_millis(1),
+                20,
+            );
+            let _ = LocalEvent::Announce(prefix);
+            (t, provider)
+        };
+        for (label, mrai) in [("no MRAI", None), ("MRAI 100 ms", Some(SimDuration::from_millis(100)))] {
+            let (t, provider) = build();
+            let mut net = t.instantiate(InstantiateOptions { mrai, ..Default::default() });
+            net.converge(RunLimits::none());
+            writeln!(
+                out,
+                "{:<12} updates delivered to provider: {}",
+                label,
+                net.router(provider).stats().updates_rx
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Sanity used by tests: E1 claims must hold programmatically.
+pub fn e1_invariants_hold() -> bool {
+    let bed = Figure1Bed::build(&[2, 3, 5], 42);
+    let honest = run_min_round(&bed, None);
+    let cheat = run_min_round(&bed, Some(Misbehavior::ExportLonger));
+    honest.clean() && cheat.detected() && cheat.convicted()
+}
+
+/// Quick numeric check for E4 used by tests: PVR beats modeled SMC by
+/// at least 100× on the k=5 task.
+pub fn e4_speedup() -> f64 {
+    let bed = Figure1Bed::build(&[2, 3, 4, 5, 6], 4);
+    let t_pvr = median_secs(3, || {
+        let _ = run_min_round(&bed, None);
+    });
+    let circuit = min_circuit(5, 8);
+    let inputs: Vec<Vec<bool>> = [2u64, 3, 4, 5, 6].iter().map(|&v| to_bits(v, 8)).collect();
+    let mut rng = HmacDrbg::from_u64_labeled(4, "e4-check");
+    let stats = run_gmw(&circuit, &inputs, &mut rng).stats;
+    SmcCostModel::fairplay_calibrated().estimate_seconds(&stats) / t_pvr
+}
+
+/// Verifies one provider/receiver pair quickly (used by bench warmups).
+pub fn verify_round_once(bed: &Figure1Bed) {
+    let c = bed.honest_committer();
+    let d = c.disclosure_for_provider(bed.ns[0]);
+    let o = verify_as_provider(bed.a, &bed.round, &bed.params, &bed.inputs[&bed.ns[0]], &d, &bed.keys);
+    assert!(o.is_accept());
+    let d = c.disclosure_for_receiver(bed.b);
+    let o = verify_as_receiver(bed.b, bed.a, &bed.round, &bed.params, &d, &bed.keys);
+    assert!(o.is_accept());
+}
+
+/// The committed minimum for a bed (used in bench assertions).
+pub fn committed_min(bed: &Figure1Bed) -> Option<usize> {
+    let c = bed.honest_committer();
+    let bits: Vec<bool> = (1..=bed.params.max_path_len as u32)
+        .map(|i| c.reveal_bit(i).unwrap().bit().unwrap())
+        .collect();
+    claimed_min(&bits)
+}
+
+/// All experiments in order, as (id, output) pairs.
+pub fn all_experiments() -> Vec<(&'static str, String)> {
+    vec![
+        ("e1", e1_detection_matrix()),
+        ("e2", e2_graph_navigation()),
+        ("e3", e3_crypto_costs()),
+        ("e4", e4_strawman_comparison()),
+        ("e5", e5_batching()),
+        ("e6", e6_mht_scaling()),
+        ("e7", e7_confidentiality()),
+        ("e8", e8_internet_overhead()),
+        ("e9", e9_ring_scaling()),
+        ("e10", e10_promise_ladder()),
+        ("e11", e11_ablations()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_properties() {
+        assert!(e1_invariants_hold());
+    }
+
+    #[test]
+    fn e4_speedup_is_large() {
+        assert!(e4_speedup() > 100.0, "PVR must beat modeled SMC by ≥100×");
+    }
+
+    #[test]
+    fn quick_experiments_produce_tables() {
+        for (id, table) in [
+            ("e7", e7_confidentiality()),
+            ("e10", e10_promise_ladder()),
+        ("e11", e11_ablations()),
+        ] {
+            assert!(table.lines().count() >= 4, "{id} table too small:\n{table}");
+        }
+    }
+}

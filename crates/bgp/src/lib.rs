@@ -1,0 +1,52 @@
+//! # pvr-bgp — the interdomain routing substrate
+//!
+//! A from-scratch "BGP-lite" sufficient for everything the PVR paper
+//! assumes about the routing system it secures:
+//!
+//! * [`types`] / [`path`] / [`route`] — prefixes, AS paths, attributes;
+//! * [`rib`] — Adj-RIB-In / Loc-RIB / Adj-RIB-Out (the paper's "set of
+//!   input routes" and "output" made explicit, §2);
+//! * [`decision`] — the standard ranking pipeline §2.1 decomposes into
+//!   operators;
+//! * [`policy`] — Gao–Rexford relationships plus the paper's partial
+//!   transit example ("routes from, e.g., European peers");
+//! * [`sbgp`] — S-BGP-style route attestations \[13\], the substrate for
+//!   PVR's condition 1 ("sign all the routing announcements", §3.2);
+//! * [`router`] — the speaker as a simulator agent;
+//! * [`topology`] — Figure 1 scenario and Internet-like generators;
+//! * [`workload`] — flaps, bursts, churn.
+//!
+//! ## Implemented / omitted (smoltcp-style expectations)
+//!
+//! Implemented: UPDATE processing, implicit withdraw, loop rejection,
+//! LOCAL_PREF/AS-path/origin/MED/tiebreak ranking, valley-free export,
+//! partial transit, NO_EXPORT, attestation chains, scheduled workloads.
+//!
+//! Omitted (orthogonal to the paper): session FSM, MRAI timers, iBGP,
+//! route reflection, aggregation/AS_SET, IPv6 (IPv4 prefixes only).
+
+pub mod decision;
+pub mod messages;
+pub mod path;
+pub mod policy;
+pub mod rib;
+pub mod route;
+pub mod router;
+pub mod sbgp;
+pub mod topology;
+pub mod types;
+pub mod workload;
+
+pub use decision::{best, prefer, Candidate};
+pub use messages::BgpUpdate;
+pub use path::AsPath;
+pub use policy::{PolicyConfig, Role};
+pub use rib::{AdjRibIn, AdjRibOut, LocRib};
+pub use route::{Community, Origin, Route};
+pub use router::{BgpRouter, LocalEvent, RouterStats, SecurityMode};
+pub use sbgp::{Attestation, SbgpError, SignedRoute};
+pub use topology::{
+    figure1, internet_like, BgpNetwork, Edge, Figure1Cast, InstantiateOptions, InternetParams,
+    Topology,
+};
+pub use types::{Asn, Prefix};

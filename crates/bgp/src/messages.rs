@@ -1,0 +1,110 @@
+//! BGP session messages.
+//!
+//! Only UPDATE is modeled — OPEN/KEEPALIVE/NOTIFICATION manage TCP
+//! sessions, which the simulator abstracts away (documented omission;
+//! session churn is orthogonal to the paper's mechanisms).
+
+use crate::sbgp::SignedRoute;
+use crate::types::Prefix;
+use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+use pvr_netsim::Payload;
+
+/// A BGP UPDATE: announcements (possibly attested) plus withdrawals.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BgpUpdate {
+    /// New/replacement routes.
+    pub announces: Vec<SignedRoute>,
+    /// Prefixes no longer reachable via the sender.
+    pub withdraws: Vec<Prefix>,
+}
+
+impl BgpUpdate {
+    /// True if the update carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.announces.is_empty() && self.withdraws.is_empty()
+    }
+
+    /// Merges `newer` into `self` with BGP replacement semantics: for
+    /// each prefix the *latest* action wins — a new announcement
+    /// supersedes a buffered announcement or withdrawal for the same
+    /// prefix, and a withdrawal cancels a buffered announcement. Used by
+    /// the MRAI buffer.
+    pub fn merge(&mut self, newer: BgpUpdate) {
+        for w in newer.withdraws {
+            self.announces.retain(|sr| sr.route.prefix != w);
+            if !self.withdraws.contains(&w) {
+                self.withdraws.push(w);
+            }
+        }
+        for a in newer.announces {
+            self.withdraws.retain(|&p| p != a.route.prefix);
+            self.announces.retain(|sr| sr.route.prefix != a.route.prefix);
+            self.announces.push(a);
+        }
+    }
+}
+
+impl Wire for BgpUpdate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_seq(&self.announces, buf);
+        encode_seq(&self.withdraws, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(BgpUpdate {
+            announces: decode_seq(r)?,
+            withdraws: decode_seq(r)?,
+        })
+    }
+}
+
+impl Payload for BgpUpdate {
+    fn wire_size(&self) -> usize {
+        self.to_wire().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Route;
+    use crate::types::Asn;
+
+    fn prefix() -> Prefix {
+        Prefix::parse("10.0.0.0/8").unwrap()
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(BgpUpdate::default().is_empty());
+        let upd = BgpUpdate {
+            announces: vec![SignedRoute::unsigned(Route::originate(prefix()))],
+            withdraws: vec![],
+        };
+        assert!(!upd.is_empty());
+        let upd = BgpUpdate { announces: vec![], withdraws: vec![prefix()] };
+        assert!(!upd.is_empty());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let upd = BgpUpdate {
+            announces: vec![SignedRoute::unsigned(
+                Route::originate(prefix()).propagated_by(Asn(7)),
+            )],
+            withdraws: vec![Prefix::parse("192.168.0.0/16").unwrap()],
+        };
+        let back: BgpUpdate = pvr_crypto::decode_exact(&upd.to_wire()).unwrap();
+        assert_eq!(back, upd);
+    }
+
+    #[test]
+    fn wire_size_reflects_content() {
+        let empty = BgpUpdate::default();
+        let full = BgpUpdate {
+            announces: vec![SignedRoute::unsigned(Route::originate(prefix()))],
+            withdraws: vec![prefix()],
+        };
+        assert!(full.wire_size() > empty.wire_size());
+        assert_eq!(empty.wire_size(), empty.to_wire().len());
+    }
+}

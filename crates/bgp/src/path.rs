@@ -1,0 +1,167 @@
+//! AS paths.
+//!
+//! The AS path is the attribute PVR's minimum operator reasons about
+//! (§3.3 verifies "the route A has exported to B is not longer than
+//! r_i"). We implement the `AS_SEQUENCE` form only — `AS_SET`
+//! aggregation is a documented omission (it is rare in the modern
+//! Internet and orthogonal to the paper's mechanisms).
+
+use crate::types::Asn;
+use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+
+/// An ordered AS-level path, nearest AS first (as in BGP updates).
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct AsPath(Vec<Asn>);
+
+impl AsPath {
+    /// The empty path (a locally originated route).
+    pub fn empty() -> AsPath {
+        AsPath(Vec::new())
+    }
+
+    /// Builds from a slice, nearest AS first.
+    pub fn from_slice(asns: &[Asn]) -> AsPath {
+        AsPath(asns.to_vec())
+    }
+
+    /// Path length in AS hops — the quantity the minimum operator
+    /// compares.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for a locally originated route.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The ASes in order, nearest first.
+    pub fn asns(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// The AS that originated the route (last element), if any.
+    pub fn origin_as(&self) -> Option<Asn> {
+        self.0.last().copied()
+    }
+
+    /// The neighbor the route was learned from (first element), if any.
+    pub fn first_as(&self) -> Option<Asn> {
+        self.0.first().copied()
+    }
+
+    /// Returns a new path with `asn` prepended (what an AS does when it
+    /// propagates a route).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(asn);
+        v.extend_from_slice(&self.0);
+        AsPath(v)
+    }
+
+    /// True if `asn` appears anywhere on the path (BGP loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// True if any AS appears more than once.
+    pub fn has_loop(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.0.len());
+        self.0.iter().any(|a| !seen.insert(a))
+    }
+}
+
+impl std::fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::fmt::Display for AsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "(local)");
+        }
+        let parts: Vec<String> = self.0.iter().map(|a| a.0.to_string()).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+impl Wire for AsPath {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_seq(&self.0, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AsPath(decode_seq(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn path(asns: &[u32]) -> AsPath {
+        AsPath::from_slice(&asns.iter().map(|&a| Asn(a)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = path(&[3, 2, 1]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.first_as(), Some(Asn(3)));
+        assert_eq!(p.origin_as(), Some(Asn(1)));
+        assert!(!p.is_empty());
+        assert!(AsPath::empty().is_empty());
+        assert_eq!(AsPath::empty().origin_as(), None);
+    }
+
+    #[test]
+    fn prepend_preserves_original() {
+        let p = path(&[2, 1]);
+        let q = p.prepend(Asn(3));
+        assert_eq!(q, path(&[3, 2, 1]));
+        assert_eq!(p, path(&[2, 1]));
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(!path(&[3, 2, 1]).has_loop());
+        assert!(path(&[3, 2, 3]).has_loop());
+        assert!(path(&[1, 2, 3]).contains(Asn(2)));
+        assert!(!path(&[1, 2, 3]).contains(Asn(9)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(path(&[3, 2, 1]).to_string(), "3 2 1");
+        assert_eq!(AsPath::empty().to_string(), "(local)");
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let p = path(&[65001, 65002, 65003]);
+        let back: AsPath = pvr_crypto::decode_exact(&p.to_wire()).unwrap();
+        assert_eq!(back, p);
+        let back: AsPath = pvr_crypto::decode_exact(&AsPath::empty().to_wire()).unwrap();
+        assert_eq!(back, AsPath::empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prepend_grows_by_one(asns in proptest::collection::vec(any::<u32>(), 0..12),
+                                     head in any::<u32>()) {
+            let p = path(&asns);
+            let q = p.prepend(Asn(head));
+            prop_assert_eq!(q.len(), p.len() + 1);
+            prop_assert_eq!(q.first_as(), Some(Asn(head)));
+            prop_assert!(q.contains(Asn(head)));
+        }
+
+        #[test]
+        fn prop_wire_round_trip(asns in proptest::collection::vec(any::<u32>(), 0..16)) {
+            let p = path(&asns);
+            prop_assert_eq!(pvr_crypto::decode_exact::<AsPath>(&p.to_wire()).unwrap(), p);
+        }
+    }
+}

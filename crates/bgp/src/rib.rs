@@ -1,0 +1,269 @@
+//! Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+//!
+//! The Adj-RIB-In is exactly the "set of input routes the AS might
+//! receive" against which the paper defines promise violations (§2); the
+//! Adj-RIB-Out is what it actually emitted. Keeping all three explicit
+//! lets PVR's verifier and the experiments compare permitted vs. actual
+//! outputs directly.
+
+use crate::decision::{best, Candidate};
+use crate::route::Route;
+use crate::types::{Asn, Prefix};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Routes received from each neighbor, per prefix (post-import-policy).
+#[derive(Clone, Debug, Default)]
+pub struct AdjRibIn {
+    routes: BTreeMap<Prefix, BTreeMap<Asn, Route>>,
+}
+
+impl AdjRibIn {
+    /// Creates an empty RIB.
+    pub fn new() -> AdjRibIn {
+        AdjRibIn::default()
+    }
+
+    /// Records `route` from `neighbor`, replacing any previous route for
+    /// the same prefix from that neighbor (BGP implicit withdraw).
+    pub fn insert(&mut self, neighbor: Asn, route: Route) {
+        self.routes.entry(route.prefix).or_default().insert(neighbor, route);
+    }
+
+    /// Removes `neighbor`'s route for `prefix`; returns whether one existed.
+    pub fn remove(&mut self, neighbor: Asn, prefix: Prefix) -> bool {
+        if let Some(per_neighbor) = self.routes.get_mut(&prefix) {
+            let removed = per_neighbor.remove(&neighbor).is_some();
+            if per_neighbor.is_empty() {
+                self.routes.remove(&prefix);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// All candidates for `prefix`, in deterministic (ASN) order.
+    pub fn candidates(&self, prefix: Prefix) -> Vec<Candidate> {
+        self.routes
+            .get(&prefix)
+            .map(|per| {
+                per.iter()
+                    .map(|(&n, r)| Candidate::from_neighbor(r.clone(), n))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The route `neighbor` currently advertises for `prefix`, if any.
+    pub fn get(&self, neighbor: Asn, prefix: Prefix) -> Option<&Route> {
+        self.routes.get(&prefix)?.get(&neighbor)
+    }
+
+    /// All prefixes with at least one route.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Total number of (neighbor, prefix) entries.
+    pub fn len(&self) -> usize {
+        self.routes.values().map(|m| m.len()).sum()
+    }
+
+    /// True if no routes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// The selected best route per prefix, plus locally originated routes.
+#[derive(Clone, Debug, Default)]
+pub struct LocRib {
+    best: BTreeMap<Prefix, Candidate>,
+}
+
+impl LocRib {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> LocRib {
+        LocRib::default()
+    }
+
+    /// Recomputes the best route for `prefix` from `adj_in` plus any
+    /// locally originated candidate. Returns `true` if the selection
+    /// changed (the trigger for re-advertisement).
+    pub fn reselect(
+        &mut self,
+        prefix: Prefix,
+        adj_in: &AdjRibIn,
+        local: Option<&Candidate>,
+    ) -> bool {
+        let mut candidates = adj_in.candidates(prefix);
+        if let Some(l) = local {
+            candidates.push(l.clone());
+        }
+        let new_best = best(&candidates).cloned();
+        let changed = self.best.get(&prefix) != new_best.as_ref();
+        match new_best {
+            Some(b) => {
+                self.best.insert(prefix, b);
+            }
+            None => {
+                self.best.remove(&prefix);
+            }
+        }
+        changed
+    }
+
+    /// The current selection for `prefix`.
+    pub fn get(&self, prefix: Prefix) -> Option<&Candidate> {
+        self.best.get(&prefix)
+    }
+
+    /// All selected prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.best.keys().copied()
+    }
+
+    /// Number of selected routes.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// What we last advertised to each neighbor (needed to generate
+/// withdrawals and to audit our own promises).
+#[derive(Clone, Debug, Default)]
+pub struct AdjRibOut {
+    routes: BTreeMap<Asn, BTreeMap<Prefix, Route>>,
+}
+
+impl AdjRibOut {
+    /// Creates an empty RIB.
+    pub fn new() -> AdjRibOut {
+        AdjRibOut::default()
+    }
+
+    /// Records an advertisement of `route` to `neighbor`; returns the
+    /// replaced route, if any.
+    pub fn advertise(&mut self, neighbor: Asn, route: Route) -> Option<Route> {
+        self.routes.entry(neighbor).or_default().insert(route.prefix, route)
+    }
+
+    /// Records a withdrawal; returns the withdrawn route, if any.
+    pub fn withdraw(&mut self, neighbor: Asn, prefix: Prefix) -> Option<Route> {
+        let per = self.routes.get_mut(&neighbor)?;
+        let r = per.remove(&prefix);
+        if per.is_empty() {
+            self.routes.remove(&neighbor);
+        }
+        r
+    }
+
+    /// What `neighbor` currently believes we advertise for `prefix`.
+    pub fn get(&self, neighbor: Asn, prefix: Prefix) -> Option<&Route> {
+        self.routes.get(&neighbor)?.get(&prefix)
+    }
+
+    /// Neighbors with at least one advertised route.
+    pub fn neighbors(&self) -> BTreeSet<Asn> {
+        self.routes.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::AsPath;
+
+    fn prefix() -> Prefix {
+        Prefix::parse("10.0.0.0/8").unwrap()
+    }
+
+    fn route(path: &[u32], lp: u32) -> Route {
+        let mut r = Route::originate(prefix());
+        r.path = AsPath::from_slice(&path.iter().map(|&a| Asn(a)).collect::<Vec<_>>());
+        r.local_pref = lp;
+        r
+    }
+
+    #[test]
+    fn adj_in_implicit_withdraw() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(Asn(1), route(&[1, 9], 100));
+        rib.insert(Asn(1), route(&[1], 100)); // replaces
+        assert_eq!(rib.len(), 1);
+        assert_eq!(rib.get(Asn(1), prefix()).unwrap().path_len(), 1);
+    }
+
+    #[test]
+    fn adj_in_remove() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(Asn(1), route(&[1], 100));
+        assert!(rib.remove(Asn(1), prefix()));
+        assert!(!rib.remove(Asn(1), prefix()));
+        assert!(rib.is_empty());
+        assert_eq!(rib.prefixes().count(), 0);
+    }
+
+    #[test]
+    fn adj_in_candidates_deterministic_order() {
+        let mut rib = AdjRibIn::new();
+        rib.insert(Asn(5), route(&[5], 100));
+        rib.insert(Asn(1), route(&[1], 100));
+        rib.insert(Asn(3), route(&[3], 100));
+        let c = rib.candidates(prefix());
+        let order: Vec<u32> = c.iter().map(|c| c.learned_from.unwrap().0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn loc_rib_selection_and_change_detection() {
+        let mut adj = AdjRibIn::new();
+        let mut loc = LocRib::new();
+        adj.insert(Asn(1), route(&[1, 8, 9], 100));
+        assert!(loc.reselect(prefix(), &adj, None), "first selection is a change");
+        assert_eq!(loc.get(prefix()).unwrap().route.path_len(), 3);
+
+        // A better route arrives.
+        adj.insert(Asn(2), route(&[2], 100));
+        assert!(loc.reselect(prefix(), &adj, None));
+        assert_eq!(loc.get(prefix()).unwrap().learned_from, Some(Asn(2)));
+
+        // Re-running with no change reports no change.
+        assert!(!loc.reselect(prefix(), &adj, None));
+
+        // Withdraw everything.
+        adj.remove(Asn(1), prefix());
+        adj.remove(Asn(2), prefix());
+        assert!(loc.reselect(prefix(), &adj, None));
+        assert!(loc.get(prefix()).is_none());
+        assert!(loc.is_empty());
+    }
+
+    #[test]
+    fn loc_rib_local_candidate_participates() {
+        let adj = AdjRibIn::new();
+        let mut loc = LocRib::new();
+        let local = Candidate::local(route(&[], 100));
+        assert!(loc.reselect(prefix(), &adj, Some(&local)));
+        assert_eq!(loc.get(prefix()).unwrap().learned_from, None);
+        assert_eq!(loc.len(), 1);
+    }
+
+    #[test]
+    fn adj_out_tracks_advertisements() {
+        let mut out = AdjRibOut::new();
+        assert!(out.advertise(Asn(1), route(&[100], 100)).is_none());
+        assert!(out.advertise(Asn(1), route(&[100, 2], 100)).is_some());
+        assert_eq!(out.get(Asn(1), prefix()).unwrap().path_len(), 2);
+        assert_eq!(out.neighbors().len(), 1);
+        assert!(out.withdraw(Asn(1), prefix()).is_some());
+        assert!(out.withdraw(Asn(1), prefix()).is_none());
+        assert!(out.get(Asn(1), prefix()).is_none());
+        assert!(out.neighbors().is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Routes and their attributes.
+//!
+//! A `Route` is the unit PVR's route-flow graphs operate on: the paper's
+//! operators consume "routes and sets of routes, but also communities,
+//! AS paths, prefixes, etc." (§2.1). We carry the attributes the
+//! standard decision process ranks, plus communities for policy tagging.
+
+use crate::path::AsPath;
+use crate::types::{Asn, Prefix};
+use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+
+/// BGP ORIGIN attribute (ranked IGP < EGP < INCOMPLETE).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Origin {
+    /// Learned from an interior protocol.
+    #[default]
+    Igp,
+    /// Learned via EGP.
+    Egp,
+    /// Unknown provenance.
+    Incomplete,
+}
+
+impl Wire for Origin {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(Origin::Igp),
+            1 => Ok(Origin::Egp),
+            2 => Ok(Origin::Incomplete),
+            _ => Err(WireError::Invalid("origin discriminant")),
+        }
+    }
+}
+
+/// A BGP community value `asn:tag`, used by export policies (e.g.
+/// region tagging for partial transit).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Community(pub u16, pub u16);
+
+impl Community {
+    /// Well-known NO_EXPORT.
+    pub const NO_EXPORT: Community = Community(0xffff, 0xff01);
+}
+
+impl std::fmt::Debug for Community {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.0, self.1)
+    }
+}
+
+impl Wire for Community {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Community(u16::decode(r)?, u16::decode(r)?))
+    }
+}
+
+/// A route to a prefix with its path attributes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// AS-level path, nearest AS first.
+    pub path: AsPath,
+    /// LOCAL_PREF (import policy sets this; higher wins).
+    pub local_pref: u32,
+    /// Multi-exit discriminator (lower wins).
+    pub med: u32,
+    /// ORIGIN attribute.
+    pub origin: Origin,
+    /// Communities, kept sorted and deduplicated.
+    pub communities: Vec<Community>,
+}
+
+impl Route {
+    /// Default LOCAL_PREF applied when no import policy overrides it.
+    pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+    /// A locally originated route for `prefix`.
+    pub fn originate(prefix: Prefix) -> Route {
+        Route {
+            prefix,
+            path: AsPath::empty(),
+            local_pref: Self::DEFAULT_LOCAL_PREF,
+            med: 0,
+            origin: Origin::Igp,
+            communities: Vec::new(),
+        }
+    }
+
+    /// Hop count of the AS path.
+    pub fn path_len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Adds a community (idempotent, keeps order canonical).
+    pub fn with_community(mut self, c: Community) -> Route {
+        if let Err(pos) = self.communities.binary_search(&c) {
+            self.communities.insert(pos, c);
+        }
+        self
+    }
+
+    /// True if the route carries `c`.
+    pub fn has_community(&self, c: Community) -> bool {
+        self.communities.binary_search(&c).is_ok()
+    }
+
+    /// The route as propagated by `asn` to a neighbor: path prepended,
+    /// LOCAL_PREF and MED reset (they are not transitive across eBGP).
+    pub fn propagated_by(&self, asn: Asn) -> Route {
+        Route {
+            prefix: self.prefix,
+            path: self.path.prepend(asn),
+            local_pref: Self::DEFAULT_LOCAL_PREF,
+            med: 0,
+            origin: self.origin,
+            communities: self.communities.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for Route {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} via [{}] lp={}", self.prefix, self.path, self.local_pref)
+    }
+}
+
+impl Wire for Route {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.prefix.encode(buf);
+        self.path.encode(buf);
+        self.local_pref.encode(buf);
+        self.med.encode(buf);
+        self.origin.encode(buf);
+        encode_seq(&self.communities, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Route {
+            prefix: Prefix::decode(r)?,
+            path: AsPath::decode(r)?,
+            local_pref: u32::decode(r)?,
+            med: u32::decode(r)?,
+            origin: Origin::decode(r)?,
+            communities: decode_seq(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix() -> Prefix {
+        Prefix::parse("10.0.0.0/8").unwrap()
+    }
+
+    #[test]
+    fn origination() {
+        let r = Route::originate(prefix());
+        assert_eq!(r.path_len(), 0);
+        assert_eq!(r.local_pref, 100);
+        assert!(r.communities.is_empty());
+    }
+
+    #[test]
+    fn propagation_prepends_and_resets() {
+        let mut r = Route::originate(prefix());
+        r.local_pref = 500;
+        r.med = 9;
+        let p = r.propagated_by(Asn(1)).propagated_by(Asn(2));
+        assert_eq!(p.path.asns(), &[Asn(2), Asn(1)]);
+        assert_eq!(p.local_pref, Route::DEFAULT_LOCAL_PREF);
+        assert_eq!(p.med, 0);
+    }
+
+    #[test]
+    fn communities_canonical() {
+        let r = Route::originate(prefix())
+            .with_community(Community(65000, 2))
+            .with_community(Community(65000, 1))
+            .with_community(Community(65000, 2)); // duplicate
+        assert_eq!(r.communities, vec![Community(65000, 1), Community(65000, 2)]);
+        assert!(r.has_community(Community(65000, 1)));
+        assert!(!r.has_community(Community(65000, 3)));
+    }
+
+    #[test]
+    fn communities_survive_propagation() {
+        let r = Route::originate(prefix()).with_community(Community::NO_EXPORT);
+        assert!(r.propagated_by(Asn(5)).has_community(Community::NO_EXPORT));
+    }
+
+    #[test]
+    fn origin_ranking_order() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let r = Route::originate(prefix())
+            .with_community(Community(1, 2))
+            .propagated_by(Asn(7));
+        let back: Route = pvr_crypto::decode_exact(&r.to_wire()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn wire_rejects_bad_origin() {
+        let mut bytes = Route::originate(prefix()).to_wire();
+        // origin is right after prefix(5) + path(4 for empty) + lp(4) + med(4)
+        bytes[5 + 4 + 4 + 4] = 9;
+        assert!(pvr_crypto::decode_exact::<Route>(&bytes).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Route::originate(prefix()).propagated_by(Asn(3));
+        assert!(r.to_string().contains("10.0.0.0/8"));
+        assert!(r.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,403 @@
+//! The BGP speaker: a [`pvr_netsim::Agent`] that maintains RIBs, runs
+//! the decision process, applies policy, and (optionally) signs and
+//! verifies route attestations.
+//!
+//! Implemented features: UPDATE processing with implicit withdraw,
+//! per-neighbor export with Gao–Rexford/partial-transit policy,
+//! loop rejection, S-BGP attestation signing/verification, scheduled
+//! originations/withdrawals (for workloads), per-router statistics.
+//!
+//! Documented omissions: no session FSM (no OPEN/KEEPALIVE), no MRAI
+//! batching timer (updates propagate immediately; burst batching is
+//! evaluated separately in experiment E5), no iBGP, no aggregation.
+
+use crate::decision::Candidate;
+use crate::messages::BgpUpdate;
+use crate::policy::PolicyConfig;
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib};
+use crate::route::Route;
+use crate::sbgp::SignedRoute;
+use crate::types::{Asn, Prefix};
+use pvr_crypto::keys::{Identity, KeyStore};
+use pvr_netsim::{Agent, Context, NodeId, SimDuration};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A scheduled local action (drives workloads without an extra agent).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalEvent {
+    /// Start originating `prefix`.
+    Announce(Prefix),
+    /// Stop originating `prefix`.
+    Withdraw(Prefix),
+}
+
+/// Security mode for a router.
+pub enum SecurityMode {
+    /// Plain BGP: no signatures.
+    Plain,
+    /// S-BGP mode: sign own announcements, verify received chains, drop
+    /// announcements that fail verification.
+    Signed {
+        /// This AS's signing identity.
+        identity: Identity,
+        /// Public keys of all ASes.
+        keys: Arc<KeyStore>,
+    },
+}
+
+/// Per-router counters (inputs to experiment E8's overhead table).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// UPDATE messages received.
+    pub updates_rx: u64,
+    /// UPDATE messages sent.
+    pub updates_tx: u64,
+    /// Routes accepted into Adj-RIB-In.
+    pub routes_accepted: u64,
+    /// Routes rejected by import policy (incl. loops).
+    pub routes_rejected: u64,
+    /// Announcements dropped due to attestation failures.
+    pub attestation_failures: u64,
+    /// Decision-process runs that changed the best route.
+    pub best_changes: u64,
+}
+
+/// Reserved timer id for the MRAI flush (schedule timers use indices,
+/// which can never reach this value).
+const MRAI_TIMER: u64 = u64::MAX;
+
+/// A BGP speaker for one AS.
+pub struct BgpRouter {
+    asn: Asn,
+    policy: PolicyConfig,
+    security: SecurityMode,
+    /// Neighbor AS → simulator node.
+    neighbor_nodes: BTreeMap<Asn, NodeId>,
+    /// Scheduled announce/withdraw actions: (delay, event).
+    schedule: Vec<(SimDuration, LocalEvent)>,
+    /// Prefixes originated at start.
+    originate_at_start: Vec<Prefix>,
+
+    adj_in: AdjRibIn,
+    loc_rib: LocRib,
+    adj_out: AdjRibOut,
+    /// Attestation chains for routes in Adj-RIB-In (signed mode).
+    chains_in: BTreeMap<(Asn, Prefix), SignedRoute>,
+    /// Currently originated prefixes.
+    local: BTreeMap<Prefix, Candidate>,
+    /// Minimum route advertisement interval: when set, outgoing updates
+    /// are buffered and flushed at most once per interval (RFC 4271
+    /// §9.2.1.1, simplified to a router-level timer).
+    mrai: Option<SimDuration>,
+    /// Buffered updates awaiting the next MRAI tick.
+    mrai_buffer: BTreeMap<NodeId, BgpUpdate>,
+    /// Whether an MRAI flush timer is currently armed.
+    mrai_armed: bool,
+    stats: RouterStats,
+}
+
+impl BgpRouter {
+    /// Creates a router for `asn` with the given policy and security mode.
+    pub fn new(asn: Asn, policy: PolicyConfig, security: SecurityMode) -> BgpRouter {
+        BgpRouter {
+            asn,
+            policy,
+            security,
+            neighbor_nodes: BTreeMap::new(),
+            schedule: Vec::new(),
+            originate_at_start: Vec::new(),
+            adj_in: AdjRibIn::new(),
+            loc_rib: LocRib::new(),
+            adj_out: AdjRibOut::new(),
+            chains_in: BTreeMap::new(),
+            local: BTreeMap::new(),
+            mrai: None,
+            mrai_buffer: BTreeMap::new(),
+            mrai_armed: false,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Enables MRAI batching: updates are buffered and flushed at most
+    /// once per `interval`.
+    pub fn set_mrai(&mut self, interval: SimDuration) {
+        self.mrai = Some(interval);
+    }
+
+    /// Registers a neighbor and the simulator node it lives at.
+    pub fn add_neighbor(&mut self, asn: Asn, node: NodeId) {
+        self.neighbor_nodes.insert(asn, node);
+    }
+
+    /// Originates `prefix` when the simulation starts.
+    pub fn originate(&mut self, prefix: Prefix) {
+        self.originate_at_start.push(prefix);
+    }
+
+    /// Schedules a local announce/withdraw after `delay`.
+    pub fn schedule_event(&mut self, delay: SimDuration, event: LocalEvent) {
+        self.schedule.push((delay, event));
+    }
+
+    /// This router's AS number.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// The current best route for `prefix`, if any.
+    pub fn best_route(&self, prefix: Prefix) -> Option<&Candidate> {
+        self.loc_rib.get(prefix)
+    }
+
+    /// What this router last advertised to `neighbor` for `prefix`.
+    pub fn advertised_to(&self, neighbor: Asn, prefix: Prefix) -> Option<&Route> {
+        self.adj_out.get(neighbor, prefix)
+    }
+
+    /// The post-import route currently held from `neighbor` for `prefix`.
+    pub fn route_from(&self, neighbor: Asn, prefix: Prefix) -> Option<&Route> {
+        self.adj_in.get(neighbor, prefix)
+    }
+
+    /// Read access to the import policy.
+    pub fn policy(&self) -> &PolicyConfig {
+        &self.policy
+    }
+
+    /// The attested announcement (with its full chain) currently held
+    /// from `neighbor` for `prefix` — what a PVR committer feeds into a
+    /// round, and what a provider presents as `IgnoredInput` evidence.
+    pub fn received_chain(&self, neighbor: Asn, prefix: Prefix) -> Option<&SignedRoute> {
+        self.chains_in.get(&(neighbor, prefix))
+    }
+
+    /// All prefixes currently selected in the Loc-RIB.
+    pub fn selected_prefixes(&self) -> Vec<Prefix> {
+        self.loc_rib.prefixes().collect()
+    }
+
+    fn start_originating(&mut self, prefix: Prefix) {
+        let route = Route::originate(prefix);
+        self.local.insert(prefix, Candidate::local(route));
+    }
+
+    /// Runs the decision process for `prefix`; on change, advertises or
+    /// withdraws toward every neighbor per export policy. Outgoing
+    /// updates are merged into `pending` (one UPDATE per neighbor).
+    fn reselect_and_export(
+        &mut self,
+        prefix: Prefix,
+        pending: &mut BTreeMap<NodeId, BgpUpdate>,
+    ) {
+        let changed = self.loc_rib.reselect(prefix, &self.adj_in, self.local.get(&prefix));
+        if !changed {
+            return;
+        }
+        self.stats.best_changes += 1;
+        let best = self.loc_rib.get(prefix).cloned();
+        let neighbor_list: Vec<(Asn, NodeId)> =
+            self.neighbor_nodes.iter().map(|(&a, &n)| (a, n)).collect();
+        for (neighbor, node) in neighbor_list {
+            let exportable = best.as_ref().filter(|cand| {
+                self.policy.may_export(&cand.route, cand.learned_from, neighbor)
+            });
+            match exportable {
+                Some(cand) => {
+                    let out_route = cand.route.propagated_by(self.asn);
+                    // Skip if identical to what the neighbor already has.
+                    if self.adj_out.get(neighbor, prefix) == Some(&out_route) {
+                        continue;
+                    }
+                    let signed = self.sign_for(cand, &out_route, neighbor);
+                    self.adj_out.advertise(neighbor, out_route);
+                    pending.entry(node).or_default().announces.push(signed);
+                }
+                None => {
+                    if self.adj_out.withdraw(neighbor, prefix).is_some() {
+                        pending.entry(node).or_default().withdraws.push(prefix);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the (possibly attested) announcement of `out_route` to
+    /// `neighbor`, extending the received chain when one exists.
+    fn sign_for(&self, cand: &Candidate, out_route: &Route, neighbor: Asn) -> SignedRoute {
+        match &self.security {
+            SecurityMode::Plain => SignedRoute::unsigned(out_route.clone()),
+            SecurityMode::Signed { identity, .. } => match cand.learned_from {
+                None => SignedRoute::originate(identity, out_route.clone(), neighbor),
+                Some(from) => {
+                    let received = self
+                        .chains_in
+                        .get(&(from, out_route.prefix))
+                        .expect("signed mode: chain must exist for learned route");
+                    SignedRoute::extend(received, identity, out_route.clone(), neighbor)
+                }
+            },
+        }
+    }
+
+    /// Processes one announcement from `from`; returns the prefix if the
+    /// Adj-RIB-In changed.
+    fn process_announce(&mut self, from: Asn, sr: SignedRoute) -> Option<Prefix> {
+        // Attestation check first (signed mode only).
+        if let SecurityMode::Signed { keys, .. } = &self.security {
+            if let Err(_e) = sr.verify(self.asn, keys) {
+                self.stats.attestation_failures += 1;
+                return None;
+            }
+            // The claimed first AS must be the actual sender.
+            if sr.route.path.first_as() != Some(from) {
+                self.stats.attestation_failures += 1;
+                return None;
+            }
+        }
+        let prefix = sr.route.prefix;
+        match self.policy.import(self.asn, from, sr.route.clone()) {
+            Some(imported) => {
+                self.stats.routes_accepted += 1;
+                self.adj_in.insert(from, imported);
+                self.chains_in.insert((from, prefix), sr);
+                Some(prefix)
+            }
+            None => {
+                self.stats.routes_rejected += 1;
+                // An unimportable announcement still implicitly withdraws
+                // any previous route from this neighbor.
+                if self.adj_in.remove(from, prefix) {
+                    self.chains_in.remove(&(from, prefix));
+                    Some(prefix)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Context<BgpUpdate>, pending: BTreeMap<NodeId, BgpUpdate>) {
+        match self.mrai {
+            None => {
+                for (node, update) in pending {
+                    if !update.is_empty() {
+                        self.stats.updates_tx += 1;
+                        ctx.send(node, update);
+                    }
+                }
+            }
+            Some(interval) => {
+                let mut buffered_any = false;
+                for (node, update) in pending {
+                    if update.is_empty() {
+                        continue;
+                    }
+                    self.mrai_buffer.entry(node).or_default().merge(update);
+                    buffered_any = true;
+                }
+                if buffered_any && !self.mrai_armed {
+                    self.mrai_armed = true;
+                    ctx.set_timer(interval, MRAI_TIMER);
+                }
+            }
+        }
+    }
+
+    /// Sends everything in the MRAI buffer.
+    fn flush_mrai_buffer(&mut self, ctx: &mut Context<BgpUpdate>) {
+        self.mrai_armed = false;
+        for (node, update) in std::mem::take(&mut self.mrai_buffer) {
+            if !update.is_empty() {
+                self.stats.updates_tx += 1;
+                ctx.send(node, update);
+            }
+        }
+    }
+}
+
+impl Agent<BgpUpdate> for BgpRouter {
+    fn on_start(&mut self, ctx: &mut Context<BgpUpdate>) {
+        for (i, (delay, _)) in self.schedule.iter().enumerate() {
+            ctx.set_timer(*delay, i as u64);
+        }
+        let prefixes = std::mem::take(&mut self.originate_at_start);
+        let mut pending = BTreeMap::new();
+        for prefix in prefixes {
+            self.start_originating(prefix);
+            self.reselect_and_export(prefix, &mut pending);
+        }
+        self.flush(ctx, pending);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<BgpUpdate>, from_node: NodeId, msg: BgpUpdate) {
+        self.stats.updates_rx += 1;
+        // Identify the sending AS from the node id.
+        let from = match self
+            .neighbor_nodes
+            .iter()
+            .find(|(_, &n)| n == from_node)
+            .map(|(&a, _)| a)
+        {
+            Some(a) => a,
+            None => return, // not a configured neighbor: ignore
+        };
+        let mut touched = Vec::new();
+        for prefix in msg.withdraws {
+            if self.adj_in.remove(from, prefix) {
+                self.chains_in.remove(&(from, prefix));
+                touched.push(prefix);
+            }
+        }
+        for sr in msg.announces {
+            if let Some(p) = self.process_announce(from, sr) {
+                touched.push(p);
+            }
+        }
+        let mut pending = BTreeMap::new();
+        touched.sort();
+        touched.dedup();
+        for prefix in touched {
+            self.reselect_and_export(prefix, &mut pending);
+        }
+        self.flush(ctx, pending);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<BgpUpdate>, timer: u64) {
+        if timer == MRAI_TIMER {
+            self.flush_mrai_buffer(ctx);
+            return;
+        }
+        let (_, event) = match self.schedule.get(timer as usize) {
+            Some(e) => e.clone(),
+            None => return,
+        };
+        let prefix = match event {
+            LocalEvent::Announce(p) => {
+                self.start_originating(p);
+                p
+            }
+            LocalEvent::Withdraw(p) => {
+                self.local.remove(&p);
+                p
+            }
+        };
+        let mut pending = BTreeMap::new();
+        self.reselect_and_export(prefix, &mut pending);
+        self.flush(ctx, pending);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

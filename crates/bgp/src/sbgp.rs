@@ -1,0 +1,408 @@
+//! S-BGP-style route attestations.
+//!
+//! The paper builds on secure BGP (§1, citing Kent et al. \[13\]): "Secure
+//! variants of BGP, such as S-BGP, have been proposed as mechanisms for
+//! ISPs to check that a routing announcement does correspond to the
+//! claimed path and destination" — and PVR's condition 1 (§3.2) relies on
+//! exactly this: "To support condition 1, we can sign all the routing
+//! announcements."
+//!
+//! Construction: when AS `s` announces prefix `p` with path `P` to
+//! neighbor `t`, it appends an attestation — its signature over
+//! `(p, P, t)`. The chain of attestations, one per AS on the path, proves
+//! that every hop authorized the announcement to the next hop, so a
+//! receiver can check that the route "was provided to A by some N_i".
+//!
+//! Not covered by signatures (as in real S-BGP): LOCAL_PREF, MED, and
+//! communities — they are non-transitive or locally meaningful.
+
+use crate::path::AsPath;
+use crate::route::Route;
+use crate::types::{Asn, Prefix};
+use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+use pvr_crypto::keys::{Identity, KeyStore};
+use pvr_crypto::rsa::RsaSignature;
+
+/// One hop's signature over (prefix, path-so-far, intended receiver).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Attestation {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The path at signing time, nearest AS (the signer) first.
+    pub path: AsPath,
+    /// The AS the announcement was directed to.
+    pub target: Asn,
+    /// The signing AS (must equal `path.first_as()`).
+    pub signer: Asn,
+    /// Signature over the canonical encoding of the above.
+    pub signature: RsaSignature,
+}
+
+impl Attestation {
+    fn signed_bytes(prefix: &Prefix, path: &AsPath, target: Asn, signer: Asn) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(b"pvr.sbgp.v1");
+        prefix.encode(&mut buf);
+        path.encode(&mut buf);
+        target.encode(&mut buf);
+        signer.encode(&mut buf);
+        buf
+    }
+
+    /// Creates `identity`'s attestation for announcing (`prefix`, `path`)
+    /// to `target`.
+    pub fn create(identity: &Identity, prefix: Prefix, path: &AsPath, target: Asn) -> Attestation {
+        let signer = Asn(identity.id() as u32);
+        debug_assert_eq!(path.first_as(), Some(signer), "signer must head the path");
+        let bytes = Self::signed_bytes(&prefix, path, target, signer);
+        Attestation {
+            prefix,
+            path: path.clone(),
+            target,
+            signer,
+            signature: identity.sign(&bytes),
+        }
+    }
+
+    /// Verifies the signature.
+    pub fn verify(&self, keys: &KeyStore) -> Result<(), SbgpError> {
+        let bytes = Self::signed_bytes(&self.prefix, &self.path, self.target, self.signer);
+        keys.verify(self.signer.principal(), &bytes, &self.signature)
+            .map_err(|_| SbgpError::BadSignature(self.signer))
+    }
+}
+
+impl Wire for Attestation {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.prefix.encode(buf);
+        self.path.encode(buf);
+        self.target.encode(buf);
+        self.signer.encode(buf);
+        self.signature.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Attestation {
+            prefix: Prefix::decode(r)?,
+            path: AsPath::decode(r)?,
+            target: Asn::decode(r)?,
+            signer: Asn::decode(r)?,
+            signature: RsaSignature::decode(r)?,
+        })
+    }
+}
+
+/// A route bundled with its attestation chain (origin's attestation
+/// first). An empty chain means the route is unsigned (plain BGP mode).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedRoute {
+    /// The route as announced.
+    pub route: Route,
+    /// Attestations, origin first; length equals the path length when
+    /// signed, zero when unsigned.
+    pub attestations: Vec<Attestation>,
+}
+
+impl SignedRoute {
+    /// Wraps a route without signatures (plain BGP).
+    pub fn unsigned(route: Route) -> SignedRoute {
+        SignedRoute { route, attestations: Vec::new() }
+    }
+
+    /// True if the route carries an attestation chain.
+    pub fn is_signed(&self) -> bool {
+        !self.attestations.is_empty()
+    }
+
+    /// Originates a signed route: `identity`'s AS announces its own
+    /// prefix to `target`. The route's path must be exactly `[signer]`.
+    pub fn originate(identity: &Identity, route: Route, target: Asn) -> SignedRoute {
+        assert_eq!(
+            route.path.asns(),
+            &[Asn(identity.id() as u32)],
+            "origination path must be [self]"
+        );
+        let att = Attestation::create(identity, route.prefix, &route.path, target);
+        SignedRoute { route, attestations: vec![att] }
+    }
+
+    /// Extends a received signed route for re-announcement: `identity`'s
+    /// AS prepends itself (already done in `route`) and signs toward
+    /// `target`. `route.path` must start with the signer and continue
+    /// with the received chain's path.
+    pub fn extend(received: &SignedRoute, identity: &Identity, route: Route, target: Asn) -> SignedRoute {
+        debug_assert_eq!(route.path.first_as(), Some(Asn(identity.id() as u32)));
+        let att = Attestation::create(identity, route.prefix, &route.path, target);
+        let mut attestations = received.attestations.clone();
+        attestations.push(att);
+        SignedRoute { route, attestations }
+    }
+
+    /// Verifies the whole chain for an announcement delivered to
+    /// `receiver`. Checks, per §1's S-BGP description, that the
+    /// announcement corresponds to the claimed path and destination:
+    ///
+    /// * one attestation per AS on the path, origin first;
+    /// * each attestation's path is the correct suffix of the route path;
+    /// * each attestation's target is the next AS (the last one's is
+    ///   `receiver`);
+    /// * every signature verifies.
+    pub fn verify(&self, receiver: Asn, keys: &KeyStore) -> Result<(), SbgpError> {
+        let path = self.route.path.asns();
+        if path.is_empty() {
+            return Err(SbgpError::EmptyPath);
+        }
+        if self.route.path.has_loop() {
+            return Err(SbgpError::PathLoop);
+        }
+        if self.attestations.len() != path.len() {
+            return Err(SbgpError::ChainLength {
+                expected: path.len(),
+                got: self.attestations.len(),
+            });
+        }
+        let m = path.len();
+        for (j, att) in self.attestations.iter().enumerate() {
+            // Attestation j (origin first) was made by path[m-1-j].
+            let signer_idx = m - 1 - j;
+            let expected_signer = path[signer_idx];
+            let expected_target = if signer_idx == 0 { receiver } else { path[signer_idx - 1] };
+            if att.signer != expected_signer {
+                return Err(SbgpError::WrongSigner { expected: expected_signer, got: att.signer });
+            }
+            if att.prefix != self.route.prefix {
+                return Err(SbgpError::PrefixMismatch);
+            }
+            if att.path.asns() != &path[signer_idx..] {
+                return Err(SbgpError::PathMismatch(att.signer));
+            }
+            if att.target != expected_target {
+                return Err(SbgpError::WrongTarget { expected: expected_target, got: att.target });
+            }
+            att.verify(keys)?;
+        }
+        Ok(())
+    }
+}
+
+impl Wire for SignedRoute {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.route.encode(buf);
+        encode_seq(&self.attestations, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedRoute {
+            route: Route::decode(r)?,
+            attestations: decode_seq(r)?,
+        })
+    }
+}
+
+/// Attestation-chain verification failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SbgpError {
+    /// Route has no path (locally originated routes are not announced).
+    EmptyPath,
+    /// Path contains a repeated AS.
+    PathLoop,
+    /// Number of attestations does not match path length.
+    ChainLength {
+        /// Path length.
+        expected: usize,
+        /// Attestation count.
+        got: usize,
+    },
+    /// An attestation was made by the wrong AS.
+    WrongSigner {
+        /// AS that should have signed at this position.
+        expected: Asn,
+        /// AS that actually signed.
+        got: Asn,
+    },
+    /// An attestation covers a different prefix.
+    PrefixMismatch,
+    /// An attestation's path is not the expected suffix.
+    PathMismatch(Asn),
+    /// An attestation was directed at the wrong next hop.
+    WrongTarget {
+        /// Required target.
+        expected: Asn,
+        /// Actual target.
+        got: Asn,
+    },
+    /// A signature failed.
+    BadSignature(Asn),
+}
+
+impl std::fmt::Display for SbgpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SbgpError::EmptyPath => write!(f, "empty AS path"),
+            SbgpError::PathLoop => write!(f, "AS path contains a loop"),
+            SbgpError::ChainLength { expected, got } => {
+                write!(f, "attestation chain length {got}, expected {expected}")
+            }
+            SbgpError::WrongSigner { expected, got } => {
+                write!(f, "attestation signed by {got}, expected {expected}")
+            }
+            SbgpError::PrefixMismatch => write!(f, "attestation prefix mismatch"),
+            SbgpError::PathMismatch(asn) => write!(f, "attestation path mismatch at {asn}"),
+            SbgpError::WrongTarget { expected, got } => {
+                write!(f, "attestation targeted {got}, expected {expected}")
+            }
+            SbgpError::BadSignature(asn) => write!(f, "bad signature from {asn}"),
+        }
+    }
+}
+
+impl std::error::Error for SbgpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvr_crypto::drbg::HmacDrbg;
+
+    fn prefix() -> Prefix {
+        Prefix::parse("10.0.0.0/8").unwrap()
+    }
+
+    /// Identities for AS 1..=4 plus a populated key store.
+    fn setup() -> (Vec<Identity>, KeyStore) {
+        let mut rng = HmacDrbg::new(b"sbgp tests");
+        let ids: Vec<Identity> =
+            (1..=4).map(|a| Identity::generate(a, 512, &mut rng)).collect();
+        let mut keys = KeyStore::new();
+        for id in &ids {
+            keys.register_identity(id);
+        }
+        (ids, keys)
+    }
+
+    /// Builds the chain AS1 → AS2 → AS3 (receiver AS3).
+    fn two_hop_chain(ids: &[Identity]) -> SignedRoute {
+        let mut r1 = Route::originate(prefix());
+        r1.path = AsPath::from_slice(&[Asn(1)]);
+        let sr1 = SignedRoute::originate(&ids[0], r1, Asn(2));
+        // AS2 re-announces to AS3.
+        let r2 = {
+            let mut r = sr1.route.clone().propagated_by(Asn(2));
+            r.prefix = sr1.route.prefix;
+            r
+        };
+        SignedRoute::extend(&sr1, &ids[1], r2, Asn(3))
+    }
+
+    #[test]
+    fn valid_chain_verifies() {
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        assert!(sr.verify(Asn(3), &keys).is_ok());
+    }
+
+    #[test]
+    fn wrong_receiver_rejected() {
+        // AS3 forwarding AS2's announcement to AS4 unchanged must fail:
+        // the top attestation targets AS3, not AS4 (cut-and-paste attack).
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        assert_eq!(
+            sr.verify(Asn(4), &keys),
+            Err(SbgpError::WrongTarget { expected: Asn(4), got: Asn(3) })
+        );
+    }
+
+    #[test]
+    fn truncated_chain_rejected() {
+        // Path shortening attack: AS3 strips AS2 from the path.
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        let mut forged = sr.clone();
+        forged.route.path = AsPath::from_slice(&[Asn(2)]);
+        assert!(matches!(
+            forged.verify(Asn(3), &keys),
+            Err(SbgpError::ChainLength { .. })
+        ));
+    }
+
+    #[test]
+    fn path_insertion_rejected() {
+        // AS3 invents a shorter-looking path it never received.
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        let mut forged = sr.clone();
+        forged.route.path = AsPath::from_slice(&[Asn(4), Asn(2), Asn(1)]);
+        assert!(forged.verify(Asn(3), &keys).is_err());
+    }
+
+    #[test]
+    fn tampered_prefix_rejected() {
+        let (ids, keys) = setup();
+        let mut sr = two_hop_chain(&ids);
+        sr.route.prefix = Prefix::parse("192.168.0.0/16").unwrap();
+        assert!(sr.verify(Asn(3), &keys).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (ids, keys) = setup();
+        let mut sr = two_hop_chain(&ids);
+        sr.attestations[0].signature.0[5] ^= 1;
+        assert_eq!(sr.verify(Asn(3), &keys), Err(SbgpError::BadSignature(Asn(1))));
+    }
+
+    #[test]
+    fn looped_path_rejected() {
+        let (ids, keys) = setup();
+        let mut sr = two_hop_chain(&ids);
+        sr.route.path = AsPath::from_slice(&[Asn(2), Asn(1), Asn(2)]);
+        sr.attestations.push(sr.attestations[1].clone());
+        assert_eq!(sr.verify(Asn(3), &keys), Err(SbgpError::PathLoop));
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let (_, keys) = setup();
+        let sr = SignedRoute::unsigned(Route::originate(prefix()));
+        assert_eq!(sr.verify(Asn(3), &keys), Err(SbgpError::EmptyPath));
+    }
+
+    #[test]
+    fn attributes_not_covered_by_signature() {
+        // LOCAL_PREF changes must not invalidate the chain (non-transitive
+        // attributes are outside the attestation, as in real S-BGP).
+        let (ids, keys) = setup();
+        let mut sr = two_hop_chain(&ids);
+        sr.route.local_pref = 999;
+        sr.route.med = 7;
+        assert!(sr.verify(Asn(3), &keys).is_ok());
+    }
+
+    #[test]
+    fn unsigned_round_trip() {
+        let sr = SignedRoute::unsigned(Route::originate(prefix()));
+        assert!(!sr.is_signed());
+        let back: SignedRoute = pvr_crypto::decode_exact(&sr.to_wire()).unwrap();
+        assert_eq!(back, sr);
+    }
+
+    #[test]
+    fn signed_wire_round_trip() {
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        let back: SignedRoute = pvr_crypto::decode_exact(&sr.to_wire()).unwrap();
+        assert_eq!(back, sr);
+        assert!(back.verify(Asn(3), &keys).is_ok());
+    }
+
+    #[test]
+    fn three_hop_chain() {
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        // AS3 extends to AS4.
+        let r3 = sr.route.clone().propagated_by(Asn(3));
+        let sr3 = SignedRoute::extend(&sr, &ids[2], r3, Asn(4));
+        assert!(sr3.verify(Asn(4), &keys).is_ok());
+        assert_eq!(sr3.attestations.len(), 3);
+        // And the intermediate receiver can no longer be claimed.
+        assert!(sr3.verify(Asn(3), &keys).is_err());
+    }
+}

@@ -1,0 +1,530 @@
+//! AS-level topologies: builder, instantiation, and generators.
+//!
+//! Provides the scenarios the paper's figures describe (Figure 1's star
+//! around network A, with provider chains of configurable length so the
+//! minimum operator has something to minimize) and Internet-like
+//! topologies (tier-1 clique / tier-2 / stubs with Gao–Rexford roles)
+//! for the scale experiment E8.
+
+use crate::messages::BgpUpdate;
+use crate::policy::{PolicyConfig, Role};
+use crate::route::Community;
+use crate::router::{BgpRouter, LocalEvent, SecurityMode};
+use crate::types::{Asn, Prefix};
+use pvr_crypto::drbg::HmacDrbg;
+use pvr_crypto::keys::{Identity, KeyStore};
+use pvr_netsim::{LinkConfig, NodeId, RunLimits, SimDuration, Simulator, StopReason};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// An AS-to-AS business relationship edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Edge {
+    /// `provider` sells full transit to `customer`.
+    ProviderCustomer {
+        /// Transit seller.
+        provider: Asn,
+        /// Transit buyer.
+        customer: Asn,
+    },
+    /// Settlement-free peering.
+    Peering(Asn, Asn),
+    /// `provider` sells *partial* transit to `customer`, limited to
+    /// routes tagged with `region`.
+    PartialTransit {
+        /// Transit seller.
+        provider: Asn,
+        /// Partial-transit buyer.
+        customer: Asn,
+        /// Contracted route subset.
+        region: Community,
+    },
+}
+
+/// A declarative AS-level topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    ases: BTreeSet<Asn>,
+    edges: Vec<Edge>,
+    originations: BTreeMap<Asn, Vec<Prefix>>,
+    /// (local, neighbor, community): local tags routes imported from
+    /// neighbor with the community (enables partial-transit selections).
+    region_tags: Vec<(Asn, Asn, Community)>,
+    schedules: Vec<(Asn, SimDuration, LocalEvent)>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Adds an AS (idempotent).
+    pub fn add_as(&mut self, asn: Asn) -> &mut Self {
+        self.ases.insert(asn);
+        self
+    }
+
+    /// Declares `provider` → `customer` transit.
+    pub fn provider_customer(&mut self, provider: Asn, customer: Asn) -> &mut Self {
+        self.add_as(provider).add_as(customer);
+        self.edges.push(Edge::ProviderCustomer { provider, customer });
+        self
+    }
+
+    /// Declares peering between `a` and `b`.
+    pub fn peering(&mut self, a: Asn, b: Asn) -> &mut Self {
+        self.add_as(a).add_as(b);
+        self.edges.push(Edge::Peering(a, b));
+        self
+    }
+
+    /// Declares partial transit from `provider` to `customer` covering
+    /// `region`.
+    pub fn partial_transit(&mut self, provider: Asn, customer: Asn, region: Community) -> &mut Self {
+        self.add_as(provider).add_as(customer);
+        self.edges.push(Edge::PartialTransit { provider, customer, region });
+        self
+    }
+
+    /// `asn` originates `prefix` at simulation start.
+    pub fn originate(&mut self, asn: Asn, prefix: Prefix) -> &mut Self {
+        self.add_as(asn);
+        self.originations.entry(asn).or_default().push(prefix);
+        self
+    }
+
+    /// `local` stamps routes imported from `neighbor` with `region`.
+    pub fn tag_region(&mut self, local: Asn, neighbor: Asn, region: Community) -> &mut Self {
+        self.region_tags.push((local, neighbor, region));
+        self
+    }
+
+    /// Schedules a local event at `asn` after `delay`.
+    pub fn schedule(&mut self, asn: Asn, delay: SimDuration, event: LocalEvent) -> &mut Self {
+        self.add_as(asn);
+        self.schedules.push((asn, delay, event));
+        self
+    }
+
+    /// All declared ASes.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.ases.iter().copied()
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Number of relationship edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The neighbors of `asn` with the role each plays *relative to
+    /// `asn`*.
+    pub fn neighbor_roles(&self, asn: Asn) -> Vec<(Asn, Role)> {
+        let mut out = Vec::new();
+        for e in &self.edges {
+            match *e {
+                Edge::ProviderCustomer { provider, customer } => {
+                    if provider == asn {
+                        out.push((customer, Role::Customer));
+                    } else if customer == asn {
+                        out.push((provider, Role::Provider));
+                    }
+                }
+                Edge::Peering(a, b) => {
+                    if a == asn {
+                        out.push((b, Role::Peer));
+                    } else if b == asn {
+                        out.push((a, Role::Peer));
+                    }
+                }
+                Edge::PartialTransit { provider, customer, region } => {
+                    if provider == asn {
+                        out.push((customer, Role::PartialTransitCustomer { region }));
+                    } else if customer == asn {
+                        // From the customer's side a partial-transit seller
+                        // is just a (limited) provider.
+                        out.push((provider, Role::Provider));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Instantiates the topology into a simulator.
+    ///
+    /// `options` controls link behaviour, signing, and key size. Returns
+    /// the network handle used by experiments and examples.
+    pub fn instantiate(&self, options: InstantiateOptions) -> BgpNetwork {
+        let mut sim: Simulator<BgpUpdate> = Simulator::new(options.seed);
+        sim.set_default_link(options.link);
+
+        // Key material (signed mode only).
+        let keystore = if options.signed {
+            let mut rng = HmacDrbg::from_u64_labeled(options.seed, "bgp-identities");
+            let mut ks = KeyStore::new();
+            let mut ids = BTreeMap::new();
+            for &asn in &self.ases {
+                let id = Identity::generate(asn.principal(), options.key_bits, &mut rng);
+                ks.register_identity(&id);
+                ids.insert(asn, id);
+            }
+            Some((Arc::new(ks), ids))
+        } else {
+            None
+        };
+
+        // First pass: create routers so node ids are known.
+        let mut node_of = BTreeMap::new();
+        for &asn in &self.ases {
+            let mut policy = PolicyConfig::new();
+            for (neighbor, role) in self.neighbor_roles(asn) {
+                policy.set_role(neighbor, role);
+            }
+            for &(local, neighbor, region) in &self.region_tags {
+                if local == asn {
+                    policy.set_region_tag(neighbor, region);
+                }
+            }
+            let security = match &keystore {
+                Some((ks, ids)) => SecurityMode::Signed {
+                    identity: ids[&asn].clone(),
+                    keys: Arc::clone(ks),
+                },
+                None => SecurityMode::Plain,
+            };
+            let mut router = BgpRouter::new(asn, policy, security);
+            if let Some(interval) = options.mrai {
+                router.set_mrai(interval);
+            }
+            for p in self.originations.get(&asn).into_iter().flatten() {
+                router.originate(*p);
+            }
+            for (s_asn, delay, event) in &self.schedules {
+                if *s_asn == asn {
+                    router.schedule_event(*delay, event.clone());
+                }
+            }
+            let node = sim.add_node(Box::new(router));
+            node_of.insert(asn, node);
+        }
+
+        // Second pass: wire neighbors.
+        for &asn in &self.ases {
+            let node = node_of[&asn];
+            let neighbors = self.neighbor_roles(asn);
+            let router = sim.node_mut::<BgpRouter>(node).expect("router downcast");
+            for (neighbor, _) in neighbors {
+                router.add_neighbor(neighbor, node_of[&neighbor]);
+            }
+        }
+
+        BgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks) }
+    }
+}
+
+/// Options for [`Topology::instantiate`].
+#[derive(Clone, Copy, Debug)]
+pub struct InstantiateOptions {
+    /// Simulation seed (drives jitter, drops, key generation).
+    pub seed: u64,
+    /// Default link configuration.
+    pub link: LinkConfig,
+    /// Enable S-BGP attestations.
+    pub signed: bool,
+    /// RSA modulus size when signing (tests use small keys for speed;
+    /// benchmarks use 1024 to reproduce the paper's §3.8 numbers).
+    pub key_bits: usize,
+    /// Optional MRAI batching interval applied to every router.
+    pub mrai: Option<SimDuration>,
+}
+
+impl Default for InstantiateOptions {
+    fn default() -> Self {
+        InstantiateOptions {
+            seed: 0,
+            link: LinkConfig::default(),
+            signed: false,
+            key_bits: 512,
+            mrai: None,
+        }
+    }
+}
+
+/// An instantiated network: simulator plus AS → node mapping.
+pub struct BgpNetwork {
+    /// The underlying simulator.
+    pub sim: Simulator<BgpUpdate>,
+    node_of: BTreeMap<Asn, NodeId>,
+    keystore: Option<Arc<KeyStore>>,
+}
+
+impl BgpNetwork {
+    /// Runs the network to quiescence (or the given limits).
+    pub fn converge(&mut self, limits: RunLimits) -> StopReason {
+        self.sim.run(limits)
+    }
+
+    /// The simulator node hosting `asn`.
+    pub fn node_of(&self, asn: Asn) -> NodeId {
+        self.node_of[&asn]
+    }
+
+    /// Read access to `asn`'s router.
+    pub fn router(&self, asn: Asn) -> &BgpRouter {
+        self.sim
+            .node::<BgpRouter>(self.node_of[&asn])
+            .expect("router downcast")
+    }
+
+    /// Mutable access to `asn`'s router.
+    pub fn router_mut(&mut self, asn: Asn) -> &mut BgpRouter {
+        let node = self.node_of[&asn];
+        self.sim.node_mut::<BgpRouter>(node).expect("router downcast")
+    }
+
+    /// The shared key store in signed mode.
+    pub fn keystore(&self) -> Option<&Arc<KeyStore>> {
+        self.keystore.as_ref()
+    }
+
+    /// All ASes in the network.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.node_of.keys().copied()
+    }
+}
+
+/// The Figure 1 scenario: "Network A is connected to neighbors
+/// N1, …, Nk and B … N1 through Nk each advertise to network A a route
+/// r_i to some prefix, and A has promised to network B that it would
+/// export the shortest of these routes."
+///
+/// Each N_i sits atop a provider chain of length `chain_lens[i]` leading
+/// down to a common origin AS, so the routes r_i arrive at A with
+/// different AS-path lengths. Returns the topology plus the cast of
+/// characters.
+pub fn figure1(chain_lens: &[usize]) -> (Topology, Figure1Cast) {
+    assert!(!chain_lens.is_empty());
+    let a = Asn(100);
+    let b = Asn(200);
+    let origin = Asn(999);
+    let prefix = Prefix::parse("10.0.0.0/8").unwrap();
+    let mut t = Topology::new();
+    let mut ns = Vec::with_capacity(chain_lens.len());
+    for (i, &len) in chain_lens.iter().enumerate() {
+        let n_i = Asn(1 + i as u32);
+        ns.push(n_i);
+        // Chain: origin → c_1 → … → c_{len} → N_i, customer upward.
+        // chain_lens[i] = number of intermediate ASes, so r_i's path
+        // length at A is len + 2 (N_i + intermediates + origin).
+        let mut below = origin;
+        for j in 0..len {
+            let c = Asn(1000 + (i as u32) * 100 + j as u32);
+            t.provider_customer(c, below);
+            below = c;
+        }
+        t.provider_customer(n_i, below);
+        // N_i sells transit to A.
+        t.provider_customer(n_i, a);
+    }
+    // A sells transit to B.
+    t.provider_customer(a, b);
+    t.originate(origin, prefix);
+    (t, Figure1Cast { a, b, ns, origin, prefix })
+}
+
+/// The participants of the [`figure1`] scenario.
+#[derive(Clone, Debug)]
+pub struct Figure1Cast {
+    /// The committing network A.
+    pub a: Asn,
+    /// The customer B receiving A's promise.
+    pub b: Asn,
+    /// The upstream neighbors N_1..N_k.
+    pub ns: Vec<Asn>,
+    /// The common origin AS behind the chains.
+    pub origin: Asn,
+    /// The contested prefix.
+    pub prefix: Prefix,
+}
+
+/// Parameters for [`internet_like`].
+#[derive(Clone, Copy, Debug)]
+pub struct InternetParams {
+    /// Number of tier-1 (clique) ASes.
+    pub tier1: usize,
+    /// Number of tier-2 ASes.
+    pub tier2: usize,
+    /// Number of stub ASes.
+    pub stubs: usize,
+    /// Probability of tier-2 ↔ tier-2 peering.
+    pub t2_peering_prob: f64,
+}
+
+impl Default for InternetParams {
+    fn default() -> Self {
+        InternetParams { tier1: 4, tier2: 12, stubs: 40, t2_peering_prob: 0.2 }
+    }
+}
+
+/// Generates an Internet-like topology: a tier-1 peering clique, tier-2
+/// ASes multihomed to tier-1 providers with some lateral peering, and
+/// stub ASes multihomed to tier-2 providers. Each stub originates one
+/// /24. Deterministic in `seed`.
+pub fn internet_like(params: InternetParams, seed: u64) -> Topology {
+    let mut rng = HmacDrbg::from_u64_labeled(seed, "internet-topology");
+    let mut t = Topology::new();
+    let t1: Vec<Asn> = (0..params.tier1).map(|i| Asn(10 + i as u32)).collect();
+    let t2: Vec<Asn> = (0..params.tier2).map(|i| Asn(100 + i as u32)).collect();
+    let stubs: Vec<Asn> = (0..params.stubs).map(|i| Asn(1000 + i as u32)).collect();
+
+    // Tier-1 full-mesh peering.
+    for i in 0..t1.len() {
+        for j in i + 1..t1.len() {
+            t.peering(t1[i], t1[j]);
+        }
+    }
+    // Tier-2: 1–3 tier-1 providers each; lateral peering by coin flip.
+    for &x in &t2 {
+        let nprov = 1 + rng.below(3.min(t1.len() as u64));
+        let mut provs = t1.clone();
+        rng.shuffle(&mut provs);
+        for &p in provs.iter().take(nprov as usize) {
+            t.provider_customer(p, x);
+        }
+    }
+    for i in 0..t2.len() {
+        for j in i + 1..t2.len() {
+            if rng.chance(params.t2_peering_prob) {
+                t.peering(t2[i], t2[j]);
+            }
+        }
+    }
+    // Stubs: 1–2 tier-2 providers; one /24 each.
+    for (i, &s) in stubs.iter().enumerate() {
+        let nprov = 1 + rng.below(2.min(t2.len() as u64));
+        let mut provs = t2.clone();
+        rng.shuffle(&mut provs);
+        for &p in provs.iter().take(nprov as usize) {
+            t.provider_customer(p, s);
+        }
+        let prefix = Prefix::new(
+            (10u32 << 24) | (((i as u32 >> 8) & 0xff) << 16) | ((i as u32 & 0xff) << 8),
+            24,
+        );
+        t.originate(s, prefix);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut t = Topology::new();
+        t.provider_customer(Asn(1), Asn(2))
+            .peering(Asn(2), Asn(3))
+            .partial_transit(Asn(3), Asn(4), Community(65000, 1))
+            .originate(Asn(4), Prefix::parse("10.0.0.0/8").unwrap());
+        assert_eq!(t.as_count(), 4);
+        assert_eq!(t.edge_count(), 3);
+        let roles = t.neighbor_roles(Asn(2));
+        assert!(roles.contains(&(Asn(1), Role::Provider)));
+        assert!(roles.contains(&(Asn(3), Role::Peer)));
+        // Partial-transit seller looks like a provider from below.
+        let roles4 = t.neighbor_roles(Asn(4));
+        assert_eq!(roles4, vec![(Asn(3), Role::Provider)]);
+        let roles3 = t.neighbor_roles(Asn(3));
+        assert!(roles3.contains(&(
+            Asn(4),
+            Role::PartialTransitCustomer { region: Community(65000, 1) }
+        )));
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let (t, cast) = figure1(&[0, 1, 2]);
+        assert_eq!(cast.ns.len(), 3);
+        // A's neighbors: N1..N3 as providers, B as customer.
+        let roles = t.neighbor_roles(cast.a);
+        assert_eq!(roles.len(), 4);
+        assert!(roles.contains(&(cast.b, Role::Customer)));
+        for &n in &cast.ns {
+            assert!(roles.contains(&(n, Role::Provider)));
+        }
+    }
+
+    #[test]
+    fn figure1_converges_with_correct_path_lengths() {
+        let (t, cast) = figure1(&[0, 1, 2]);
+        let mut net = t.instantiate(InstantiateOptions::default());
+        assert_eq!(net.converge(RunLimits::none()), StopReason::Quiescent);
+        // A hears one route per N_i with path length chain+2.
+        for (i, &n) in cast.ns.iter().enumerate() {
+            let r = net.router(cast.a).route_from(n, cast.prefix).expect("route from N_i");
+            assert_eq!(r.path_len(), i + 2, "N{} chain", i + 1);
+        }
+        // A's best is via N1 (shortest), and B received it.
+        let best = net.router(cast.a).best_route(cast.prefix).unwrap();
+        assert_eq!(best.learned_from, Some(cast.ns[0]));
+        let at_b = net.router(cast.b).route_from(cast.a, cast.prefix).expect("B's route");
+        assert_eq!(at_b.path.first_as(), Some(cast.a));
+        assert_eq!(at_b.path_len(), 3); // A, N1, origin
+    }
+
+    #[test]
+    fn internet_like_is_deterministic() {
+        let a = internet_like(InternetParams::default(), 42);
+        let b = internet_like(InternetParams::default(), 42);
+        assert_eq!(a.as_count(), b.as_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let c = internet_like(InternetParams::default(), 43);
+        // Different seeds virtually always differ in edge count.
+        assert!(a.edge_count() != c.edge_count() || a.as_count() == c.as_count());
+    }
+
+    #[test]
+    fn internet_like_converges() {
+        let params = InternetParams { tier1: 3, tier2: 5, stubs: 8, t2_peering_prob: 0.3 };
+        let t = internet_like(params, 7);
+        let mut net = t.instantiate(InstantiateOptions::default());
+        assert_eq!(net.converge(RunLimits::none()), StopReason::Quiescent);
+        // Every stub prefix must be reachable from every tier-1.
+        let stub_prefixes: Vec<Prefix> = (0..8)
+            .map(|i| Prefix::new((10u32 << 24) | ((i as u32 & 0xff) << 8), 24))
+            .collect();
+        for t1 in [Asn(10), Asn(11), Asn(12)] {
+            for &p in &stub_prefixes {
+                assert!(
+                    net.router(t1).best_route(p).is_some(),
+                    "{t1} missing {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_mode_end_to_end() {
+        let (t, cast) = figure1(&[0, 1]);
+        let mut net = t.instantiate(InstantiateOptions {
+            signed: true,
+            key_bits: 512,
+            ..Default::default()
+        });
+        net.converge(RunLimits::none());
+        // Convergence must match plain mode and no attestation failures.
+        let best = net.router(cast.a).best_route(cast.prefix).unwrap();
+        assert_eq!(best.learned_from, Some(cast.ns[0]));
+        for asn in net.ases().collect::<Vec<_>>() {
+            assert_eq!(net.router(asn).stats().attestation_failures, 0, "{asn}");
+        }
+        assert!(net.keystore().is_some());
+    }
+}

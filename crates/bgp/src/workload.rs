@@ -1,0 +1,261 @@
+//! Update workloads: flaps, bursts, and randomized churn.
+//!
+//! §3.8 motivates batching with "BGP message bursts"; experiment E8
+//! measures PVR overhead under realistic churn. These helpers attach
+//! scheduled announce/withdraw events to a [`Topology`].
+
+use crate::router::LocalEvent;
+use crate::topology::Topology;
+use crate::types::{Asn, Prefix};
+use pvr_crypto::drbg::HmacDrbg;
+use pvr_netsim::SimDuration;
+
+/// Schedules `count` announce/withdraw flap cycles of `prefix` at `asn`,
+/// starting at `start` with `period` between state changes.
+pub fn flap(
+    topology: &mut Topology,
+    asn: Asn,
+    prefix: Prefix,
+    start: SimDuration,
+    period: SimDuration,
+    count: usize,
+) {
+    let mut at = start;
+    for i in 0..count * 2 {
+        let event = if i % 2 == 0 {
+            LocalEvent::Withdraw(prefix)
+        } else {
+            LocalEvent::Announce(prefix)
+        };
+        topology.schedule(asn, at, event);
+        at = at + period;
+    }
+}
+
+/// Schedules a burst: `n` fresh prefixes announced by `asn` at `at`.
+/// Prefixes are carved from `10.200.x.y/24`. Returns the prefixes.
+pub fn burst(topology: &mut Topology, asn: Asn, at: SimDuration, n: usize) -> Vec<Prefix> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let prefix = Prefix::new(
+            (10u32 << 24) | (200u32 << 16) | (((i as u32 >> 8) & 0xff) << 8) | 0,
+            if i < 256 { 24 } else { 32 },
+        );
+        // Avoid collisions beyond 256 by widening into /32 host routes.
+        let prefix = if i < 256 {
+            Prefix::new((10u32 << 24) | (200u32 << 16) | ((i as u32 & 0xff) << 8), 24)
+        } else {
+            prefix
+        };
+        topology.schedule(asn, at, LocalEvent::Announce(prefix));
+        out.push(prefix);
+    }
+    out
+}
+
+/// Randomized churn: each event re-announces or withdraws a random
+/// origination from `candidates`. Deterministic in `seed`.
+pub fn churn(
+    topology: &mut Topology,
+    candidates: &[(Asn, Prefix)],
+    events: usize,
+    start: SimDuration,
+    spacing: SimDuration,
+    seed: u64,
+) {
+    assert!(!candidates.is_empty());
+    let mut rng = HmacDrbg::from_u64_labeled(seed, "workload-churn");
+    let mut at = start;
+    for _ in 0..events {
+        let (asn, prefix) = candidates[rng.index(candidates.len())];
+        let event = if rng.chance(0.5) {
+            LocalEvent::Withdraw(prefix)
+        } else {
+            LocalEvent::Announce(prefix)
+        };
+        topology.schedule(asn, at, event);
+        at = at + spacing;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::InstantiateOptions;
+    use pvr_netsim::RunLimits;
+
+    fn base() -> (Topology, Asn, Asn, Prefix) {
+        // AS1 (origin, customer) — AS2 (provider) — observes updates.
+        let mut t = Topology::new();
+        let origin = Asn(1);
+        let provider = Asn(2);
+        let prefix = Prefix::parse("10.0.0.0/8").unwrap();
+        t.provider_customer(provider, origin);
+        t.originate(origin, prefix);
+        (t, origin, provider, prefix)
+    }
+
+    #[test]
+    fn flap_generates_withdraw_announce_cycles() {
+        let (mut t, origin, provider, prefix) = base();
+        flap(
+            &mut t,
+            origin,
+            prefix,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(100),
+            3,
+        );
+        let mut net = t.instantiate(InstantiateOptions::default());
+        net.converge(RunLimits::none());
+        // After an odd number of flips… we scheduled withdraw,announce ×3,
+        // so the route ends announced and the provider has it.
+        assert!(net.router(provider).route_from(origin, prefix).is_some());
+        // The provider saw at least initial + 6 updates.
+        assert!(net.router(provider).stats().updates_rx >= 7);
+    }
+
+    #[test]
+    fn burst_announces_n_prefixes() {
+        let (mut t, origin, provider, _) = base();
+        let ps = burst(&mut t, origin, SimDuration::from_millis(50), 10);
+        assert_eq!(ps.len(), 10);
+        let mut net = t.instantiate(InstantiateOptions::default());
+        net.converge(RunLimits::none());
+        for p in ps {
+            assert!(net.router(provider).route_from(origin, p).is_some(), "{p}");
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_converges() {
+        let (mut t, origin, _, prefix) = base();
+        churn(
+            &mut t,
+            &[(origin, prefix)],
+            20,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+            99,
+        );
+        let mut net = t.instantiate(InstantiateOptions::default());
+        net.converge(RunLimits::none());
+        let stats_a = net.router(Asn(2)).stats().clone();
+
+        // Re-run identically: byte-for-byte the same.
+        let (mut t2, origin2, _, prefix2) = base();
+        churn(
+            &mut t2,
+            &[(origin2, prefix2)],
+            20,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+            99,
+        );
+        let mut net2 = t2.instantiate(InstantiateOptions::default());
+        net2.converge(RunLimits::none());
+        assert_eq!(net2.router(Asn(2)).stats(), &stats_a);
+    }
+}
+
+#[cfg(test)]
+mod mrai_tests {
+    use super::*;
+    use crate::messages::BgpUpdate;
+    use crate::sbgp::SignedRoute;
+    use crate::route::Route;
+    use crate::topology::InstantiateOptions;
+    use crate::types::{Asn, Prefix};
+    use pvr_netsim::RunLimits;
+
+    fn flappy_topology() -> (Topology, Asn, Asn, Prefix) {
+        let mut t = Topology::new();
+        let origin = Asn(1);
+        let provider = Asn(2);
+        let prefix = Prefix::parse("10.0.0.0/8").unwrap();
+        t.provider_customer(provider, origin);
+        t.originate(origin, prefix);
+        // 10 rapid flaps, 1 ms apart — well inside a 100 ms MRAI window.
+        flap(
+            &mut t,
+            origin,
+            prefix,
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(1),
+            10,
+        );
+        (t, origin, provider, prefix)
+    }
+
+    #[test]
+    fn mrai_suppresses_flap_churn() {
+        let (t, origin, provider, prefix) = flappy_topology();
+
+        let mut fast = t.instantiate(InstantiateOptions::default());
+        fast.converge(RunLimits::none());
+        let updates_without = fast.router(provider).stats().updates_rx;
+
+        let mut damped = t.instantiate(InstantiateOptions {
+            mrai: Some(SimDuration::from_millis(100)),
+            ..Default::default()
+        });
+        damped.converge(RunLimits::none());
+        let updates_with = damped.router(provider).stats().updates_rx;
+
+        assert!(
+            updates_with < updates_without,
+            "MRAI should reduce updates: {updates_with} vs {updates_without}"
+        );
+        // Final state must agree: the route ends up announced either way.
+        assert!(fast.router(provider).route_from(origin, prefix).is_some());
+        assert!(damped.router(provider).route_from(origin, prefix).is_some());
+    }
+
+    #[test]
+    fn mrai_preserves_final_state_on_withdrawal() {
+        // End on a withdrawal: the damped router must converge to
+        // "no route" too (the merge logic must not lose the withdraw).
+        let mut t = Topology::new();
+        let origin = Asn(1);
+        let provider = Asn(2);
+        let prefix = Prefix::parse("10.0.0.0/8").unwrap();
+        t.provider_customer(provider, origin);
+        t.originate(origin, prefix);
+        t.schedule(origin, SimDuration::from_millis(50), LocalEvent::Withdraw(prefix));
+        t.schedule(origin, SimDuration::from_millis(51), LocalEvent::Announce(prefix));
+        t.schedule(origin, SimDuration::from_millis(52), LocalEvent::Withdraw(prefix));
+
+        let mut net = t.instantiate(InstantiateOptions {
+            mrai: Some(SimDuration::from_millis(100)),
+            ..Default::default()
+        });
+        net.converge(RunLimits::none());
+        assert!(net.router(provider).route_from(origin, prefix).is_none());
+    }
+
+    #[test]
+    fn update_merge_semantics() {
+        let prefix = Prefix::parse("10.0.0.0/8").unwrap();
+        let mk = |asns: &[u32]| {
+            let mut r = Route::originate(prefix);
+            for &a in asns.iter().rev() {
+                r = r.propagated_by(Asn(a));
+            }
+            SignedRoute::unsigned(r)
+        };
+        // announce then withdraw → withdraw only.
+        let mut u = BgpUpdate { announces: vec![mk(&[1])], withdraws: vec![] };
+        u.merge(BgpUpdate { announces: vec![], withdraws: vec![prefix] });
+        assert!(u.announces.is_empty());
+        assert_eq!(u.withdraws, vec![prefix]);
+        // withdraw then announce → announce only.
+        u.merge(BgpUpdate { announces: vec![mk(&[2])], withdraws: vec![] });
+        assert!(u.withdraws.is_empty());
+        assert_eq!(u.announces.len(), 1);
+        assert_eq!(u.announces[0].route.path.asns(), &[Asn(2)]);
+        // newer announcement replaces older for the same prefix.
+        u.merge(BgpUpdate { announces: vec![mk(&[3])], withdraws: vec![] });
+        assert_eq!(u.announces.len(), 1);
+        assert_eq!(u.announces[0].route.path.asns(), &[Asn(3)]);
+    }
+}

@@ -1,0 +1,337 @@
+//! End-to-end execution of one PVR round (the "pure" driver).
+//!
+//! Runs the four phases of §3 directly — commit, gossip, disclose,
+//! verify — against either an honest committer or a Byzantine
+//! [`Adversary`], records what every participant received (the raw
+//! material for the §2.3 Confidentiality audit), collects outcomes and
+//! evidence, and has the third-party [`Auditor`] judge every accusation.
+//!
+//! The network-simulated version (messages, latency, loss, gossip as
+//! actual traffic) lives in [`crate::simproto`]; this driver is the
+//! reference semantics and the benchmark target.
+
+use crate::adversary::{Adversary, Misbehavior};
+use crate::evidence::{Auditor, Verdict};
+use crate::harness::Figure1Bed;
+use crate::session::Disclosure;
+use crate::verify::{
+    cross_check_roots, verify_as_provider, verify_as_receiver, Outcome,
+};
+use pvr_bgp::Asn;
+use pvr_crypto::drbg::HmacDrbg;
+use pvr_crypto::Wire;
+use pvr_mht::SignedRoot;
+use std::collections::BTreeMap;
+
+/// What one participant received during a round, as raw bytes — the
+/// participant's complete *view* of the protocol, used verbatim by the
+/// confidentiality auditor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transcript {
+    /// (channel label, serialized bytes) in arrival order.
+    pub received: Vec<(String, Vec<u8>)>,
+}
+
+impl Transcript {
+    fn push(&mut self, label: &str, bytes: Vec<u8>) {
+        self.received.push((label.to_string(), bytes));
+    }
+
+    /// Total bytes received (overhead accounting).
+    pub fn total_bytes(&self) -> usize {
+        self.received.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+/// The result of one round: outcomes, verdicts, transcripts.
+#[derive(Debug)]
+pub struct RoundReport {
+    /// Each verifier's outcome (providers and the receiver).
+    pub outcomes: BTreeMap<Asn, Outcome>,
+    /// Gossip-level evidence (equivocation), if any.
+    pub gossip_evidence: Option<crate::evidence::Evidence>,
+    /// The auditor's verdict on every piece of evidence produced,
+    /// with the accusing network.
+    pub verdicts: Vec<(Asn, Verdict)>,
+    /// Per-participant views.
+    pub transcripts: BTreeMap<Asn, Transcript>,
+}
+
+impl RoundReport {
+    /// Detection property: did at least one correct neighbor notice?
+    pub fn detected(&self) -> bool {
+        self.gossip_evidence.is_some() || self.outcomes.values().any(|o| o.detected())
+    }
+
+    /// Evidence property: did some neighbor obtain evidence the auditor
+    /// upholds?
+    pub fn convicted(&self) -> bool {
+        self.verdicts.iter().any(|(_, v)| *v == Verdict::Guilty)
+    }
+
+    /// Accuracy property (honest runs): nobody detected anything and no
+    /// verdict was guilty.
+    pub fn clean(&self) -> bool {
+        !self.detected() && !self.convicted()
+    }
+}
+
+/// Runs one round of the §3.3 minimum-operator protocol on a
+/// [`Figure1Bed`], honestly or with the given misbehavior.
+pub fn run_min_round(bed: &Figure1Bed, behavior: Option<Misbehavior>) -> RoundReport {
+    let mut transcripts: BTreeMap<Asn, Transcript> = BTreeMap::new();
+    let mut outcomes = BTreeMap::new();
+
+    // Phase 1+3 (commit + disclose): build per-neighbor artifacts.
+    let (roots, provider_disclosures, receiver_disclosure) = match behavior {
+        None => {
+            let c = bed.honest_committer();
+            let roots: BTreeMap<Asn, SignedRoot> = bed
+                .ns
+                .iter()
+                .copied()
+                .chain([bed.b])
+                .map(|n| (n, c.signed_root().clone()))
+                .collect();
+            let pd: BTreeMap<Asn, Disclosure> = bed
+                .ns
+                .iter()
+                .map(|&n| (n, c.disclosure_for_provider(n)))
+                .collect();
+            (roots, pd, c.disclosure_for_receiver(bed.b))
+        }
+        Some(behavior) => {
+            let mut rng = HmacDrbg::from_u64_labeled(bed.seed, "adversary");
+            let adv = Adversary::new(
+                bed.a_identity(),
+                bed.round.clone(),
+                bed.params,
+                bed.graph.clone(),
+                bed.inputs.clone(),
+                &bed.ns,
+                bed.b,
+                behavior,
+                &mut rng,
+            );
+            let roots: BTreeMap<Asn, SignedRoot> = bed
+                .ns
+                .iter()
+                .copied()
+                .chain([bed.b])
+                .map(|n| (n, adv.root_for(n).clone()))
+                .collect();
+            let pd: BTreeMap<Asn, Disclosure> = bed
+                .ns
+                .iter()
+                .map(|&n| (n, adv.disclosure_for_provider(n)))
+                .collect();
+            (roots, pd, adv.disclosure_for_receiver())
+        }
+    };
+
+    // Record views.
+    for (&n, root) in &roots {
+        transcripts.entry(n).or_default().push("root", root.to_wire());
+    }
+    for (&n, d) in &provider_disclosures {
+        transcripts.entry(n).or_default().push("disclosure", d.to_wire());
+    }
+    transcripts
+        .entry(bed.b)
+        .or_default()
+        .push("disclosure", receiver_disclosure.to_wire());
+
+    // Phase 2 (gossip): all neighbors compare the signed roots they saw.
+    // Every neighbor's root reaches every other neighbor, so each
+    // transcript grows by the full set (§3.6: "The neighbors can then
+    // gossip about the hash value").
+    let gossip_set: Vec<SignedRoot> = roots.values().cloned().collect();
+    for &n in roots.keys() {
+        for root in &gossip_set {
+            transcripts.entry(n).or_default().push("gossip", root.to_wire());
+        }
+    }
+    let gossip_evidence = cross_check_roots(&gossip_set, &bed.keys);
+
+    // Phase 4 (verify).
+    for &n in &bed.ns {
+        let o = verify_as_provider(
+            bed.a,
+            &bed.round,
+            &bed.params,
+            &bed.inputs[&n],
+            &provider_disclosures[&n],
+            &bed.keys,
+        );
+        outcomes.insert(n, o);
+    }
+    let ob = verify_as_receiver(
+        bed.b,
+        bed.a,
+        &bed.round,
+        &bed.params,
+        &receiver_disclosure,
+        &bed.keys,
+    );
+    outcomes.insert(bed.b, ob);
+
+    // Third-party judgment of all evidence.
+    let auditor = Auditor::new(&bed.keys, bed.params);
+    let mut verdicts = Vec::new();
+    if let Some(ev) = &gossip_evidence {
+        verdicts.push((bed.b, auditor.judge(bed.a, &bed.round, ev)));
+    }
+    for (&accuser, outcome) in &outcomes {
+        if let Some(ev) = outcome.evidence() {
+            verdicts.push((accuser, auditor.judge(bed.a, &bed.round, ev)));
+        }
+    }
+
+    RoundReport { outcomes, gossip_evidence, verdicts, transcripts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Suspicion;
+
+    #[test]
+    fn honest_round_is_clean() {
+        let bed = Figure1Bed::build(&[2, 3, 4], 61);
+        let report = run_min_round(&bed, None);
+        assert!(report.clean(), "{report:?}");
+        assert_eq!(report.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn export_longer_convicted_by_b() {
+        let bed = Figure1Bed::build(&[2, 5], 62);
+        let report = run_min_round(&bed, Some(Misbehavior::ExportLonger));
+        assert!(report.detected());
+        assert!(report.convicted());
+        let b_outcome = &report.outcomes[&bed.b];
+        assert_eq!(b_outcome.evidence().unwrap().kind(), "export-too-long");
+    }
+
+    #[test]
+    fn suppress_input_convicted_by_victim() {
+        let bed = Figure1Bed::build(&[2, 4], 63);
+        let victim = bed.ns[0];
+        let report = run_min_round(&bed, Some(Misbehavior::SuppressInput { victim }));
+        assert!(report.detected());
+        assert!(report.convicted());
+        assert_eq!(
+            report.outcomes[&victim].evidence().unwrap().kind(),
+            "ignored-input"
+        );
+        // The other provider is satisfied (bit at length 4 is still 1).
+        assert!(report.outcomes[&bed.ns[1]].is_accept());
+    }
+
+    #[test]
+    fn deny_all_convicted_by_every_provider() {
+        let bed = Figure1Bed::build(&[2, 3], 64);
+        let report = run_min_round(&bed, Some(Misbehavior::DenyAll));
+        for &n in &bed.ns {
+            assert_eq!(
+                report.outcomes[&n].evidence().map(|e| e.kind()),
+                Some("ignored-input"),
+                "{n}"
+            );
+        }
+        assert!(report.convicted());
+    }
+
+    #[test]
+    fn equivocation_caught_only_by_gossip() {
+        let bed = Figure1Bed::build(&[2, 4], 65);
+        let victim = bed.ns[0];
+        let report = run_min_round(&bed, Some(Misbehavior::Equivocate { victim }));
+        // Individual checks pass — that is the attack's design…
+        // (B sees a consistent suppressed view; providers see the honest
+        // view.)
+        assert!(report.outcomes.values().all(|o| o.is_accept()), "{:?}", report.outcomes);
+        // …but gossip catches the two roots and the auditor convicts.
+        assert!(report.gossip_evidence.is_some());
+        assert!(report.convicted());
+    }
+
+    #[test]
+    fn non_monotone_bits_convicted_by_b() {
+        let bed = Figure1Bed::build(&[2, 4], 66);
+        let report = run_min_round(&bed, Some(Misbehavior::NonMonotoneBits));
+        let b_ev = report.outcomes[&bed.b].evidence().map(|e| e.kind());
+        assert_eq!(b_ev, Some("non-monotone"));
+        assert!(report.convicted());
+    }
+
+    #[test]
+    fn fabricated_export_convicted_by_b() {
+        let bed = Figure1Bed::build(&[3, 4], 67);
+        let report = run_min_round(&bed, Some(Misbehavior::FabricateExport));
+        let b_ev = report.outcomes[&bed.b].evidence().map(|e| e.kind());
+        assert_eq!(b_ev, Some("fabricated-export"));
+        assert!(report.convicted());
+    }
+
+    #[test]
+    fn refuse_reveal_detected_without_evidence() {
+        let bed = Figure1Bed::build(&[2, 4], 68);
+        let victim = bed.ns[1];
+        let report = run_min_round(&bed, Some(Misbehavior::RefuseReveal { victim }));
+        assert!(report.detected());
+        assert!(!report.convicted(), "omission is not third-party provable");
+        assert!(matches!(
+            report.outcomes[&victim],
+            Outcome::Suspect(Suspicion::MissingReveal { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_opening_detected_without_evidence() {
+        let bed = Figure1Bed::build(&[2], 69);
+        let victim = bed.ns[0];
+        let report = run_min_round(&bed, Some(Misbehavior::CorruptOpening { victim }));
+        assert!(matches!(
+            report.outcomes[&victim],
+            Outcome::Suspect(Suspicion::BadReveal { .. })
+        ));
+        assert!(!report.convicted());
+    }
+
+    #[test]
+    fn all_verdicts_against_adversary_are_guilty() {
+        // Every piece of evidence produced by honest verifiers must stand
+        // up in front of the auditor (no weak accusations).
+        let bed = Figure1Bed::build(&[2, 3, 5], 70);
+        for behavior in [
+            Misbehavior::ExportLonger,
+            Misbehavior::SuppressInput { victim: bed.ns[0] },
+            Misbehavior::DenyAll,
+            Misbehavior::Equivocate { victim: bed.ns[0] },
+            Misbehavior::NonMonotoneBits,
+            Misbehavior::FabricateExport,
+        ] {
+            let report = run_min_round(&bed, Some(behavior.clone()));
+            assert!(!report.verdicts.is_empty(), "{behavior:?} produced no evidence");
+            for (accuser, v) in &report.verdicts {
+                assert_eq!(*v, Verdict::Guilty, "{behavior:?} accused by {accuser}");
+            }
+        }
+    }
+
+    #[test]
+    fn transcripts_record_all_views() {
+        let bed = Figure1Bed::build(&[2, 3], 71);
+        let report = run_min_round(&bed, None);
+        for (&n, t) in &report.transcripts {
+            assert!(t.total_bytes() > 0, "{n} received nothing");
+        }
+        // B's transcript includes the exported route, so it is larger
+        // than a provider's.
+        assert!(
+            report.transcripts[&bed.b].total_bytes()
+                > report.transcripts[&bed.ns[0]].total_bytes()
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! Canonical wire encoding.
+//!
+//! Commitments and signatures are only meaningful over a *canonical* byte
+//! representation: two honest implementations must serialize the same
+//! route/vertex/message to the same bytes, or hashes will not match. This
+//! module defines a small, deterministic, length-prefixed binary codec
+//! used for (a) everything that gets hashed or signed and (b) simulator
+//! message payloads, whose byte sizes feed the overhead accounting in
+//! experiment E8.
+//!
+//! All integers are big-endian; variable-length data is prefixed with a
+//! `u32` length. There is deliberately no self-description or versioning
+//! — the codec is internal to the workspace.
+
+/// Errors raised when decoding malformed bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A length prefix or discriminant had an impossible value.
+    Invalid(&'static str),
+    /// Decoding finished but bytes were left over (when using
+    /// [`decode_exact`]).
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over input bytes for decoding.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a fixed-size array.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+}
+
+/// Canonical serialization to/from bytes.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: encodes into a fresh vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Decodes a value and requires the input to be fully consumed.
+pub fn decode_exact<T: Wire>(data: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(data);
+    let v = T::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+macro_rules! impl_wire_uint {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_be_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                let mut arr = [0u8; std::mem::size_of::<$t>()];
+                arr.copy_from_slice(bytes);
+                Ok(<$t>::from_be_bytes(arr))
+            }
+        }
+    )*};
+}
+
+impl_wire_uint!(u8, u16, u32, u64, u128);
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool must be 0 or 1")),
+        }
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u32::decode(r)? as usize;
+        Ok(r.take(len)?.to_vec())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = u32::decode(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("non-UTF-8 string"))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::Invalid("Option discriminant")),
+        }
+    }
+}
+
+// Blanket Vec<T> would conflict with Vec<u8>; provide explicit helpers.
+
+/// Encodes a slice of `Wire` values with a `u32` count prefix.
+pub fn encode_seq<T: Wire>(items: &[T], buf: &mut Vec<u8>) {
+    (items.len() as u32).encode(buf);
+    for it in items {
+        it.encode(buf);
+    }
+}
+
+/// Decodes a vector of `Wire` values with a `u32` count prefix.
+pub fn decode_seq<T: Wire>(r: &mut Reader<'_>) -> Result<Vec<T>, WireError> {
+    let n = u32::decode(r)? as usize;
+    // Guard against absurd allocations from corrupt prefixes.
+    if n > r.remaining() {
+        return Err(WireError::Invalid("sequence count exceeds input size"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+impl Wire for crate::sha256::Digest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.0);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(crate::sha256::Digest(r.take_array()?))
+    }
+}
+
+impl Wire for crate::rsa::RsaSignature {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(crate::rsa::RsaSignature(Vec::<u8>::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+    use proptest::prelude::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        let back: T = decode_exact(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xdeadu16);
+        round_trip(0xdeadbeefu32);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(vec![1u8, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip("héllo wörld".to_string());
+        round_trip(Some(42u32));
+        round_trip(Option::<u32>::None);
+        round_trip(sha256(b"digest"));
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        assert_eq!(0x0102u16.to_wire(), vec![0x01, 0x02]);
+        assert_eq!(vec![0xaau8].to_wire(), vec![0, 0, 0, 1, 0xaa]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = 0xdeadbeefu32.to_wire();
+        assert_eq!(
+            decode_exact::<u32>(&bytes[..3]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 7u8.to_wire();
+        bytes.push(0);
+        assert_eq!(
+            decode_exact::<u8>(&bytes).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert!(decode_exact::<bool>(&[2]).is_err());
+    }
+
+    #[test]
+    fn invalid_option_rejected() {
+        assert!(decode_exact::<Option<u8>>(&[9, 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected() {
+        // Claims 2^31 bytes follow; only 2 do.
+        let bytes = [0x80, 0, 0, 0, 1, 2];
+        assert!(decode_exact::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn seq_round_trip() {
+        let items = vec![1u64, 2, 3, u64::MAX];
+        let mut buf = Vec::new();
+        encode_seq(&items, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_seq::<u64>(&mut r).unwrap(), items);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn seq_guard_against_bogus_count() {
+        let bytes = [0xff, 0xff, 0xff, 0xff];
+        let mut r = Reader::new(&bytes);
+        assert!(decode_seq::<u64>(&mut r).is_err());
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_exact::<String>(&bytes).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_round_trip(v in proptest::collection::vec(any::<u8>(), 0..200)) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn prop_u64_round_trip(v in any::<u64>()) {
+            round_trip(v);
+        }
+
+        #[test]
+        fn prop_encoding_is_deterministic(v in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(v.to_wire(), v.to_wire());
+        }
+    }
+}

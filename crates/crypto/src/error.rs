@@ -1,0 +1,42 @@
+//! Error types for the cryptographic substrate.
+
+/// Errors produced by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A signature failed verification (wrong message, key, or bytes).
+    SignatureInvalid,
+    /// The key modulus is too small for the requested encoding.
+    KeyTooSmall,
+    /// An input could not be parsed or had an invalid structure.
+    Malformed(&'static str),
+    /// A referenced key is not present in the key store.
+    UnknownKey,
+    /// A ring signature was structurally invalid (size mismatch, etc.).
+    RingInvalid(&'static str),
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::SignatureInvalid => write!(f, "signature verification failed"),
+            CryptoError::KeyTooSmall => write!(f, "key modulus too small for this operation"),
+            CryptoError::Malformed(what) => write!(f, "malformed input: {what}"),
+            CryptoError::UnknownKey => write!(f, "key not found in key store"),
+            CryptoError::RingInvalid(what) => write!(f, "invalid ring signature: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CryptoError::SignatureInvalid.to_string().contains("signature"));
+        assert!(CryptoError::Malformed("x").to_string().contains("x"));
+        assert!(CryptoError::RingInvalid("size").to_string().contains("size"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Key management: principals, key pairs, and a public-key store.
+//!
+//! The paper assumes every network can sign messages and that neighbors
+//! know each other's public keys (needed for S-BGP-style attestations in
+//! §3.2 and for the signed MHT roots in §3.6). Principals are identified
+//! by an opaque `u64` — the BGP layer maps AS numbers onto principal ids.
+
+use crate::drbg::HmacDrbg;
+use crate::error::CryptoError;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey, RsaSignature};
+use std::collections::HashMap;
+
+/// An opaque principal identifier (the BGP crate maps ASNs to these).
+pub type PrincipalId = u64;
+
+/// A principal's signing identity: id + RSA key pair.
+#[derive(Clone, Debug)]
+pub struct Identity {
+    id: PrincipalId,
+    key: RsaPrivateKey,
+}
+
+impl Identity {
+    /// Creates an identity with a freshly generated key of `bits` bits.
+    pub fn generate(id: PrincipalId, bits: usize, rng: &mut HmacDrbg) -> Identity {
+        Identity { id, key: RsaPrivateKey::generate(bits, rng) }
+    }
+
+    /// The principal id.
+    pub fn id(&self) -> PrincipalId {
+        self.id
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// Signs a message, binding in the signer id so signatures cannot be
+    /// replayed as coming from another principal.
+    pub fn sign(&self, message: &[u8]) -> RsaSignature {
+        self.key.sign(&Self::bound_message(self.id, message))
+    }
+
+    /// Access to the raw private key (the ring-signature scheme needs the
+    /// trapdoor directly).
+    pub fn private_key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    /// Message-with-signer-id framing shared by sign and verify.
+    fn bound_message(id: PrincipalId, message: &[u8]) -> Vec<u8> {
+        let mut m = Vec::with_capacity(8 + message.len());
+        m.extend_from_slice(&id.to_be_bytes());
+        m.extend_from_slice(message);
+        m
+    }
+}
+
+/// A registry of public keys, indexed by principal id.
+///
+/// Models the out-of-band PKI the paper assumes (e.g. RPKI-style key
+/// distribution for S-BGP \[13\]).
+#[derive(Clone, Debug, Default)]
+pub struct KeyStore {
+    keys: HashMap<PrincipalId, RsaPublicKey>,
+}
+
+impl KeyStore {
+    /// An empty store.
+    pub fn new() -> KeyStore {
+        KeyStore::default()
+    }
+
+    /// Registers a principal's public key, replacing any previous key.
+    pub fn register(&mut self, id: PrincipalId, key: RsaPublicKey) {
+        self.keys.insert(id, key);
+    }
+
+    /// Registers directly from an identity.
+    pub fn register_identity(&mut self, identity: &Identity) {
+        self.register(identity.id(), identity.public().clone());
+    }
+
+    /// Looks up a principal's public key.
+    pub fn get(&self, id: PrincipalId) -> Result<&RsaPublicKey, CryptoError> {
+        self.keys.get(&id).ok_or(CryptoError::UnknownKey)
+    }
+
+    /// Verifies that `sig` is `id`'s signature over `message`.
+    pub fn verify(
+        &self,
+        id: PrincipalId,
+        message: &[u8],
+        sig: &RsaSignature,
+    ) -> Result<(), CryptoError> {
+        self.get(id)?
+            .verify(&Identity::bound_message(id, message), sig)
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates over registered `(id, key)` pairs (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (PrincipalId, &RsaPublicKey)> {
+        self.keys.iter().map(|(&id, k)| (id, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Identity, Identity, KeyStore) {
+        let mut rng = HmacDrbg::new(b"keys tests");
+        let a = Identity::generate(1, 512, &mut rng);
+        let b = Identity::generate(2, 512, &mut rng);
+        let mut store = KeyStore::new();
+        store.register_identity(&a);
+        store.register_identity(&b);
+        (a, b, store)
+    }
+
+    #[test]
+    fn sign_verify_through_store() {
+        let (a, _, store) = setup();
+        let sig = a.sign(b"route announcement");
+        assert!(store.verify(1, b"route announcement", &sig).is_ok());
+    }
+
+    #[test]
+    fn signature_bound_to_signer_id() {
+        // A signature by principal 1 must not verify as principal 2, even
+        // if someone registered the same public key under both ids.
+        let (a, _, mut store) = setup();
+        store.register(2, a.public().clone());
+        let sig = a.sign(b"msg");
+        assert!(store.verify(1, b"msg", &sig).is_ok());
+        assert!(store.verify(2, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn unknown_principal_rejected() {
+        let (a, _, store) = setup();
+        let sig = a.sign(b"msg");
+        assert_eq!(
+            store.verify(99, b"msg", &sig).unwrap_err(),
+            CryptoError::UnknownKey
+        );
+    }
+
+    #[test]
+    fn cross_principal_verification_fails() {
+        let (a, _, store) = setup();
+        let sig = a.sign(b"msg");
+        assert!(store.verify(2, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn store_bookkeeping() {
+        let (_, _, store) = setup();
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+        assert!(store.get(1).is_ok());
+        assert!(store.get(3).is_err());
+        assert_eq!(store.iter().count(), 2);
+    }
+
+    #[test]
+    fn reregistration_replaces_key() {
+        let (a, b, mut store) = setup();
+        store.register(1, b.public().clone());
+        // Old signatures by a no longer verify under id 1.
+        let sig = a.sign(b"m");
+        assert!(store.verify(1, b"m", &sig).is_err());
+    }
+}

@@ -1,0 +1,367 @@
+//! Rivest–Shamir–Tauman ring signatures ("How to leak a secret",
+//! ASIACRYPT 2001) over RSA trapdoor permutations.
+//!
+//! §3.2 of the PVR paper: "Suppose we apply PVR to a link-state protocol
+//! that only exports whether a path exists. Then the N_i can use a ring
+//! signature scheme, such as \[20\], to sign the statement 'A route
+//! exists'. Thus, B could tell that some N_i had provided a route, but it
+//! could not tell which one." This module implements that scheme \[20\]:
+//!
+//! * each ring member's RSA permutation `f_i(x) = x^{e_i} mod n_i` is
+//!   extended to a common domain `{0,1}^b` (the paper's trick: apply `f`
+//!   within each full-size coset of `n_i`, identity on the remainder);
+//! * a keyed symmetric permutation `E_k` (a 16-round balanced Feistel
+//!   network with an HMAC-style SHA-256 round function) combines the ring;
+//! * the signer closes the ring equation
+//!   `E_k(y_n ⊕ E_k(y_{n-1} ⊕ … E_k(y_1 ⊕ v)…)) = v` using its trapdoor.
+//!
+//! Verification checks the ring equation; nothing in a valid signature
+//! identifies which member signed.
+
+use crate::bignum::Ubig;
+use crate::drbg::HmacDrbg;
+use crate::error::CryptoError;
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::sha256::{sha256_concat, Digest};
+
+/// Number of Feistel rounds in the combining permutation.
+const FEISTEL_ROUNDS: usize = 16;
+
+/// Extra headroom bits above the largest modulus for the common domain.
+const DOMAIN_SLACK_BITS: usize = 64;
+
+/// A ring signature: the glue value `v` and one `x_i` per ring member.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RingSignature {
+    /// Glue value, `domain_bytes` long.
+    pub v: Vec<u8>,
+    /// Per-member values, each `domain_bytes` long, in ring order.
+    pub xs: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for RingSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RingSignature(ring of {}, {} bytes each)", self.xs.len(), self.v.len())
+    }
+}
+
+/// Common-domain size in bytes for a given ring: enough to contain every
+/// modulus plus slack, rounded up so the Feistel halves are equal.
+fn domain_bytes(ring: &[RsaPublicKey]) -> usize {
+    let max_bits = ring.iter().map(|k| k.modulus_bits()).max().unwrap_or(0);
+    let bytes = (max_bits + DOMAIN_SLACK_BITS).div_ceil(8);
+    bytes + (bytes % 2) // even, so halves split cleanly
+}
+
+/// Binds the message to the ring membership: k = H(msg, all public keys).
+/// Including the ring prevents a signature from being re-interpreted
+/// against a different ring.
+fn ring_key(message: &[u8], ring: &[RsaPublicKey]) -> Digest {
+    let mut parts: Vec<Vec<u8>> = Vec::with_capacity(1 + 2 * ring.len());
+    parts.push(message.to_vec());
+    for k in ring {
+        parts.push(k.n().to_bytes_be());
+        parts.push(k.e().to_bytes_be());
+    }
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    sha256_concat(&refs)
+}
+
+/// Keystream of `len` bytes derived from (key, round, half), used as the
+/// Feistel round function.
+fn round_keystream(key: &Digest, round: usize, half: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter = 0u32;
+    while out.len() < len {
+        let d = sha256_concat(&[
+            b"pvr.ring.feistel",
+            key.as_bytes(),
+            &(round as u32).to_be_bytes(),
+            &counter.to_be_bytes(),
+            half,
+        ]);
+        let take = (len - out.len()).min(32);
+        out.extend_from_slice(&d.as_bytes()[..take]);
+        counter += 1;
+    }
+    out
+}
+
+fn xor_into(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// The keyed combining permutation `E_k` (forward).
+fn feistel_forward(key: &Digest, block: &[u8]) -> Vec<u8> {
+    let half = block.len() / 2;
+    let mut l = block[..half].to_vec();
+    let mut r = block[half..].to_vec();
+    for round in 0..FEISTEL_ROUNDS {
+        let ks = round_keystream(key, round, &r, half);
+        xor_into(&mut l, &ks);
+        std::mem::swap(&mut l, &mut r);
+    }
+    let mut out = l;
+    out.extend_from_slice(&r);
+    out
+}
+
+/// The inverse permutation `E_k^{-1}`.
+fn feistel_backward(key: &Digest, block: &[u8]) -> Vec<u8> {
+    let half = block.len() / 2;
+    let mut l = block[..half].to_vec();
+    let mut r = block[half..].to_vec();
+    for round in (0..FEISTEL_ROUNDS).rev() {
+        std::mem::swap(&mut l, &mut r);
+        let ks = round_keystream(key, round, &r, half);
+        xor_into(&mut l, &ks);
+    }
+    let mut out = l;
+    out.extend_from_slice(&r);
+    out
+}
+
+/// The RST extended permutation `g_i` over `{0,1}^b`: applies the RSA
+/// permutation within each complete coset of `n_i`, identity on the
+/// incomplete top coset.
+fn g_forward(key: &RsaPublicKey, x: &[u8], dom: usize) -> Vec<u8> {
+    let m = Ubig::from_bytes_be(x);
+    let n = key.n();
+    let (q, r) = m.divrem(n);
+    let two_b = Ubig::one().shl(dom * 8);
+    if q.add(&Ubig::one()).mul(n) <= two_b {
+        q.mul(n).add(&key.raw_public(&r)).to_bytes_be_padded(dom)
+    } else {
+        x.to_vec()
+    }
+}
+
+/// Trapdoor inverse of [`g_forward`].
+fn g_backward(key: &RsaPrivateKey, y: &[u8], dom: usize) -> Vec<u8> {
+    let m = Ubig::from_bytes_be(y);
+    let n = key.public().n();
+    let (q, r) = m.divrem(n);
+    let two_b = Ubig::one().shl(dom * 8);
+    if q.add(&Ubig::one()).mul(n) <= two_b {
+        q.mul(n).add(&key.raw_private(&r)).to_bytes_be_padded(dom)
+    } else {
+        y.to_vec()
+    }
+}
+
+/// Signs `message` on behalf of the ring, using `signer`'s trapdoor.
+/// `signer_index` is the signer's position within `ring`, whose key must
+/// equal `signer.public()`.
+pub fn ring_sign(
+    message: &[u8],
+    ring: &[RsaPublicKey],
+    signer_index: usize,
+    signer: &RsaPrivateKey,
+    rng: &mut HmacDrbg,
+) -> Result<RingSignature, CryptoError> {
+    if ring.is_empty() {
+        return Err(CryptoError::RingInvalid("empty ring"));
+    }
+    if signer_index >= ring.len() {
+        return Err(CryptoError::RingInvalid("signer index out of range"));
+    }
+    if &ring[signer_index] != signer.public() {
+        return Err(CryptoError::RingInvalid("signer key not at claimed index"));
+    }
+    let dom = domain_bytes(ring);
+    let k = ring_key(message, ring);
+    let n = ring.len();
+
+    // Random x_i for everyone but the signer.
+    let mut xs: Vec<Vec<u8>> = (0..n).map(|_| rng.bytes(dom)).collect();
+    let mut ys: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for (i, x) in xs.iter().enumerate() {
+        if i == signer_index {
+            ys.push(vec![0u8; dom]); // placeholder, solved below
+        } else {
+            ys.push(g_forward(&ring[i], x, dom));
+        }
+    }
+
+    // Random glue value v.
+    let v = rng.bytes(dom);
+
+    // Forward pass: z_s = fold of y_0..y_{s-1} starting from v.
+    let mut z_fwd = v.clone();
+    for y in ys.iter().take(signer_index) {
+        xor_into(&mut z_fwd, y);
+        z_fwd = feistel_forward(&k, &z_fwd);
+    }
+    // Backward pass from z_n = v down to z_{s+1}.
+    let mut z_bwd = v.clone();
+    for y in ys.iter().skip(signer_index + 1).rev() {
+        let mut t = feistel_backward(&k, &z_bwd);
+        xor_into(&mut t, y);
+        z_bwd = t;
+    }
+    // Close the ring: z_{s+1} = E(z_s ⊕ y_s)  ⇒  y_s = E^{-1}(z_{s+1}) ⊕ z_s.
+    let mut y_s = feistel_backward(&k, &z_bwd);
+    xor_into(&mut y_s, &z_fwd);
+    xs[signer_index] = g_backward(signer, &y_s, dom);
+
+    Ok(RingSignature { v, xs })
+}
+
+/// Verifies a ring signature: recomputes all `y_i = g_i(x_i)` and checks
+/// the ring equation closes at the glue value.
+pub fn ring_verify(
+    message: &[u8],
+    ring: &[RsaPublicKey],
+    sig: &RingSignature,
+) -> Result<(), CryptoError> {
+    if ring.is_empty() || sig.xs.len() != ring.len() {
+        return Err(CryptoError::RingInvalid("ring/signature size mismatch"));
+    }
+    let dom = domain_bytes(ring);
+    if sig.v.len() != dom || sig.xs.iter().any(|x| x.len() != dom) {
+        return Err(CryptoError::RingInvalid("wrong domain size"));
+    }
+    let k = ring_key(message, ring);
+    let mut z = sig.v.clone();
+    for (i, x) in sig.xs.iter().enumerate() {
+        let y = g_forward(&ring[i], x, dom);
+        xor_into(&mut z, &y);
+        z = feistel_forward(&k, &z);
+    }
+    if z == sig.v {
+        Ok(())
+    } else {
+        Err(CryptoError::SignatureInvalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_ring(n: usize, bits: usize) -> (Vec<RsaPrivateKey>, Vec<RsaPublicKey>) {
+        let mut rng = HmacDrbg::from_u64_labeled(1234, "ring tests");
+        let privs: Vec<RsaPrivateKey> =
+            (0..n).map(|_| RsaPrivateKey::generate(bits, &mut rng)).collect();
+        let pubs = privs.iter().map(|k| k.public().clone()).collect();
+        (privs, pubs)
+    }
+
+    #[test]
+    fn feistel_is_a_permutation() {
+        let k = crate::sha256::sha256(b"key");
+        let mut rng = HmacDrbg::new(b"feistel");
+        for len in [16usize, 32, 64, 130] {
+            let block = rng.bytes(len);
+            let enc = feistel_forward(&k, &block);
+            assert_eq!(feistel_backward(&k, &enc), block);
+            assert_ne!(enc, block);
+        }
+    }
+
+    #[test]
+    fn g_round_trips_under_trapdoor() {
+        let (privs, pubs) = make_ring(1, 256);
+        let dom = domain_bytes(&pubs);
+        let mut rng = HmacDrbg::new(b"g perm");
+        for _ in 0..5 {
+            let x = rng.bytes(dom);
+            let y = g_forward(&pubs[0], &x, dom);
+            assert_eq!(g_backward(&privs[0], &y, dom), x);
+        }
+    }
+
+    #[test]
+    fn sign_verify_each_position() {
+        let (privs, pubs) = make_ring(4, 256);
+        let mut rng = HmacDrbg::new(b"each position");
+        for s in 0..4 {
+            let sig = ring_sign(b"a route exists", &pubs, s, &privs[s], &mut rng).unwrap();
+            assert!(ring_verify(b"a route exists", &pubs, &sig).is_ok(), "signer {s}");
+        }
+    }
+
+    #[test]
+    fn singleton_ring_works() {
+        let (privs, pubs) = make_ring(1, 256);
+        let mut rng = HmacDrbg::new(b"single");
+        let sig = ring_sign(b"m", &pubs, 0, &privs[0], &mut rng).unwrap();
+        assert!(ring_verify(b"m", &pubs, &sig).is_ok());
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (privs, pubs) = make_ring(3, 256);
+        let mut rng = HmacDrbg::new(b"wrong msg");
+        let sig = ring_sign(b"message A", &pubs, 1, &privs[1], &mut rng).unwrap();
+        assert!(ring_verify(b"message B", &pubs, &sig).is_err());
+    }
+
+    #[test]
+    fn different_ring_rejected() {
+        let (privs, pubs) = make_ring(3, 256);
+        let (_, other_pubs) = {
+            let mut rng = HmacDrbg::from_u64_labeled(777, "other ring");
+            let privs: Vec<RsaPrivateKey> =
+                (0..3).map(|_| RsaPrivateKey::generate(256, &mut rng)).collect();
+            let pubs: Vec<RsaPublicKey> = privs.iter().map(|k| k.public().clone()).collect();
+            (privs, pubs)
+        };
+        let mut rng = HmacDrbg::new(b"diff ring");
+        let sig = ring_sign(b"m", &pubs, 0, &privs[0], &mut rng).unwrap();
+        assert!(ring_verify(b"m", &other_pubs, &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (privs, pubs) = make_ring(3, 256);
+        let mut rng = HmacDrbg::new(b"tamper");
+        let mut sig = ring_sign(b"m", &pubs, 2, &privs[2], &mut rng).unwrap();
+        sig.xs[0][5] ^= 0xff;
+        assert!(ring_verify(b"m", &pubs, &sig).is_err());
+        let mut sig2 = ring_sign(b"m", &pubs, 2, &privs[2], &mut rng).unwrap();
+        sig2.v[0] ^= 1;
+        assert!(ring_verify(b"m", &pubs, &sig2).is_err());
+    }
+
+    #[test]
+    fn structural_errors_rejected() {
+        let (privs, pubs) = make_ring(3, 256);
+        let mut rng = HmacDrbg::new(b"structural");
+        // Wrong signer index.
+        assert!(ring_sign(b"m", &pubs, 5, &privs[0], &mut rng).is_err());
+        // Key not at claimed index.
+        assert!(ring_sign(b"m", &pubs, 0, &privs[1], &mut rng).is_err());
+        // Empty ring.
+        assert!(ring_sign(b"m", &[], 0, &privs[0], &mut rng).is_err());
+        // Signature size mismatch.
+        let sig = ring_sign(b"m", &pubs, 0, &privs[0], &mut rng).unwrap();
+        let short = RingSignature { v: sig.v.clone(), xs: sig.xs[..2].to_vec() };
+        assert!(ring_verify(b"m", &pubs, &short).is_err());
+    }
+
+    #[test]
+    fn mixed_key_sizes_in_ring() {
+        // Members may have different modulus sizes; the common domain must
+        // cover the largest.
+        let mut rng = HmacDrbg::from_u64_labeled(55, "mixed");
+        let k1 = RsaPrivateKey::generate(256, &mut rng);
+        let k2 = RsaPrivateKey::generate(384, &mut rng);
+        let pubs = vec![k1.public().clone(), k2.public().clone()];
+        let sig = ring_sign(b"m", &pubs, 0, &k1, &mut rng).unwrap();
+        assert!(ring_verify(b"m", &pubs, &sig).is_ok());
+        let sig = ring_sign(b"m", &pubs, 1, &k2, &mut rng).unwrap();
+        assert!(ring_verify(b"m", &pubs, &sig).is_ok());
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let (privs, pubs) = make_ring(2, 256);
+        let mut rng = HmacDrbg::new(b"randomized");
+        let s1 = ring_sign(b"m", &pubs, 0, &privs[0], &mut rng).unwrap();
+        let s2 = ring_sign(b"m", &pubs, 0, &privs[0], &mut rng).unwrap();
+        assert_ne!(s1, s2, "two signatures over the same message must differ");
+    }
+}

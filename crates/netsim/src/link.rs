@@ -1,0 +1,82 @@
+//! Directed link configuration: latency, jitter, loss, and partitions.
+//!
+//! PVR's threat model includes arbitrary message interleavings, so the
+//! simulator must be able to vary delivery order (jitter) and drop
+//! messages. Faults here are *network* faults; *protocol-level*
+//! misbehavior (equivocation, lying about bits) is implemented by
+//! Byzantine agents in `pvr-core`, not by the links.
+
+use crate::time::SimDuration;
+
+/// Configuration of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Base one-way latency.
+    pub latency: SimDuration,
+    /// Maximum additional random latency (uniform in `[0, jitter]`).
+    pub jitter: SimDuration,
+    /// Probability that a message is silently dropped.
+    pub drop_prob: f64,
+    /// Administratively down (partition): all messages dropped.
+    pub down: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_millis(10),
+            jitter: SimDuration::ZERO,
+            drop_prob: 0.0,
+            down: false,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A perfect link with the given latency.
+    pub fn with_latency(latency: SimDuration) -> LinkConfig {
+        LinkConfig { latency, ..Default::default() }
+    }
+
+    /// Adds uniform jitter.
+    pub fn jittered(mut self, jitter: SimDuration) -> LinkConfig {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Adds random loss.
+    pub fn lossy(mut self, drop_prob: f64) -> LinkConfig {
+        assert!((0.0..=1.0).contains(&drop_prob), "probability out of range");
+        self.drop_prob = drop_prob;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let l = LinkConfig::with_latency(SimDuration::from_millis(5))
+            .jittered(SimDuration::from_micros(100))
+            .lossy(0.25);
+        assert_eq!(l.latency, SimDuration::from_millis(5));
+        assert_eq!(l.jitter, SimDuration::from_micros(100));
+        assert!((l.drop_prob - 0.25).abs() < 1e-12);
+        assert!(!l.down);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_rejected() {
+        let _ = LinkConfig::default().lossy(1.5);
+    }
+
+    #[test]
+    fn default_is_clean() {
+        let l = LinkConfig::default();
+        assert_eq!(l.drop_prob, 0.0);
+        assert!(!l.down);
+    }
+}

@@ -1,0 +1,634 @@
+//! The discrete-event simulator core.
+//!
+//! Design follows the smoltcp school: a synchronous, poll-driven event
+//! loop with no hidden concurrency — every run is a deterministic
+//! function of (agent code, topology, seed). Agents exchange typed
+//! messages; the simulator owns the clock, the event queue, the links,
+//! and the statistics.
+//!
+//! Determinism rules:
+//! * events are ordered by `(time, sequence-number)` — ties broken by
+//!   insertion order, never by map iteration order;
+//! * all randomness (jitter, drops) comes from one seeded [`HmacDrbg`];
+//! * agents only interact with the world through [`Context`].
+
+use crate::link::LinkConfig;
+use crate::time::{SimDuration, SimTime};
+use pvr_crypto::drbg::HmacDrbg;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a node within the simulator.
+pub type NodeId = usize;
+
+/// Payloads must expose their serialized size for overhead accounting
+/// (experiments E5/E8 report bytes on the wire).
+pub trait Payload: Clone + 'static {
+    /// Serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+/// A protocol participant.
+///
+/// `on_message` / `on_timer` receive a [`Context`] through which the
+/// agent sends messages and arms timers; mutations are applied by the
+/// simulator after the callback returns, preserving determinism.
+pub trait Agent<P: Payload>: Any {
+    /// Called once before the first event is processed.
+    fn on_start(&mut self, _ctx: &mut Context<P>) {}
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Context<P>, from: NodeId, msg: P);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<P>, _timer: u64) {}
+
+    /// Downcast support (simulators are heterogeneous collections).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The API surface agents see during a callback.
+pub struct Context<'a, P> {
+    now: SimTime,
+    self_id: NodeId,
+    rng: &'a mut HmacDrbg,
+    actions: Vec<Action<P>>,
+}
+
+enum Action<P> {
+    Send { to: NodeId, msg: P },
+    SetTimer { delay: SimDuration, timer: u64 },
+}
+
+impl<'a, P> Context<'a, P> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node's own id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` over the configured link.
+    pub fn send(&mut self, to: NodeId, msg: P) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arms a one-shot timer; `timer` is returned in `on_timer`.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: u64) {
+        self.actions.push(Action::SetTimer { delay, timer });
+    }
+
+    /// Deterministic per-simulation randomness (e.g. for randomized
+    /// protocol choices inside agents).
+    pub fn rng(&mut self) -> &mut HmacDrbg {
+        self.rng
+    }
+}
+
+/// One delivered message, as recorded by the trace.
+#[derive(Clone, Debug)]
+pub struct Delivery<P> {
+    /// Delivery time.
+    pub time: SimTime,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// The payload.
+    pub msg: P,
+}
+
+/// Aggregate counters for a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the network by agents.
+    pub sent: u64,
+    /// Messages delivered to agents.
+    pub delivered: u64,
+    /// Messages dropped by lossy/down links.
+    pub dropped: u64,
+    /// Sum of payload wire sizes for sent messages.
+    pub bytes_sent: u64,
+    /// Timer firings.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events: u64,
+}
+
+struct QueuedEvent<P> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+enum EventKind<P> {
+    Deliver { src: NodeId, dst: NodeId, msg: P },
+    Timer { node: NodeId, timer: u64 },
+}
+
+impl<P> PartialEq for QueuedEvent<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for QueuedEvent<P> {}
+impl<P> PartialOrd for QueuedEvent<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for QueuedEvent<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The simulator: nodes, links, clock, queue, stats, and optional trace.
+pub struct Simulator<P: Payload> {
+    nodes: Vec<Box<dyn Agent<P>>>,
+    links: HashMap<(NodeId, NodeId), LinkConfig>,
+    default_link: LinkConfig,
+    queue: BinaryHeap<Reverse<QueuedEvent<P>>>,
+    seq: u64,
+    now: SimTime,
+    rng: HmacDrbg,
+    stats: SimStats,
+    trace: Option<Vec<Delivery<P>>>,
+    started: bool,
+}
+
+impl<P: Payload> Simulator<P> {
+    /// Creates a simulator with the given seed (all randomness derives
+    /// from it) and a default link configuration.
+    pub fn new(seed: u64) -> Simulator<P> {
+        Simulator {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            default_link: LinkConfig::default(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng: HmacDrbg::from_u64_labeled(seed, "netsim"),
+            stats: SimStats::default(),
+            trace: None,
+            started: false,
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, agent: Box<dyn Agent<P>>) -> NodeId {
+        self.nodes.push(agent);
+        self.nodes.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sets the link configuration used when no per-pair config exists.
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        self.default_link = cfg;
+    }
+
+    /// Configures the directed link `src → dst`.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        self.links.insert((src, dst), cfg);
+    }
+
+    /// Configures both directions between `a` and `b`.
+    pub fn set_link_bidi(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.set_link(a, b, cfg);
+        self.set_link(b, a, cfg);
+    }
+
+    /// Takes a directed link down (partition).
+    pub fn set_link_down(&mut self, src: NodeId, dst: NodeId, down: bool) {
+        let mut cfg = self.link_config(src, dst);
+        cfg.down = down;
+        self.links.insert((src, dst), cfg);
+    }
+
+    fn link_config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.links.get(&(src, dst)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Enables trace recording (for audits and debugging).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> Option<&[Delivery<P>]> {
+        self.trace.as_deref()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Injects a message from outside the simulation (e.g. a test
+    /// harness kicking off a round); delivered after link latency.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: P) {
+        self.schedule_send(src, dst, msg);
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes.get(id)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes.get_mut(id)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind<P>) {
+        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    fn schedule_send(&mut self, src: NodeId, dst: NodeId, msg: P) {
+        assert!(dst < self.nodes.len(), "send to unknown node {dst}");
+        let cfg = self.link_config(src, dst);
+        self.stats.sent += 1;
+        self.stats.bytes_sent += msg.wire_size() as u64;
+        if cfg.down || (cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob)) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if cfg.jitter.as_micros() > 0 {
+            SimDuration::from_micros(self.rng.below(cfg.jitter.as_micros() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        let at = self.now + cfg.latency + jitter;
+        self.schedule(at, EventKind::Deliver { src, dst, msg });
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.schedule_send(node, to, msg),
+                Action::SetTimer { delay, timer } => {
+                    let at = self.now + delay;
+                    self.schedule(at, EventKind::Timer { node, timer });
+                }
+            }
+        }
+    }
+
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent<P>, &mut Context<P>),
+    {
+        let mut agent = std::mem::replace(
+            &mut self.nodes[node],
+            Box::new(InertAgent) as Box<dyn Agent<P>>,
+        );
+        let mut ctx = Context {
+            now: self.now,
+            self_id: node,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(agent.as_mut(), &mut ctx);
+        let actions = ctx.actions;
+        self.nodes[node] = agent;
+        self.apply_actions(node, actions);
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            self.dispatch(id, |agent, ctx| agent.on_start(ctx));
+        }
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Reverse(ev) = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::Deliver { src, dst, msg } => {
+                self.stats.delivered += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(Delivery { time: self.now, src, dst, msg: msg.clone() });
+                }
+                self.dispatch(dst, |agent, ctx| agent.on_message(ctx, src, msg));
+            }
+            EventKind::Timer { node, timer } => {
+                self.stats.timers_fired += 1;
+                self.dispatch(node, |agent, ctx| agent.on_timer(ctx, timer));
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains or a bound is hit. Returns the
+    /// reason the run stopped.
+    pub fn run(&mut self, limits: RunLimits) -> StopReason {
+        self.start_if_needed();
+        loop {
+            if let Some(max) = limits.max_events {
+                if self.stats.events >= max {
+                    return StopReason::EventLimit;
+                }
+            }
+            if let Some(Reverse(head)) = self.queue.peek() {
+                if let Some(deadline) = limits.deadline {
+                    if head.time > deadline {
+                        return StopReason::Deadline;
+                    }
+                }
+            }
+            if !self.step() {
+                return StopReason::Quiescent;
+            }
+        }
+    }
+}
+
+/// Bounds for [`Simulator::run`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunLimits {
+    /// Stop before processing any event later than this time.
+    pub deadline: Option<SimTime>,
+    /// Stop after this many events.
+    pub max_events: Option<u64>,
+}
+
+impl RunLimits {
+    /// No limits: run to quiescence.
+    pub fn none() -> RunLimits {
+        RunLimits::default()
+    }
+
+    /// Run until simulated `deadline`.
+    pub fn until(deadline: SimTime) -> RunLimits {
+        RunLimits { deadline: Some(deadline), max_events: None }
+    }
+}
+
+/// Why a [`Simulator::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No events left: the protocol converged.
+    Quiescent,
+    /// The next event lies past the deadline.
+    Deadline,
+    /// The event budget was exhausted.
+    EventLimit,
+}
+
+/// Placeholder agent swapped in while a real agent's callback runs.
+struct InertAgent;
+
+impl<P: Payload> Agent<P> for InertAgent {
+    fn on_message(&mut self, _ctx: &mut Context<P>, _from: NodeId, _msg: P) {
+        unreachable!("InertAgent must never receive messages");
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: counts down a token passed between two nodes.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Token(u32);
+
+    impl Payload for Token {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    struct PingPong {
+        peer: NodeId,
+        received: Vec<u32>,
+        kick_off: bool,
+    }
+
+    impl Agent<Token> for PingPong {
+        fn on_start(&mut self, ctx: &mut Context<Token>) {
+            if self.kick_off {
+                ctx.send(self.peer, Token(5));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Token>, _from: NodeId, msg: Token) {
+            self.received.push(msg.0);
+            if msg.0 > 0 {
+                ctx.send(self.peer, Token(msg.0 - 1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ping_pong_sim(seed: u64) -> Simulator<Token> {
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_node(Box::new(PingPong { peer: 1, received: vec![], kick_off: true }));
+        let b = sim.add_node(Box::new(PingPong { peer: 0, received: vec![], kick_off: false }));
+        assert_eq!((a, b), (0, 1));
+        sim
+    }
+
+    #[test]
+    fn ping_pong_converges() {
+        let mut sim = ping_pong_sim(1);
+        assert_eq!(sim.run(RunLimits::none()), StopReason::Quiescent);
+        let a: &PingPong = sim.node(0).unwrap();
+        let b: &PingPong = sim.node(1).unwrap();
+        assert_eq!(b.received, vec![5, 3, 1]);
+        assert_eq!(a.received, vec![4, 2, 0]);
+        assert_eq!(sim.stats().delivered, 6);
+        assert_eq!(sim.stats().bytes_sent, 24);
+    }
+
+    #[test]
+    fn time_advances_with_latency() {
+        let mut sim = ping_pong_sim(1);
+        sim.set_default_link(LinkConfig::with_latency(SimDuration::from_millis(10)));
+        sim.run(RunLimits::none());
+        // 6 hops × 10 ms.
+        assert_eq!(sim.now().as_micros(), 60_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut sim = ping_pong_sim(seed);
+            sim.set_default_link(
+                LinkConfig::with_latency(SimDuration::from_millis(1))
+                    .jittered(SimDuration::from_micros(500)),
+            );
+            sim.enable_trace();
+            sim.run(RunLimits::none());
+            (
+                sim.now(),
+                sim.stats().clone(),
+                sim.trace().unwrap().iter().map(|d| (d.time, d.src, d.dst)).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).2, run(8).2, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn lossy_link_drops() {
+        let mut sim = ping_pong_sim(3);
+        sim.set_default_link(LinkConfig::default().lossy(1.0));
+        sim.run(RunLimits::none());
+        assert_eq!(sim.stats().delivered, 0);
+        assert_eq!(sim.stats().dropped, 1); // the kick-off message
+    }
+
+    #[test]
+    fn partition_blocks_messages() {
+        let mut sim = ping_pong_sim(4);
+        sim.set_link_down(0, 1, true);
+        sim.run(RunLimits::none());
+        assert_eq!(sim.stats().delivered, 0);
+        // Bringing the link back up lets an injected message through.
+        sim.set_link_down(0, 1, false);
+        sim.inject(0, 1, Token(0));
+        sim.run(RunLimits::none());
+        assert_eq!(sim.stats().delivered, 1);
+    }
+
+    #[test]
+    fn deadline_stops_run() {
+        let mut sim = ping_pong_sim(5);
+        sim.set_default_link(LinkConfig::with_latency(SimDuration::from_millis(10)));
+        let r = sim.run(RunLimits::until(SimTime(25_000)));
+        assert_eq!(r, StopReason::Deadline);
+        assert!(sim.now().as_micros() <= 25_000);
+        // Resume to quiescence.
+        assert_eq!(sim.run(RunLimits::none()), StopReason::Quiescent);
+    }
+
+    #[test]
+    fn event_limit_stops_run() {
+        let mut sim = ping_pong_sim(6);
+        let r = sim.run(RunLimits { deadline: None, max_events: Some(2) });
+        assert_eq!(r, StopReason::EventLimit);
+        assert_eq!(sim.stats().events, 2);
+    }
+
+    struct TimerAgent {
+        fired: Vec<u64>,
+    }
+
+    impl Agent<Token> for TimerAgent {
+        fn on_start(&mut self, ctx: &mut Context<Token>) {
+            ctx.set_timer(SimDuration::from_millis(5), 42);
+            ctx.set_timer(SimDuration::from_millis(1), 7);
+        }
+        fn on_message(&mut self, _: &mut Context<Token>, _: NodeId, _: Token) {}
+        fn on_timer(&mut self, _ctx: &mut Context<Token>, timer: u64) {
+            self.fired.push(timer);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim: Simulator<Token> = Simulator::new(9);
+        sim.add_node(Box::new(TimerAgent { fired: vec![] }));
+        sim.run(RunLimits::none());
+        let a: &TimerAgent = sim.node(0).unwrap();
+        assert_eq!(a.fired, vec![7, 42]);
+        assert_eq!(sim.stats().timers_fired, 2);
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let mut sim = ping_pong_sim(10);
+        sim.enable_trace();
+        sim.run(RunLimits::none());
+        let trace = sim.trace().unwrap();
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace[0].msg, Token(5));
+        assert_eq!(trace[0].src, 0);
+        assert_eq!(trace[0].dst, 1);
+    }
+
+    #[test]
+    fn fifo_ordering_on_equal_latency_links() {
+        // Two messages sent back-to-back over the same link must arrive
+        // in send order (ties broken by sequence number).
+        struct Burst {
+            peer: NodeId,
+            got: Vec<u32>,
+        }
+        impl Agent<Token> for Burst {
+            fn on_start(&mut self, ctx: &mut Context<Token>) {
+                for i in 0..10 {
+                    ctx.send(self.peer, Token(i));
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<Token>, _: NodeId, msg: Token) {
+                self.got.push(msg.0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulator<Token> = Simulator::new(11);
+        sim.add_node(Box::new(Burst { peer: 1, got: vec![] }));
+        sim.add_node(Box::new(Burst { peer: 0, got: vec![] }));
+        sim.run(RunLimits::none());
+        let b: &Burst = sim.node(1).unwrap();
+        assert_eq!(b.got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn send_to_unknown_node_panics() {
+        let mut sim = ping_pong_sim(12);
+        sim.inject(0, 99, Token(0));
+    }
+}

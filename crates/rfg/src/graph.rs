@@ -1,0 +1,534 @@
+//! The route-flow graph: vertices, edges, validation, and evaluation.
+//!
+//! §2.1: "the connections between operators and variables will form a
+//! graph. In analogy to data flow graphs, we will refer to this graph as
+//! the route-flow graph." §3.5: "an edge (o, v) from an operator o to a
+//! variable v indicates that v is computed by o; an edge (v, o)
+//! indicates that v is an input to o."
+
+use crate::ops::OperatorKind;
+use pvr_bgp::{Asn, Route};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of a variable vertex.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+/// Identifier of an operator vertex.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpId(pub u32);
+
+/// Any vertex of the graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum VertexRef {
+    /// A variable vertex.
+    Var(VarId),
+    /// An operator vertex.
+    Op(OpId),
+}
+
+/// What a variable represents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    /// An input: the route(s) advertised by a neighbor (the paper's
+    /// r_1..r_k in Figure 1).
+    Input {
+        /// The advertising neighbor.
+        neighbor: Asn,
+    },
+    /// An intermediate value.
+    Internal,
+    /// An output exported to a neighbor (the paper's r_o).
+    Output {
+        /// The receiving neighbor.
+        neighbor: Asn,
+    },
+}
+
+/// A variable vertex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Variable {
+    /// Identifier.
+    pub id: VarId,
+    /// Human-readable name (for traces and docs).
+    pub name: String,
+    /// Role of the variable.
+    pub kind: VarKind,
+}
+
+/// An operator vertex with its wiring.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Operator {
+    /// Identifier.
+    pub id: OpId,
+    /// The function computed.
+    pub kind: OperatorKind,
+    /// Input variables, in order (order matters for `ShorterOf`).
+    pub inputs: Vec<VarId>,
+    /// The variable this operator computes.
+    pub output: VarId,
+}
+
+/// Structural errors detected by [`RouteFlowGraph::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An operator references a variable that does not exist.
+    UnknownVar(VarId),
+    /// Two operators write the same variable.
+    MultipleWriters(VarId),
+    /// An input variable is computed by an operator.
+    InputComputed(VarId),
+    /// An operator has the wrong number of inputs.
+    BadArity {
+        /// The offending operator.
+        op: OpId,
+        /// Required input count.
+        expected: usize,
+        /// Actual input count.
+        got: usize,
+    },
+    /// The graph contains a cycle through this variable.
+    Cycle(VarId),
+    /// An output variable is never computed.
+    OutputNeverComputed(VarId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownVar(v) => write!(f, "unknown variable {v:?}"),
+            GraphError::MultipleWriters(v) => write!(f, "variable {v:?} has multiple writers"),
+            GraphError::InputComputed(v) => write!(f, "input variable {v:?} is computed"),
+            GraphError::BadArity { op, expected, got } => {
+                write!(f, "operator {op:?} takes {expected} inputs, got {got}")
+            }
+            GraphError::Cycle(v) => write!(f, "cycle through variable {v:?}"),
+            GraphError::OutputNeverComputed(v) => write!(f, "output {v:?} never computed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated route-flow graph.
+#[derive(Clone, Debug, Default)]
+pub struct RouteFlowGraph {
+    vars: BTreeMap<VarId, Variable>,
+    ops: BTreeMap<OpId, Operator>,
+    next_var: u32,
+    next_op: u32,
+}
+
+impl RouteFlowGraph {
+    /// An empty graph.
+    pub fn new() -> RouteFlowGraph {
+        RouteFlowGraph::default()
+    }
+
+    /// Adds an input variable for `neighbor`'s advertised route.
+    pub fn add_input(&mut self, name: &str, neighbor: Asn) -> VarId {
+        self.add_var(name, VarKind::Input { neighbor })
+    }
+
+    /// Adds an internal variable.
+    pub fn add_internal(&mut self, name: &str) -> VarId {
+        self.add_var(name, VarKind::Internal)
+    }
+
+    /// Adds an output variable exported to `neighbor`.
+    pub fn add_output(&mut self, name: &str, neighbor: Asn) -> VarId {
+        self.add_var(name, VarKind::Output { neighbor })
+    }
+
+    fn add_var(&mut self, name: &str, kind: VarKind) -> VarId {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        self.vars.insert(id, Variable { id, name: name.to_string(), kind });
+        id
+    }
+
+    /// Adds an operator computing `output` from `inputs`.
+    pub fn add_op(&mut self, kind: OperatorKind, inputs: &[VarId], output: VarId) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(id, Operator { id, kind, inputs: inputs.to_vec(), output });
+        id
+    }
+
+    /// The variable record.
+    pub fn var(&self, id: VarId) -> Option<&Variable> {
+        self.vars.get(&id)
+    }
+
+    /// The operator record.
+    pub fn op(&self, id: OpId) -> Option<&Operator> {
+        self.ops.get(&id)
+    }
+
+    /// All variables, in id order.
+    pub fn vars(&self) -> impl Iterator<Item = &Variable> {
+        self.vars.values()
+    }
+
+    /// All operators, in id order.
+    pub fn ops(&self) -> impl Iterator<Item = &Operator> {
+        self.ops.values()
+    }
+
+    /// Input variables and their neighbors.
+    pub fn inputs(&self) -> Vec<(VarId, Asn)> {
+        self.vars
+            .values()
+            .filter_map(|v| match v.kind {
+                VarKind::Input { neighbor } => Some((v.id, neighbor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Output variables and their neighbors.
+    pub fn outputs(&self) -> Vec<(VarId, Asn)> {
+        self.vars
+            .values()
+            .filter_map(|v| match v.kind {
+                VarKind::Output { neighbor } => Some((v.id, neighbor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The operator that computes `var`, if any.
+    pub fn writer_of(&self, var: VarId) -> Option<&Operator> {
+        self.ops.values().find(|o| o.output == var)
+    }
+
+    /// The operators that read `var`.
+    pub fn readers_of(&self, var: VarId) -> Vec<&Operator> {
+        self.ops.values().filter(|o| o.inputs.contains(&var)).collect()
+    }
+
+    /// Checks all structural invariants; returns a topological order of
+    /// the operators on success.
+    pub fn validate(&self) -> Result<Vec<OpId>, GraphError> {
+        // References and writer uniqueness.
+        let mut writer: BTreeMap<VarId, OpId> = BTreeMap::new();
+        for op in self.ops.values() {
+            for &v in op.inputs.iter().chain([&op.output]) {
+                if !self.vars.contains_key(&v) {
+                    return Err(GraphError::UnknownVar(v));
+                }
+            }
+            if let Some(expected) = op.kind.arity() {
+                if op.inputs.len() != expected {
+                    return Err(GraphError::BadArity {
+                        op: op.id,
+                        expected,
+                        got: op.inputs.len(),
+                    });
+                }
+            }
+            if writer.insert(op.output, op.id).is_some() {
+                return Err(GraphError::MultipleWriters(op.output));
+            }
+            if matches!(self.vars[&op.output].kind, VarKind::Input { .. }) {
+                return Err(GraphError::InputComputed(op.output));
+            }
+        }
+        // Outputs must be computed.
+        for (v, _) in self.outputs() {
+            if !writer.contains_key(&v) {
+                return Err(GraphError::OutputNeverComputed(v));
+            }
+        }
+        // Topological sort over operators (Kahn).
+        let mut order = Vec::with_capacity(self.ops.len());
+        let mut resolved: BTreeSet<VarId> = self
+            .vars
+            .keys()
+            .filter(|v| !writer.contains_key(v))
+            .copied()
+            .collect();
+        let mut remaining: BTreeMap<OpId, &Operator> =
+            self.ops.iter().map(|(&id, op)| (id, op)).collect();
+        loop {
+            let ready: Vec<OpId> = remaining
+                .values()
+                .filter(|op| op.inputs.iter().all(|i| resolved.contains(i)))
+                .map(|op| op.id)
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            for id in ready {
+                let op = remaining.remove(&id).unwrap();
+                resolved.insert(op.output);
+                order.push(id);
+            }
+        }
+        if let Some(op) = remaining.values().next() {
+            return Err(GraphError::Cycle(op.output));
+        }
+        Ok(order)
+    }
+
+    /// Evaluates the graph on the given neighbor inputs, returning all
+    /// variable values plus the per-operator trace (the raw material for
+    /// PVR evidence). Neighbors absent from `inputs` contribute the
+    /// empty route set.
+    pub fn evaluate(&self, inputs: &BTreeMap<Asn, Vec<Route>>) -> Result<Evaluation, GraphError> {
+        let order = self.validate()?;
+        let mut values: BTreeMap<VarId, Vec<Route>> = BTreeMap::new();
+        for v in self.vars.values() {
+            if let VarKind::Input { neighbor } = v.kind {
+                values.insert(
+                    v.id,
+                    crate::ops::canonicalize(inputs.get(&neighbor).cloned().unwrap_or_default()),
+                );
+            }
+        }
+        let mut trace = Vec::with_capacity(order.len());
+        for op_id in order {
+            let op = &self.ops[&op_id];
+            let in_values: Vec<Vec<Route>> = op
+                .inputs
+                .iter()
+                .map(|i| values.get(i).cloned().unwrap_or_default())
+                .collect();
+            let out = op.kind.apply(&in_values);
+            trace.push(OpTrace {
+                op: op_id,
+                inputs: op.inputs.iter().cloned().zip(in_values).collect(),
+                output: (op.output, out.clone()),
+            });
+            values.insert(op.output, out);
+        }
+        Ok(Evaluation { values, trace })
+    }
+}
+
+/// One operator application in an evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpTrace {
+    /// The operator.
+    pub op: OpId,
+    /// Input variable values at application time.
+    pub inputs: Vec<(VarId, Vec<Route>)>,
+    /// The computed output.
+    pub output: (VarId, Vec<Route>),
+}
+
+/// The result of evaluating a route-flow graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Evaluation {
+    /// Final value of every variable.
+    pub values: BTreeMap<VarId, Vec<Route>>,
+    /// Operator applications in execution order.
+    pub trace: Vec<OpTrace>,
+}
+
+impl Evaluation {
+    /// The value of `var` (empty if unset).
+    pub fn value(&self, var: VarId) -> &[Route] {
+        self.values.get(&var).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The single route in `var`, if exactly one.
+    pub fn single(&self, var: VarId) -> Option<&Route> {
+        match self.value(var) {
+            [r] => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the paper's Figure 1 graph: inputs r_1..r_k from `ns`, one
+/// `min` operator, output r_o to `b`.
+pub fn figure1_graph(ns: &[Asn], b: Asn) -> (RouteFlowGraph, Vec<VarId>, VarId, OpId) {
+    let mut g = RouteFlowGraph::new();
+    let inputs: Vec<VarId> = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| g.add_input(&format!("r{}", i + 1), n))
+        .collect();
+    let out = g.add_output("r_o", b);
+    let min = g.add_op(OperatorKind::MinPathLen, &inputs, out);
+    (g, inputs, out, min)
+}
+
+/// Builds the paper's Figure 2 graph: "I will export some route via
+/// N2, …, Nk unless N1 provides a shorter route". Inputs r_1..r_k, a
+/// `min` over r_2..r_k into internal v, a `ShorterOf(r_1, v)` into the
+/// output.
+pub fn figure2_graph(ns: &[Asn], b: Asn) -> (RouteFlowGraph, Vec<VarId>, VarId, OpId, OpId) {
+    assert!(ns.len() >= 2, "figure 2 needs at least N1 and N2");
+    let mut g = RouteFlowGraph::new();
+    let inputs: Vec<VarId> = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| g.add_input(&format!("r{}", i + 1), n))
+        .collect();
+    let v = g.add_internal("v");
+    let min = g.add_op(OperatorKind::MinPathLen, &inputs[1..], v);
+    let out = g.add_output("r_o", b);
+    let choose = g.add_op(OperatorKind::ShorterOf, &[inputs[0], v], out);
+    (g, inputs, out, min, choose)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OperatorKind;
+    use pvr_bgp::{AsPath, Prefix};
+
+    fn route(path: &[u32]) -> Route {
+        let mut r = Route::originate(Prefix::parse("10.0.0.0/8").unwrap());
+        r.path = AsPath::from_slice(&path.iter().map(|&a| Asn(a)).collect::<Vec<_>>());
+        r
+    }
+
+    #[test]
+    fn figure1_evaluation() {
+        let ns = [Asn(1), Asn(2), Asn(3)];
+        let (g, _inputs, out, _) = figure1_graph(&ns, Asn(200));
+        let mut in_routes = BTreeMap::new();
+        in_routes.insert(Asn(1), vec![route(&[1, 9, 9])]);
+        in_routes.insert(Asn(2), vec![route(&[2, 9])]);
+        in_routes.insert(Asn(3), vec![route(&[3, 9, 9, 9])]);
+        let eval = g.evaluate(&in_routes).unwrap();
+        assert_eq!(eval.single(out).unwrap().path_len(), 2);
+        assert_eq!(eval.trace.len(), 1);
+    }
+
+    #[test]
+    fn figure1_missing_inputs_are_empty() {
+        let ns = [Asn(1), Asn(2)];
+        let (g, inputs, out, _) = figure1_graph(&ns, Asn(200));
+        let mut in_routes = BTreeMap::new();
+        in_routes.insert(Asn(2), vec![route(&[2, 9])]);
+        let eval = g.evaluate(&in_routes).unwrap();
+        assert!(eval.value(inputs[0]).is_empty());
+        assert_eq!(eval.single(out).unwrap().path.asns()[0], Asn(2));
+    }
+
+    #[test]
+    fn figure2_evaluation_both_branches() {
+        let ns = [Asn(1), Asn(2), Asn(3)];
+        let (g, _, out, _, _) = figure2_graph(&ns, Asn(200));
+        // N1 strictly shorter → N1's route.
+        let mut in_routes = BTreeMap::new();
+        in_routes.insert(Asn(1), vec![route(&[1, 9])]);
+        in_routes.insert(Asn(2), vec![route(&[2, 8, 9])]);
+        in_routes.insert(Asn(3), vec![route(&[3, 7, 8, 9])]);
+        let eval = g.evaluate(&in_routes).unwrap();
+        assert_eq!(eval.single(out).unwrap().path.asns()[0], Asn(1));
+        // N1 equal length → N2..Nk side.
+        let mut in_routes = BTreeMap::new();
+        in_routes.insert(Asn(1), vec![route(&[1, 8, 9])]);
+        in_routes.insert(Asn(2), vec![route(&[2, 8, 9])]);
+        let eval = g.evaluate(&in_routes).unwrap();
+        assert_eq!(eval.single(out).unwrap().path.asns()[0], Asn(2));
+    }
+
+    #[test]
+    fn validation_rejects_unknown_var() {
+        let mut g = RouteFlowGraph::new();
+        let out = g.add_output("o", Asn(1));
+        g.add_op(OperatorKind::Union, &[VarId(99)], out);
+        assert_eq!(g.validate(), Err(GraphError::UnknownVar(VarId(99))));
+    }
+
+    #[test]
+    fn validation_rejects_multiple_writers() {
+        let mut g = RouteFlowGraph::new();
+        let i = g.add_input("i", Asn(1));
+        let out = g.add_output("o", Asn(2));
+        g.add_op(OperatorKind::Union, &[i], out);
+        g.add_op(OperatorKind::Existential, &[i], out);
+        assert_eq!(g.validate(), Err(GraphError::MultipleWriters(out)));
+    }
+
+    #[test]
+    fn validation_rejects_computed_input() {
+        let mut g = RouteFlowGraph::new();
+        let i1 = g.add_input("i1", Asn(1));
+        let i2 = g.add_input("i2", Asn(2));
+        g.add_op(OperatorKind::Union, &[i1], i2);
+        assert_eq!(g.validate(), Err(GraphError::InputComputed(i2)));
+    }
+
+    #[test]
+    fn validation_rejects_cycle() {
+        let mut g = RouteFlowGraph::new();
+        let a = g.add_internal("a");
+        let b = g.add_internal("b");
+        g.add_op(OperatorKind::Union, &[a], b);
+        g.add_op(OperatorKind::Union, &[b], a);
+        assert!(matches!(g.validate(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn validation_rejects_bad_arity() {
+        let mut g = RouteFlowGraph::new();
+        let i = g.add_input("i", Asn(1));
+        let out = g.add_output("o", Asn(2));
+        g.add_op(OperatorKind::ShorterOf, &[i], out);
+        assert!(matches!(g.validate(), Err(GraphError::BadArity { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_uncomputed_output() {
+        let mut g = RouteFlowGraph::new();
+        g.add_output("o", Asn(2));
+        assert!(matches!(g.validate(), Err(GraphError::OutputNeverComputed(_))));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let ns = [Asn(1), Asn(2), Asn(3)];
+        let (g, _, _, min, choose) = figure2_graph(&ns, Asn(200));
+        let order = g.validate().unwrap();
+        let pos_min = order.iter().position(|&o| o == min).unwrap();
+        let pos_choose = order.iter().position(|&o| o == choose).unwrap();
+        assert!(pos_min < pos_choose);
+    }
+
+    #[test]
+    fn structure_queries() {
+        let ns = [Asn(1), Asn(2)];
+        let (g, inputs, out, min) = figure1_graph(&ns, Asn(200));
+        assert_eq!(g.writer_of(out).unwrap().id, min);
+        assert!(g.writer_of(inputs[0]).is_none());
+        assert_eq!(g.readers_of(inputs[0]).len(), 1);
+        assert_eq!(g.inputs().len(), 2);
+        assert_eq!(g.outputs(), vec![(out, Asn(200))]);
+        assert_eq!(g.vars().count(), 3);
+        assert_eq!(g.ops().count(), 1);
+        assert!(g.var(inputs[0]).is_some());
+        assert!(g.op(min).is_some());
+    }
+
+    #[test]
+    fn deeper_pipeline_evaluates() {
+        // union → filter-community → min → output: a 3-operator pipeline.
+        let mut g = RouteFlowGraph::new();
+        let i1 = g.add_input("i1", Asn(1));
+        let i2 = g.add_input("i2", Asn(2));
+        let merged = g.add_internal("merged");
+        let filtered = g.add_internal("filtered");
+        let out = g.add_output("o", Asn(9));
+        g.add_op(OperatorKind::Union, &[i1, i2], merged);
+        let c = pvr_bgp::Community(65000, 7);
+        g.add_op(
+            OperatorKind::FilterCommunity { community: c, keep_if_present: true },
+            &[merged],
+            filtered,
+        );
+        g.add_op(OperatorKind::MinPathLen, &[filtered], out);
+        let mut in_routes = BTreeMap::new();
+        in_routes.insert(Asn(1), vec![route(&[1]).with_community(c)]);
+        in_routes.insert(Asn(2), vec![route(&[2])]); // untagged, filtered out
+        let eval = g.evaluate(&in_routes).unwrap();
+        assert_eq!(eval.single(out).unwrap().path.asns()[0], Asn(1));
+        assert_eq!(eval.trace.len(), 3);
+    }
+}

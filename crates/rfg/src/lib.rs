@@ -1,0 +1,32 @@
+//! # pvr-rfg — route-flow graphs, access control, and promises
+//!
+//! The modeling layer of the PVR paper (§2):
+//!
+//! * [`ops`] — operators ("an operation that takes some set of input
+//!   routes and emits a set of output routes"), including the paper's
+//!   existential (§3.2) and minimum (§3.3) operators, the Figure 2
+//!   `ShorterOf` choice, filters over communities / AS presence /
+//!   prefixes, and the ε-threshold operator;
+//! * [`graph`] — the route-flow graph itself, with validation,
+//!   topological evaluation, and per-operator traces, plus ready-made
+//!   builders for the paper's Figure 1 and Figure 2 graphs;
+//! * [`access`] — the α access-control function (content vs. structure
+//!   visibility, §2.2/§3.7) and the paper's example policy;
+//! * [`promise`] — the §2 promise ladder with violation semantics
+//!   ("permitted set" checking), the §2.2 static implementation check,
+//!   and the §4 minimum-access check.
+
+pub mod access;
+pub mod dsl;
+pub mod graph;
+pub mod ops;
+pub mod promise;
+
+pub use access::{Access, AccessPolicy};
+pub use dsl::{compile as compile_policy, CompiledPolicy, DslError};
+pub use graph::{
+    figure1_graph, figure2_graph, Evaluation, GraphError, OpId, OpTrace, Operator,
+    RouteFlowGraph, VarId, VarKind, Variable, VertexRef,
+};
+pub use ops::{canonical_cmp, canonicalize, OperatorKind};
+pub use promise::{Promise, PromiseViolation};

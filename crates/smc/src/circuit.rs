@@ -1,0 +1,412 @@
+//! Boolean circuits for the SMC/ZKP strawmen.
+//!
+//! §3.1 dismisses generic secure multiparty computation as "prohibitively
+//! expensive" for per-update route verification. To *measure* that claim
+//! (experiment E4) rather than assert it, we need the circuits a generic
+//! approach would evaluate: comparators, adders, a k-way minimum (the
+//! PVR task), and a majority vote (the FairplayMP calibration task \[2\]).
+
+/// A wire index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WireId(pub u32);
+
+/// A gate. XOR/NOT are "free" in GMW (local); AND costs communication.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gate {
+    /// An input bit owned by a party.
+    Input {
+        /// The party supplying this bit.
+        party: u32,
+    },
+    /// A constant bit.
+    Const(bool),
+    /// XOR of two wires.
+    Xor(WireId, WireId),
+    /// AND of two wires (the expensive one).
+    And(WireId, WireId),
+    /// Negation.
+    Not(WireId),
+}
+
+/// A boolean circuit in topological order (gates only reference earlier
+/// wires, enforced by the builder).
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> WireId {
+        if let Some(limit) = match gate {
+            Gate::Xor(a, b) | Gate::And(a, b) => Some(a.0.max(b.0)),
+            Gate::Not(a) => Some(a.0),
+            _ => None,
+        } {
+            assert!(
+                (limit as usize) < self.gates.len(),
+                "gate references a future wire"
+            );
+        }
+        self.gates.push(gate);
+        WireId(self.gates.len() as u32 - 1)
+    }
+
+    /// Adds an input bit owned by `party`.
+    pub fn input(&mut self, party: u32) -> WireId {
+        self.push(Gate::Input { party })
+    }
+
+    /// Adds a constant bit.
+    pub fn constant(&mut self, v: bool) -> WireId {
+        self.push(Gate::Const(v))
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// `¬a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.push(Gate::Not(a))
+    }
+
+    /// `a ∨ b = ¬(¬a ∧ ¬b)`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let n = self.and(na, nb);
+        self.not(n)
+    }
+
+    /// Multiplexer: `sel ? a : b`, computed as `(sel ∧ (a ⊕ b)) ⊕ b`.
+    pub fn mux(&mut self, sel: WireId, a: WireId, b: WireId) -> WireId {
+        let d = self.xor(a, b);
+        let m = self.and(sel, d);
+        self.xor(m, b)
+    }
+
+    /// Word-level mux over little-endian bit vectors.
+    pub fn mux_word(&mut self, sel: WireId, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+    }
+
+    /// Unsigned comparison `a < b` over little-endian words of equal
+    /// width (ripple from MSB).
+    pub fn lt(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        assert_eq!(a.len(), b.len());
+        let mut lt = self.constant(false);
+        let mut eq = self.constant(true);
+        for i in (0..a.len()).rev() {
+            // lt' = lt ∨ (eq ∧ ¬a_i ∧ b_i)
+            let na = self.not(a[i]);
+            let t = self.and(na, b[i]);
+            let t = self.and(eq, t);
+            lt = self.or(lt, t);
+            // eq' = eq ∧ ¬(a_i ⊕ b_i)
+            let x = self.xor(a[i], b[i]);
+            let nx = self.not(x);
+            eq = self.and(eq, nx);
+        }
+        lt
+    }
+
+    /// Ripple-carry adder; returns `width+1` bits (little-endian).
+    pub fn add(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = self.constant(false);
+        for i in 0..a.len() {
+            let axb = self.xor(a[i], b[i]);
+            let s = self.xor(axb, carry);
+            // carry' = (a ∧ b) ∨ (carry ∧ (a ⊕ b))
+            let ab = self.and(a[i], b[i]);
+            let ca = self.and(carry, axb);
+            carry = self.or(ab, ca);
+            out.push(s);
+        }
+        out.push(carry);
+        out
+    }
+
+    /// Marks wires as circuit outputs.
+    pub fn set_outputs(&mut self, outputs: &[WireId]) {
+        self.outputs = outputs.to_vec();
+    }
+
+    /// The output wires.
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// All gates, in order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of AND gates (the GMW communication cost driver).
+    pub fn and_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::And(_, _))).count()
+    }
+
+    /// AND-depth: the number of sequential communication rounds GMW
+    /// needs. Computed as the maximum number of AND gates on any path.
+    pub fn and_depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = match *g {
+                Gate::Input { .. } | Gate::Const(_) => 0,
+                Gate::Not(a) => depth[a.0 as usize],
+                Gate::Xor(a, b) => depth[a.0 as usize].max(depth[b.0 as usize]),
+                Gate::And(a, b) => depth[a.0 as usize].max(depth[b.0 as usize]) + 1,
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|w| depth[w.0 as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Plaintext evaluation (reference semantics for the MPC tests).
+    /// `inputs[p]` are party `p`'s bits in the order its input gates were
+    /// created.
+    pub fn eval_plain(&self, inputs: &[Vec<bool>]) -> Vec<bool> {
+        let mut cursor = vec![0usize; inputs.len()];
+        let mut values = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Input { party } => {
+                    let p = party as usize;
+                    let v = inputs[p][cursor[p]];
+                    cursor[p] += 1;
+                    v
+                }
+                Gate::Const(c) => c,
+                Gate::Xor(a, b) => values[a.0 as usize] ^ values[b.0 as usize],
+                Gate::And(a, b) => values[a.0 as usize] && values[b.0 as usize],
+                Gate::Not(a) => !values[a.0 as usize],
+            };
+            values.push(v);
+        }
+        self.outputs.iter().map(|w| values[w.0 as usize]).collect()
+    }
+}
+
+/// Converts a value into `width` little-endian bits.
+pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| (value >> i) & 1 == 1).collect()
+}
+
+/// Converts little-endian bits back to a value.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Builds the PVR-equivalent SMC task: the minimum of `k` `width`-bit
+/// values, one per party. Output: the minimum, little-endian.
+pub fn min_circuit(k: usize, width: usize) -> Circuit {
+    assert!(k >= 1);
+    let mut c = Circuit::new();
+    let words: Vec<Vec<WireId>> = (0..k)
+        .map(|p| (0..width).map(|_| c.input(p as u32)).collect())
+        .collect();
+    let mut best = words[0].clone();
+    for w in &words[1..] {
+        let is_less = c.lt(w, &best);
+        best = c.mux_word(is_less, w, &best);
+    }
+    c.set_outputs(&best);
+    c
+}
+
+/// Builds the FairplayMP calibration task \[2\]: a yes/no majority vote
+/// among `k` parties (1 input bit each). Output: one bit.
+pub fn majority_circuit(k: usize) -> Circuit {
+    assert!(k >= 1);
+    let mut c = Circuit::new();
+    let votes: Vec<WireId> = (0..k).map(|p| c.input(p as u32)).collect();
+    // Sum the votes with an adder tree over zero-extended words.
+    let width = usize::BITS as usize - (k + 1).leading_zeros() as usize;
+    let zero = c.constant(false);
+    let mut words: Vec<Vec<WireId>> = votes
+        .iter()
+        .map(|&v| {
+            let mut w = vec![v];
+            w.resize(width, zero);
+            w
+        })
+        .collect();
+    while words.len() > 1 {
+        let mut next = Vec::with_capacity(words.len().div_ceil(2));
+        let mut iter = words.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => {
+                    let mut sum = a.clone();
+                    let s = Circuit::add(&mut c, &sum, &b);
+                    sum = s[..width].to_vec(); // width chosen to avoid overflow
+                    next.push(sum);
+                }
+                None => next.push(a),
+            }
+        }
+        words = next;
+    }
+    let total = &words[0];
+    // majority ⟺ total > k/2 ⟺ threshold < total, threshold = k/2.
+    let threshold_bits = to_bits((k / 2) as u64, width);
+    let threshold: Vec<WireId> = threshold_bits.iter().map(|&b| c.constant(b)).collect();
+    let out = c.lt(&threshold, total);
+    c.set_outputs(&[out]);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_gates() {
+        let mut c = Circuit::new();
+        let a = c.input(0);
+        let b = c.input(1);
+        let x = c.xor(a, b);
+        let n = c.and(a, b);
+        let o = c.or(a, b);
+        let na = c.not(a);
+        c.set_outputs(&[x, n, o, na]);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.eval_plain(&[vec![va], vec![vb]]);
+            assert_eq!(out, vec![va ^ vb, va && vb, va || vb, !va]);
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut c = Circuit::new();
+        let s = c.input(0);
+        let a = c.input(0);
+        let b = c.input(0);
+        let m = c.mux(s, a, b);
+        c.set_outputs(&[m]);
+        assert_eq!(c.eval_plain(&[vec![true, true, false]]), vec![true]);
+        assert_eq!(c.eval_plain(&[vec![false, true, false]]), vec![false]);
+    }
+
+    #[test]
+    fn comparator_exhaustive_4bit() {
+        let mut c = Circuit::new();
+        let a: Vec<WireId> = (0..4).map(|_| c.input(0)).collect();
+        let b: Vec<WireId> = (0..4).map(|_| c.input(1)).collect();
+        let lt = c.lt(&a, &b);
+        c.set_outputs(&[lt]);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let out = c.eval_plain(&[to_bits(x, 4), to_bits(y, 4)]);
+                assert_eq!(out[0], x < y, "{x} < {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let mut c = Circuit::new();
+        let a: Vec<WireId> = (0..4).map(|_| c.input(0)).collect();
+        let b: Vec<WireId> = (0..4).map(|_| c.input(1)).collect();
+        let sum = c.add(&a, &b);
+        c.set_outputs(&sum);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let out = c.eval_plain(&[to_bits(x, 4), to_bits(y, 4)]);
+                assert_eq!(from_bits(&out), x + y, "{x} + {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_circuit_correct() {
+        let c = min_circuit(4, 6);
+        let vals = [13u64, 7, 22, 9];
+        let inputs: Vec<Vec<bool>> = vals.iter().map(|&v| to_bits(v, 6)).collect();
+        assert_eq!(from_bits(&c.eval_plain(&inputs)), 7);
+    }
+
+    #[test]
+    fn min_circuit_single_party() {
+        let c = min_circuit(1, 4);
+        assert_eq!(from_bits(&c.eval_plain(&[to_bits(11, 4)])), 11);
+        assert_eq!(c.and_count(), 0, "no comparisons needed");
+    }
+
+    #[test]
+    fn majority_circuit_correct() {
+        for k in [1usize, 3, 5, 7] {
+            let c = majority_circuit(k);
+            for pattern in 0..(1u32 << k) {
+                let inputs: Vec<Vec<bool>> =
+                    (0..k).map(|p| vec![(pattern >> p) & 1 == 1]).collect();
+                let yes = (0..k).filter(|p| (pattern >> p) & 1 == 1).count();
+                let out = c.eval_plain(&inputs);
+                assert_eq!(out[0], yes > k / 2, "k={k} pattern={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let c = min_circuit(5, 8);
+        assert!(c.and_count() > 0);
+        assert!(c.and_depth() > 0);
+        assert!(c.and_depth() <= c.and_count());
+        assert!(!c.is_empty());
+        assert_eq!(c.outputs().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "future wire")]
+    fn forward_reference_rejected() {
+        let mut c = Circuit::new();
+        let a = c.input(0);
+        let _ = c.xor(a, WireId(99));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_min_circuit_matches_iter_min(vals in proptest::collection::vec(0u64..256, 1..6)) {
+            let c = min_circuit(vals.len(), 8);
+            let inputs: Vec<Vec<bool>> = vals.iter().map(|&v| to_bits(v, 8)).collect();
+            prop_assert_eq!(from_bits(&c.eval_plain(&inputs)), *vals.iter().min().unwrap());
+        }
+
+        #[test]
+        fn prop_bits_round_trip(v in 0u64..1024) {
+            prop_assert_eq!(from_bits(&to_bits(v, 10)), v);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! A GMW-style n-party MPC over XOR shares (the §3.1 SMC strawman,
+//! executed for real).
+//!
+//! Faithful share-level semantics: every wire value is XOR-shared among
+//! the parties, XOR/NOT gates are local, and each AND gate consumes one
+//! Beaver multiplication triple and one broadcast round. Triples come
+//! from a simulated trusted dealer — standard practice for protocol
+//! simulators; OT-based triple generation would only *increase* the
+//! strawman's cost, so the comparison in E4 is conservative in SMC's
+//! favor.
+//!
+//! The execution is local (no real network), so wall-clock alone would
+//! flatter SMC enormously; the [`crate::costmodel`] module layers the
+//! communication costs (rounds × RTT, per-OT latency) on top of the
+//! counted [`GmwStats`] to model a deployed system, calibrated against
+//! the paper's FairplayMP data point.
+
+use crate::circuit::{Circuit, Gate};
+use pvr_crypto::drbg::HmacDrbg;
+
+/// Communication/computation counters for one GMW execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GmwStats {
+    /// Parties participating.
+    pub parties: usize,
+    /// Total gates evaluated.
+    pub gates: usize,
+    /// AND gates (each consumed a triple + a broadcast round slot).
+    pub and_gates: usize,
+    /// Sequential communication rounds (AND depth of the circuit).
+    pub rounds: usize,
+    /// Multiplication triples consumed.
+    pub triples: usize,
+    /// Equivalent 1-out-of-2 OTs had triples been generated pairwise
+    /// (2 per triple per ordered party pair).
+    pub equivalent_ots: u64,
+    /// Bits broadcast during evaluation (d/e openings).
+    pub bits_broadcast: u64,
+}
+
+/// The result of a GMW execution.
+#[derive(Clone, Debug)]
+pub struct GmwResult {
+    /// Reconstructed output bits.
+    pub outputs: Vec<bool>,
+    /// Cost counters.
+    pub stats: GmwStats,
+}
+
+/// One party's share vector, indexed by wire.
+type Shares = Vec<bool>;
+
+/// Executes `circuit` among `parties` GMW parties.
+///
+/// `inputs[p]` holds party `p`'s plaintext input bits (in input-gate
+/// creation order); the function secret-shares them, runs the protocol,
+/// and reconstructs the outputs. Panics if the circuit references more
+/// parties than provided.
+pub fn run_gmw(circuit: &Circuit, inputs: &[Vec<bool>], rng: &mut HmacDrbg) -> GmwResult {
+    let n = inputs.len();
+    assert!(n >= 1, "at least one party");
+    let mut cursor = vec![0usize; n];
+    let mut shares: Vec<Shares> = vec![Vec::with_capacity(circuit.len()); n];
+    let mut stats = GmwStats { parties: n, gates: circuit.len(), ..Default::default() };
+
+    // Track the round (AND-layer) of each wire for round counting.
+    let mut wire_round: Vec<usize> = Vec::with_capacity(circuit.len());
+
+    for gate in circuit.gates() {
+        match *gate {
+            Gate::Input { party } => {
+                let p = party as usize;
+                assert!(p < n, "circuit references party {p}, only {n} present");
+                let v = inputs[p][cursor[p]];
+                cursor[p] += 1;
+                // Owner picks random shares for everyone else.
+                let mut acc = v;
+                for (q, sh) in shares.iter_mut().enumerate() {
+                    if q == p {
+                        continue;
+                    }
+                    let r = rng.chance(0.5);
+                    sh.push(r);
+                    acc ^= r;
+                }
+                shares[p].push(acc);
+                wire_round.push(0);
+            }
+            Gate::Const(c) => {
+                // Party 0 holds the constant; others hold 0.
+                for (q, sh) in shares.iter_mut().enumerate() {
+                    sh.push(q == 0 && c);
+                }
+                wire_round.push(0);
+            }
+            Gate::Xor(a, b) => {
+                for sh in shares.iter_mut() {
+                    let v = sh[a.0 as usize] ^ sh[b.0 as usize];
+                    sh.push(v);
+                }
+                wire_round.push(wire_round[a.0 as usize].max(wire_round[b.0 as usize]));
+            }
+            Gate::Not(a) => {
+                for (q, sh) in shares.iter_mut().enumerate() {
+                    let v = sh[a.0 as usize] ^ (q == 0);
+                    sh.push(v);
+                }
+                wire_round.push(wire_round[a.0 as usize]);
+            }
+            Gate::And(a, b) => {
+                // Dealer: random triple (ta, tb, tc) with tc = ta & tb,
+                // XOR-shared among the parties.
+                let ta = rng.chance(0.5);
+                let tb = rng.chance(0.5);
+                let tc = ta && tb;
+                let share_out = |v: bool, rng: &mut HmacDrbg, n: usize| -> Vec<bool> {
+                    let mut out: Vec<bool> = (0..n - 1).map(|_| rng.chance(0.5)).collect();
+                    let parity = out.iter().fold(v, |acc, &s| acc ^ s);
+                    out.push(parity);
+                    out
+                };
+                let sa = share_out(ta, rng, n);
+                let sb = share_out(tb, rng, n);
+                let sc = share_out(tc, rng, n);
+
+                // Each party computes and broadcasts d_p = x_p ^ a_p and
+                // e_p = y_p ^ b_p; d, e are reconstructed publicly.
+                let mut d = false;
+                let mut e = false;
+                for (q, sh) in shares.iter().enumerate() {
+                    d ^= sh[a.0 as usize] ^ sa[q];
+                    e ^= sh[b.0 as usize] ^ sb[q];
+                }
+                stats.bits_broadcast += 2 * n as u64 * (n as u64 - 1);
+
+                // z_p = c_p ^ (d & b_p) ^ (e & a_p) ^ [p == 0](d & e)
+                for (q, sh) in shares.iter_mut().enumerate() {
+                    let mut z = sc[q];
+                    if d {
+                        z ^= sb[q];
+                    }
+                    if e {
+                        z ^= sa[q];
+                    }
+                    if q == 0 && d && e {
+                        z ^= true;
+                    }
+                    sh.push(z);
+                }
+                stats.and_gates += 1;
+                stats.triples += 1;
+                stats.equivalent_ots += 2 * (n as u64) * (n as u64 - 1);
+                wire_round.push(wire_round[a.0 as usize].max(wire_round[b.0 as usize]) + 1);
+            }
+        }
+    }
+
+    stats.rounds = circuit
+        .outputs()
+        .iter()
+        .map(|w| wire_round[w.0 as usize])
+        .max()
+        .unwrap_or(0);
+
+    // Output reconstruction: all parties publish their output shares.
+    let outputs = circuit
+        .outputs()
+        .iter()
+        .map(|w| {
+            shares
+                .iter()
+                .fold(false, |acc, sh| acc ^ sh[w.0 as usize])
+        })
+        .collect();
+    stats.bits_broadcast += (circuit.outputs().len() as u64) * n as u64 * (n as u64 - 1);
+
+    GmwResult { outputs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{from_bits, majority_circuit, min_circuit, to_bits};
+    use proptest::prelude::*;
+
+    fn rng() -> HmacDrbg {
+        HmacDrbg::new(b"gmw tests")
+    }
+
+    #[test]
+    fn gmw_matches_plaintext_min() {
+        let c = min_circuit(5, 8);
+        let vals = [200u64, 13, 77, 13, 255];
+        let inputs: Vec<Vec<bool>> = vals.iter().map(|&v| to_bits(v, 8)).collect();
+        let mut r = rng();
+        let result = run_gmw(&c, &inputs, &mut r);
+        assert_eq!(from_bits(&result.outputs), 13);
+        assert_eq!(result.outputs.len(), 8);
+        assert_eq!(result.stats.parties, 5);
+        assert_eq!(result.stats.and_gates, c.and_count());
+        assert_eq!(result.stats.rounds, c.and_depth());
+        assert!(result.stats.bits_broadcast > 0);
+    }
+
+    #[test]
+    fn gmw_matches_plaintext_majority() {
+        let c = majority_circuit(5);
+        let votes = [true, false, true, true, false];
+        let inputs: Vec<Vec<bool>> = votes.iter().map(|&v| vec![v]).collect();
+        let mut r = rng();
+        let result = run_gmw(&c, &inputs, &mut r);
+        assert_eq!(result.outputs, vec![true]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = min_circuit(3, 6);
+        let inputs: Vec<Vec<bool>> = [9u64, 4, 30].iter().map(|&v| to_bits(v, 6)).collect();
+        let a = run_gmw(&c, &inputs, &mut HmacDrbg::new(b"s"));
+        let b = run_gmw(&c, &inputs, &mut HmacDrbg::new(b"s"));
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn two_party_works() {
+        let c = min_circuit(2, 4);
+        let inputs: Vec<Vec<bool>> = [11u64, 6].iter().map(|&v| to_bits(v, 4)).collect();
+        let result = run_gmw(&c, &inputs, &mut rng());
+        assert_eq!(from_bits(&result.outputs), 6);
+        assert_eq!(result.stats.equivalent_ots, 2 * 2 * 1 * c.and_count() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 2 present")]
+    fn missing_party_panics() {
+        let c = min_circuit(3, 4);
+        let inputs: Vec<Vec<bool>> = [1u64, 2].iter().map(|&v| to_bits(v, 4)).collect();
+        run_gmw(&c, &inputs, &mut rng());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_gmw_equals_plaintext(vals in proptest::collection::vec(0u64..64, 2..5),
+                                     seed in any::<u64>()) {
+            let c = min_circuit(vals.len(), 6);
+            let inputs: Vec<Vec<bool>> = vals.iter().map(|&v| to_bits(v, 6)).collect();
+            let plain = c.eval_plain(&inputs);
+            let mut r = HmacDrbg::from_u64_labeled(seed, "prop-gmw");
+            let mpc = run_gmw(&c, &inputs, &mut r);
+            prop_assert_eq!(mpc.outputs, plain);
+        }
+    }
+}

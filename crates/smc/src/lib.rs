@@ -1,0 +1,24 @@
+//! # pvr-smc — the strawman baselines of §3.1
+//!
+//! "We can imagine a strawman solution in which the networks use secure
+//! multiparty computation (SMC) … such a system would seem
+//! prohibitively expensive. … Another strawman could be built using
+//! general zero-knowledge proofs (ZKPs)."
+//!
+//! Experiment E4 measures those claims instead of asserting them:
+//!
+//! * [`circuit`] — boolean circuits (comparators, adders, k-way min,
+//!   majority vote);
+//! * [`gmw`] — a real GMW-style n-party execution over XOR shares with
+//!   Beaver triples, counting rounds, triples, equivalent OTs, and bits;
+//! * [`costmodel`] — WAN deployment models calibrated to the paper's
+//!   FairplayMP data point ("about 15 seconds … for voting" at five
+//!   players) plus a generic per-gate ZKP model.
+
+pub mod circuit;
+pub mod costmodel;
+pub mod gmw;
+
+pub use circuit::{from_bits, majority_circuit, min_circuit, to_bits, Circuit, Gate, WireId};
+pub use costmodel::{SmcCostModel, ZkpCostModel};
+pub use gmw::{run_gmw, GmwResult, GmwStats};
