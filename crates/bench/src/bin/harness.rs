@@ -3,15 +3,36 @@
 //! Usage:
 //!   cargo run --release -p pvr-bench --bin harness           # all
 //!   cargo run --release -p pvr-bench --bin harness e3 e4     # subset
+//!   cargo run --release -p pvr-bench --bin harness -- --quick   # CI smoke
+
+/// One experiment: renders its table as a string.
+type Runner = fn() -> String;
+
+/// The subset `--quick` runs: the cheapest experiment per subsystem, so
+/// a CI smoke pass exercises the harness end-to-end in seconds.
+const QUICK: &[&str] = &["e1", "e2", "e5"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
+        eprintln!("error: unknown flag `{flag}` (the only flag is --quick)");
+        std::process::exit(2);
+    }
+    let explicit: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if quick && !explicit.is_empty() {
+        eprintln!("error: --quick cannot be combined with explicit experiment ids {explicit:?}");
+        std::process::exit(2);
+    }
+    let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
 
     println!("PVR reproduction — experiment harness");
     println!("paper: Gurney et al., HotNets-X 2011 (see EXPERIMENTS.md)\n");
 
-    let runners: Vec<(&str, fn() -> String)> = vec![
+    let runners: Vec<(&str, Runner)> = vec![
+        // Keep ids in sync with EXPERIMENTS.md; unknown ids are rejected
+        // below so a typo'd CI invocation cannot silently run nothing.
         ("e1", pvr_bench::e1_detection_matrix),
         ("e2", pvr_bench::e2_graph_navigation),
         ("e3", pvr_bench::e3_crypto_costs),
@@ -24,6 +45,12 @@ fn main() {
         ("e10", pvr_bench::e10_promise_ladder),
         ("e11", pvr_bench::e11_ablations),
     ];
+
+    let known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();
+    if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
+        eprintln!("error: unknown experiment id `{bad}` (known: {})", known.join(", "));
+        std::process::exit(2);
+    }
 
     for (id, run) in runners {
         if !wanted.is_empty() && !wanted.contains(&id) {

@@ -51,7 +51,8 @@ fn fmt_time(secs: f64) -> String {
 pub fn e1_detection_matrix() -> String {
     let mut out = String::new();
     writeln!(out, "E1: minimum-operator detection matrix (Figure 1, §3.3)").unwrap();
-    writeln!(out, "{:<22} {:>9} {:>9} {:>8}", "behavior", "detected", "evidence", "guilty").unwrap();
+    writeln!(out, "{:<22} {:>9} {:>9} {:>8}", "behavior", "detected", "evidence", "guilty")
+        .unwrap();
 
     // Honest runs across seeds: false-positive rate must be 0.
     let mut false_positives = 0;
@@ -178,7 +179,8 @@ pub fn e3_crypto_costs() -> String {
             .unwrap();
         }
     }
-    writeln!(out, "(expected shape: hash µs-scale, signatures ms-scale, quadratic-ish in bits)").unwrap();
+    writeln!(out, "(expected shape: hash µs-scale, signatures ms-scale, quadratic-ish in bits)")
+        .unwrap();
     out
 }
 
@@ -221,7 +223,13 @@ pub fn e4_strawman_comparison() -> String {
     let t_zkp = zkp.estimate_seconds(&circuit);
 
     writeln!(out, "{:<44} {:>12}", "PVR full round (measured)", fmt_time(t_pvr)).unwrap();
-    writeln!(out, "{:<44} {:>12}", "GMW min-circuit, local compute (measured)", fmt_time(t_gmw_local)).unwrap();
+    writeln!(
+        out,
+        "{:<44} {:>12}",
+        "GMW min-circuit, local compute (measured)",
+        fmt_time(t_gmw_local)
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<44} {:>12}   ({} ANDs, {} rounds, {} OTs)",
@@ -284,7 +292,8 @@ pub fn e5_batching() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(expected: per-update cost flat; batched cost ~1/n toward the hash floor;").unwrap();
+    writeln!(out, "(expected: per-update cost flat; batched cost ~1/n toward the hash floor;")
+        .unwrap();
     writeln!(out, " bytes/update grows only logarithmically)").unwrap();
     out
 }
@@ -346,11 +355,8 @@ pub fn e7_confidentiality() -> String {
     ];
     for (a, b, authorized) in cases {
         let outcome = counterfactual_min_audit(a, b, 7);
-        let leaks = outcome
-            .content_changed
-            .iter()
-            .filter(|(n, &c)| c && !authorized.contains(n))
-            .count();
+        let leaks =
+            outcome.content_changed.iter().filter(|(n, &c)| c && !authorized.contains(n)).count();
         let raw = outcome.raw_changed.values().filter(|&&c| c).count();
         writeln!(
             out,
@@ -374,13 +380,8 @@ pub fn e8_internet_overhead() -> String {
     writeln!(out, "E8: Internet-like topology overhead (§3.8)").unwrap();
     let params = InternetParams { tier1: 3, tier2: 8, stubs: 20, t2_peering_prob: 0.25 };
     let topology = internet_like(params, 11);
-    writeln!(
-        out,
-        "topology: {} ASes, {} edges",
-        topology.as_count(),
-        topology.edge_count()
-    )
-    .unwrap();
+    writeln!(out, "topology: {} ASes, {} edges", topology.as_count(), topology.edge_count())
+        .unwrap();
     writeln!(
         out,
         "{:<10} {:>10} {:>10} {:>14} {:>14}",
@@ -425,12 +426,8 @@ pub fn e8_internet_overhead() -> String {
     let bed = Figure1Bed::build(&[2, 3, 4, 5], 11);
     let report = run_min_round(&bed, None);
     let total: usize = report.transcripts.values().map(|t| t.total_bytes()).sum();
-    writeln!(
-        out,
-        "PVR round (k=4): {} bytes of roots+gossip+disclosures per decision",
-        total
-    )
-    .unwrap();
+    writeln!(out, "PVR round (k=4): {} bytes of roots+gossip+disclosures per decision", total)
+        .unwrap();
     out
 }
 
@@ -454,15 +451,8 @@ pub fn e9_ring_scaling() -> String {
             ring_verify(b"a route exists", &ring, &sig).unwrap();
         });
         let bytes = sig.v.len() * (1 + sig.xs.len());
-        writeln!(
-            out,
-            "{:>6} {:>12} {:>12} {:>12}",
-            k,
-            fmt_time(t_sign),
-            fmt_time(t_verify),
-            bytes
-        )
-        .unwrap();
+        writeln!(out, "{:>6} {:>12} {:>12} {:>12}", k, fmt_time(t_sign), fmt_time(t_verify), bytes)
+            .unwrap();
     }
     writeln!(out, "(expected: sign ≈ 1 private op + k-1 public ops; verify k public ops;").unwrap();
     writeln!(out, " size linear in k)").unwrap();
@@ -515,7 +505,6 @@ pub fn e10_promise_ladder() -> String {
     out
 }
 
-
 /// E11 — ablations of the design choices (DESIGN.md §5): the naive
 /// per-route commitment strawman vs the paper's bit vector, and blinded
 /// vs unblinded MHT siblings.
@@ -548,16 +537,15 @@ pub fn e11_ablations() -> String {
         )
         .unwrap();
     }
-    writeln!(out, "(paper protocol reveals only the minimum — already visible via the route)").unwrap();
+    writeln!(out, "(paper protocol reveals only the minimum — already visible via the route)")
+        .unwrap();
 
     // Ablation 2: blinded vs unblinded phantom siblings.
     writeln!(out, "\n-- blinded (paper) vs unblinded phantom siblings --").unwrap();
     let xs = vec![(Label::Var(0), b"leaf".to_vec())];
     let path = Label::Var(0).to_bits();
     let mut detected = [0usize; 2];
-    for (i, mode) in [SiblingBlinding::Unblinded, SiblingBlinding::Blinded]
-        .into_iter()
-        .enumerate()
+    for (i, mode) in [SiblingBlinding::Unblinded, SiblingBlinding::Blinded].into_iter().enumerate()
     {
         let tree = SparseMht::build_with(&xs, [9; 32], mode);
         let proof = tree.prove(&Label::Var(0)).unwrap();
@@ -607,7 +595,9 @@ pub fn e11_ablations() -> String {
             let _ = LocalEvent::Announce(prefix);
             (t, provider)
         };
-        for (label, mrai) in [("no MRAI", None), ("MRAI 100 ms", Some(SimDuration::from_millis(100)))] {
+        for (label, mrai) in
+            [("no MRAI", None), ("MRAI 100 ms", Some(SimDuration::from_millis(100)))]
+        {
             let (t, provider) = build();
             let mut net = t.instantiate(InstantiateOptions { mrai, ..Default::default() });
             net.converge(RunLimits::none());
@@ -649,7 +639,8 @@ pub fn e4_speedup() -> f64 {
 pub fn verify_round_once(bed: &Figure1Bed) {
     let c = bed.honest_committer();
     let d = c.disclosure_for_provider(bed.ns[0]);
-    let o = verify_as_provider(bed.a, &bed.round, &bed.params, &bed.inputs[&bed.ns[0]], &d, &bed.keys);
+    let o =
+        verify_as_provider(bed.a, &bed.round, &bed.params, &bed.inputs[&bed.ns[0]], &d, &bed.keys);
     assert!(o.is_accept());
     let d = c.disclosure_for_receiver(bed.b);
     let o = verify_as_receiver(bed.b, bed.a, &bed.round, &bed.params, &d, &bed.keys);
@@ -698,11 +689,9 @@ mod tests {
 
     #[test]
     fn quick_experiments_produce_tables() {
-        for (id, table) in [
-            ("e7", e7_confidentiality()),
-            ("e10", e10_promise_ladder()),
-        ("e11", e11_ablations()),
-        ] {
+        for (id, table) in
+            [("e7", e7_confidentiality()), ("e10", e10_promise_ladder()), ("e11", e11_ablations())]
+        {
             assert!(table.lines().count() >= 4, "{id} table too small:\n{table}");
         }
     }

@@ -50,10 +50,7 @@ impl Wire for BgpUpdate {
         encode_seq(&self.withdraws, buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(BgpUpdate {
-            announces: decode_seq(r)?,
-            withdraws: decode_seq(r)?,
-        })
+        Ok(BgpUpdate { announces: decode_seq(r)?, withdraws: decode_seq(r)? })
     }
 }
 

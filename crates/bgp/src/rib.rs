@@ -46,11 +46,7 @@ impl AdjRibIn {
     pub fn candidates(&self, prefix: Prefix) -> Vec<Candidate> {
         self.routes
             .get(&prefix)
-            .map(|per| {
-                per.iter()
-                    .map(|(&n, r)| Candidate::from_neighbor(r.clone(), n))
-                    .collect()
-            })
+            .map(|per| per.iter().map(|(&n, r)| Candidate::from_neighbor(r.clone(), n)).collect())
             .unwrap_or_default()
     }
 

@@ -209,9 +209,7 @@ mod tests {
 
     #[test]
     fn wire_round_trip() {
-        let r = Route::originate(prefix())
-            .with_community(Community(1, 2))
-            .propagated_by(Asn(7));
+        let r = Route::originate(prefix()).with_community(Community(1, 2)).propagated_by(Asn(7));
         let back: Route = pvr_crypto::decode_exact(&r.to_wire()).unwrap();
         assert_eq!(back, r);
     }

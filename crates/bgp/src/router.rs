@@ -40,8 +40,9 @@ pub enum SecurityMode {
     /// S-BGP mode: sign own announcements, verify received chains, drop
     /// announcements that fail verification.
     Signed {
-        /// This AS's signing identity.
-        identity: Identity,
+        /// This AS's signing identity (boxed: an RSA identity is far
+        /// larger than the `Plain` variant).
+        identity: Box<Identity>,
         /// Public keys of all ASes.
         keys: Arc<KeyStore>,
     },
@@ -191,11 +192,7 @@ impl BgpRouter {
     /// Runs the decision process for `prefix`; on change, advertises or
     /// withdraws toward every neighbor per export policy. Outgoing
     /// updates are merged into `pending` (one UPDATE per neighbor).
-    fn reselect_and_export(
-        &mut self,
-        prefix: Prefix,
-        pending: &mut BTreeMap<NodeId, BgpUpdate>,
-    ) {
+    fn reselect_and_export(&mut self, prefix: Prefix, pending: &mut BTreeMap<NodeId, BgpUpdate>) {
         let changed = self.loc_rib.reselect(prefix, &self.adj_in, self.local.get(&prefix));
         if !changed {
             return;
@@ -205,9 +202,9 @@ impl BgpRouter {
         let neighbor_list: Vec<(Asn, NodeId)> =
             self.neighbor_nodes.iter().map(|(&a, &n)| (a, n)).collect();
         for (neighbor, node) in neighbor_list {
-            let exportable = best.as_ref().filter(|cand| {
-                self.policy.may_export(&cand.route, cand.learned_from, neighbor)
-            });
+            let exportable = best
+                .as_ref()
+                .filter(|cand| self.policy.may_export(&cand.route, cand.learned_from, neighbor));
             match exportable {
                 Some(cand) => {
                     let out_route = cand.route.propagated_by(self.asn);
@@ -339,11 +336,7 @@ impl Agent<BgpUpdate> for BgpRouter {
     fn on_message(&mut self, ctx: &mut Context<BgpUpdate>, from_node: NodeId, msg: BgpUpdate) {
         self.stats.updates_rx += 1;
         // Identify the sending AS from the node id.
-        let from = match self
-            .neighbor_nodes
-            .iter()
-            .find(|(_, &n)| n == from_node)
-            .map(|(&a, _)| a)
+        let from = match self.neighbor_nodes.iter().find(|(_, &n)| n == from_node).map(|(&a, _)| a)
         {
             Some(a) => a,
             None => return, // not a configured neighbor: ignore

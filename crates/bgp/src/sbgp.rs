@@ -55,13 +55,7 @@ impl Attestation {
         let signer = Asn(identity.id() as u32);
         debug_assert_eq!(path.first_as(), Some(signer), "signer must head the path");
         let bytes = Self::signed_bytes(&prefix, path, target, signer);
-        Attestation {
-            prefix,
-            path: path.clone(),
-            target,
-            signer,
-            signature: identity.sign(&bytes),
-        }
+        Attestation { prefix, path: path.clone(), target, signer, signature: identity.sign(&bytes) }
     }
 
     /// Verifies the signature.
@@ -129,7 +123,12 @@ impl SignedRoute {
     /// AS prepends itself (already done in `route`) and signs toward
     /// `target`. `route.path` must start with the signer and continue
     /// with the received chain's path.
-    pub fn extend(received: &SignedRoute, identity: &Identity, route: Route, target: Asn) -> SignedRoute {
+    pub fn extend(
+        received: &SignedRoute,
+        identity: &Identity,
+        route: Route,
+        target: Asn,
+    ) -> SignedRoute {
         debug_assert_eq!(route.path.first_as(), Some(Asn(identity.id() as u32)));
         let att = Attestation::create(identity, route.prefix, &route.path, target);
         let mut attestations = received.attestations.clone();
@@ -190,10 +189,7 @@ impl Wire for SignedRoute {
         encode_seq(&self.attestations, buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(SignedRoute {
-            route: Route::decode(r)?,
-            attestations: decode_seq(r)?,
-        })
+        Ok(SignedRoute { route: Route::decode(r)?, attestations: decode_seq(r)? })
     }
 }
 
@@ -268,8 +264,7 @@ mod tests {
     /// Identities for AS 1..=4 plus a populated key store.
     fn setup() -> (Vec<Identity>, KeyStore) {
         let mut rng = HmacDrbg::new(b"sbgp tests");
-        let ids: Vec<Identity> =
-            (1..=4).map(|a| Identity::generate(a, 512, &mut rng)).collect();
+        let ids: Vec<Identity> = (1..=4).map(|a| Identity::generate(a, 512, &mut rng)).collect();
         let mut keys = KeyStore::new();
         for id in &ids {
             keys.register_identity(id);
@@ -317,10 +312,7 @@ mod tests {
         let sr = two_hop_chain(&ids);
         let mut forged = sr.clone();
         forged.route.path = AsPath::from_slice(&[Asn(2)]);
-        assert!(matches!(
-            forged.verify(Asn(3), &keys),
-            Err(SbgpError::ChainLength { .. })
-        ));
+        assert!(matches!(forged.verify(Asn(3), &keys), Err(SbgpError::ChainLength { .. })));
     }
 
     #[test]

@@ -81,7 +81,12 @@ impl Topology {
 
     /// Declares partial transit from `provider` to `customer` covering
     /// `region`.
-    pub fn partial_transit(&mut self, provider: Asn, customer: Asn, region: Community) -> &mut Self {
+    pub fn partial_transit(
+        &mut self,
+        provider: Asn,
+        customer: Asn,
+        region: Community,
+    ) -> &mut Self {
         self.add_as(provider).add_as(customer);
         self.edges.push(Edge::PartialTransit { provider, customer, region });
         self
@@ -193,7 +198,7 @@ impl Topology {
             }
             let security = match &keystore {
                 Some((ks, ids)) => SecurityMode::Signed {
-                    identity: ids[&asn].clone(),
+                    identity: Box::new(ids[&asn].clone()),
                     keys: Arc::clone(ks),
                 },
                 None => SecurityMode::Plain,
@@ -277,9 +282,7 @@ impl BgpNetwork {
 
     /// Read access to `asn`'s router.
     pub fn router(&self, asn: Asn) -> &BgpRouter {
-        self.sim
-            .node::<BgpRouter>(self.node_of[&asn])
-            .expect("router downcast")
+        self.sim.node::<BgpRouter>(self.node_of[&asn]).expect("router downcast")
     }
 
     /// Mutable access to `asn`'s router.
@@ -442,10 +445,8 @@ mod tests {
         let roles4 = t.neighbor_roles(Asn(4));
         assert_eq!(roles4, vec![(Asn(3), Role::Provider)]);
         let roles3 = t.neighbor_roles(Asn(3));
-        assert!(roles3.contains(&(
-            Asn(4),
-            Role::PartialTransitCustomer { region: Community(65000, 1) }
-        )));
+        assert!(roles3
+            .contains(&(Asn(4), Role::PartialTransitCustomer { region: Community(65000, 1) })));
     }
 
     #[test]
@@ -497,15 +498,11 @@ mod tests {
         let mut net = t.instantiate(InstantiateOptions::default());
         assert_eq!(net.converge(RunLimits::none()), StopReason::Quiescent);
         // Every stub prefix must be reachable from every tier-1.
-        let stub_prefixes: Vec<Prefix> = (0..8)
-            .map(|i| Prefix::new((10u32 << 24) | ((i as u32 & 0xff) << 8), 24))
-            .collect();
+        let stub_prefixes: Vec<Prefix> =
+            (0..8).map(|i| Prefix::new((10u32 << 24) | ((i as u32 & 0xff) << 8), 24)).collect();
         for t1 in [Asn(10), Asn(11), Asn(12)] {
             for &p in &stub_prefixes {
-                assert!(
-                    net.router(t1).best_route(p).is_some(),
-                    "{t1} missing {p}"
-                );
+                assert!(net.router(t1).best_route(p).is_some(), "{t1} missing {p}");
             }
         }
     }
@@ -513,11 +510,8 @@ mod tests {
     #[test]
     fn signed_mode_end_to_end() {
         let (t, cast) = figure1(&[0, 1]);
-        let mut net = t.instantiate(InstantiateOptions {
-            signed: true,
-            key_bits: 512,
-            ..Default::default()
-        });
+        let mut net =
+            t.instantiate(InstantiateOptions { signed: true, key_bits: 512, ..Default::default() });
         net.converge(RunLimits::none());
         // Convergence must match plain mode and no attestation failures.
         let best = net.router(cast.a).best_route(cast.prefix).unwrap();

@@ -44,6 +44,9 @@ pub struct Prefix {
     len: u8,
 }
 
+// `len` is a prefix length in bits, not a container length; an
+// `is_empty` counterpart would be meaningless (see `is_default`).
+#[allow(clippy::len_without_is_empty)]
 impl Prefix {
     /// Creates a prefix, zeroing any host bits.
     pub fn new(addr: u32, len: u8) -> Prefix {

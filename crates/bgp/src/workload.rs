@@ -22,11 +22,8 @@ pub fn flap(
 ) {
     let mut at = start;
     for i in 0..count * 2 {
-        let event = if i % 2 == 0 {
-            LocalEvent::Withdraw(prefix)
-        } else {
-            LocalEvent::Announce(prefix)
-        };
+        let event =
+            if i % 2 == 0 { LocalEvent::Withdraw(prefix) } else { LocalEvent::Announce(prefix) };
         topology.schedule(asn, at, event);
         at = at + period;
     }
@@ -37,15 +34,20 @@ pub fn flap(
 pub fn burst(topology: &mut Topology, asn: Asn, at: SimDuration, n: usize) -> Vec<Prefix> {
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let prefix = Prefix::new(
-            (10u32 << 24) | (200u32 << 16) | (((i as u32 >> 8) & 0xff) << 8) | 0,
-            if i < 256 { 24 } else { 32 },
-        );
-        // Avoid collisions beyond 256 by widening into /32 host routes.
         let prefix = if i < 256 {
+            // One /24 per index.
             Prefix::new((10u32 << 24) | (200u32 << 16) | ((i as u32 & 0xff) << 8), 24)
         } else {
-            prefix
+            // Beyond 256 the /24 space is exhausted: widen into /32 host
+            // routes, keeping the low bits of `i` so every index still
+            // yields a distinct prefix.
+            Prefix::new(
+                (10u32 << 24)
+                    | (200u32 << 16)
+                    | (((i as u32 >> 8) & 0xff) << 8)
+                    | (i as u32 & 0xff),
+                32,
+            )
         };
         topology.schedule(asn, at, LocalEvent::Announce(prefix));
         out.push(prefix);
@@ -83,6 +85,15 @@ mod tests {
     use super::*;
     use crate::topology::InstantiateOptions;
     use pvr_netsim::RunLimits;
+
+    #[test]
+    fn burst_prefixes_are_distinct_past_256() {
+        let mut t = Topology::new();
+        let prefixes = burst(&mut t, Asn(1), SimDuration::from_micros(0), 600);
+        assert_eq!(prefixes.len(), 600);
+        let unique: std::collections::BTreeSet<_> = prefixes.iter().copied().collect();
+        assert_eq!(unique.len(), 600, "burst() must return fresh, non-colliding prefixes");
+    }
 
     fn base() -> (Topology, Asn, Asn, Prefix) {
         // AS1 (origin, customer) — AS2 (provider) — observes updates.
@@ -162,8 +173,8 @@ mod tests {
 mod mrai_tests {
     use super::*;
     use crate::messages::BgpUpdate;
-    use crate::sbgp::SignedRoute;
     use crate::route::Route;
+    use crate::sbgp::SignedRoute;
     use crate::topology::InstantiateOptions;
     use crate::types::{Asn, Prefix};
     use pvr_netsim::RunLimits;
@@ -176,14 +187,7 @@ mod mrai_tests {
         t.provider_customer(provider, origin);
         t.originate(origin, prefix);
         // 10 rapid flaps, 1 ms apart — well inside a 100 ms MRAI window.
-        flap(
-            &mut t,
-            origin,
-            prefix,
-            SimDuration::from_millis(50),
-            SimDuration::from_millis(1),
-            10,
-        );
+        flap(&mut t, origin, prefix, SimDuration::from_millis(50), SimDuration::from_millis(1), 10);
         (t, origin, provider, prefix)
     }
 

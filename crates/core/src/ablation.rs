@@ -62,8 +62,8 @@ impl NaiveCommitter {
 
         // Export the true minimum, chain-extended.
         let exported = inputs
-            .iter()
-            .filter_map(|(_, srs)| srs.first())
+            .values()
+            .filter_map(|srs| srs.first())
             .min_by_key(|sr| (sr.route.path_len(), sr.route.path.asns().to_vec()))
             .map(|sr| {
                 let out = sr.route.clone().propagated_by(Asn(identity.id() as u32));
@@ -170,13 +170,8 @@ pub struct AblationReport {
 /// Runs both protocols over the same bed and reports the difference.
 pub fn compare_naive_vs_paper(bed: &crate::harness::Figure1Bed) -> AblationReport {
     let mut rng = HmacDrbg::from_u64_labeled(bed.seed, "ablation-naive");
-    let naive = NaiveCommitter::new(
-        bed.a_identity(),
-        bed.round.clone(),
-        &bed.inputs,
-        bed.b,
-        &mut rng,
-    );
+    let naive =
+        NaiveCommitter::new(bed.a_identity(), bed.round.clone(), &bed.inputs, bed.b, &mut rng);
     let nd = naive.disclosure_for_receiver();
     assert!(nd.verify_min(&bed.keys), "naive protocol must still verify");
     let naive_leak = nd.leaked_lengths(&bed.keys).expect("openings verify");
@@ -227,10 +222,7 @@ mod tests {
         let bed_b = Figure1Bed::build(&[2, 4, 9], 303);
         let ra = run_min_round(&bed_a, None);
         let rb = run_min_round(&bed_b, None);
-        assert_eq!(
-            redact(&ra.transcripts[&bed_a.b]),
-            redact(&rb.transcripts[&bed_b.b])
-        );
+        assert_eq!(redact(&ra.transcripts[&bed_a.b]), redact(&rb.transcripts[&bed_b.b]));
         // The naive protocol distinguishes the same two worlds.
         let na = compare_naive_vs_paper(&bed_a);
         let nb = compare_naive_vs_paper(&bed_b);
@@ -241,13 +233,8 @@ mod tests {
     fn naive_tampered_opening_rejected() {
         let bed = Figure1Bed::build(&[2, 3], 304);
         let mut rng = HmacDrbg::from_u64_labeled(bed.seed, "ablation-naive");
-        let naive = NaiveCommitter::new(
-            bed.a_identity(),
-            bed.round.clone(),
-            &bed.inputs,
-            bed.b,
-            &mut rng,
-        );
+        let naive =
+            NaiveCommitter::new(bed.a_identity(), bed.round.clone(), &bed.inputs, bed.b, &mut rng);
         let mut nd = naive.disclosure_for_receiver();
         let first = *nd.openings.keys().next().unwrap();
         nd.openings.get_mut(&first).unwrap().value = 9u32.to_be_bytes().to_vec();

@@ -110,15 +110,7 @@ impl Adversary {
                 None,
             ),
             Misbehavior::SuppressInput { victim } => (
-                Committer::new(
-                    identity,
-                    round,
-                    params,
-                    graph,
-                    doctored(*victim),
-                    bit_scope,
-                    rng,
-                ),
+                Committer::new(identity, round, params, graph, doctored(*victim), bit_scope, rng),
                 None,
             ),
             Misbehavior::DenyAll => (
@@ -166,12 +158,8 @@ impl Adversary {
                     bits.iter().any(|&b| b),
                     rng,
                 );
-                let signed_root = SignedRoot::create(
-                    identity,
-                    round.context_bytes(),
-                    round.epoch,
-                    mht.root(),
-                );
+                let signed_root =
+                    SignedRoot::create(identity, round.context_bytes(), round.epoch, mht.root());
                 let c = Committer::from_parts(
                     identity.clone(),
                     params,
@@ -220,10 +208,9 @@ impl Adversary {
     pub fn disclosure_for_provider(&self, n: Asn) -> Disclosure {
         let view = self.view_for(n);
         match &self.behavior {
-            Misbehavior::RefuseReveal { victim } if *victim == n => Disclosure {
-                signed_root: Some(view.signed_root().clone()),
-                ..Default::default()
-            },
+            Misbehavior::RefuseReveal { victim } if *victim == n => {
+                Disclosure { signed_root: Some(view.signed_root().clone()), ..Default::default() }
+            }
             Misbehavior::CorruptOpening { victim } if *victim == n => {
                 let mut d = self.reveal_true_lengths(view, n);
                 for r in &mut d.bit_reveals {
@@ -269,21 +256,13 @@ impl Adversary {
                     let a = Asn(self.main.identity().id() as u32);
                     let mut fake = pvr_bgp::Route::originate(self.main.round().prefix);
                     fake.path = fake.path.prepend(n).prepend(a);
-                    let top = Attestation::create(
-                        self.main.identity(),
-                        fake.prefix,
-                        &fake.path,
-                        b,
-                    );
+                    let top = Attestation::create(self.main.identity(), fake.prefix, &fake.path, b);
                     // Inner attestation forged: self-signed with A's key
                     // instead of n's (signature check will fail for n).
                     let mut inner = top.clone();
                     inner.signer = n;
                     inner.path = fake.path.clone(); // wrong path too
-                    d.exported = Some(SignedRoute {
-                        route: fake,
-                        attestations: vec![inner, top],
-                    });
+                    d.exported = Some(SignedRoute { route: fake, attestations: vec![inner, top] });
                 }
                 d
             }

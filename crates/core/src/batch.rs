@@ -48,10 +48,7 @@ impl SignedBatch {
 
     /// Extracts the deliverable for item `index`: proof + shared root.
     pub fn item(&self, index: usize) -> Option<BatchItem> {
-        Some(BatchItem {
-            signed_root: self.signed_root.clone(),
-            proof: self.tree.prove(index)?,
-        })
+        Some(BatchItem { signed_root: self.signed_root.clone(), proof: self.tree.prove(index)? })
     }
 }
 
@@ -102,11 +99,7 @@ pub fn per_update_cost(n: usize) -> BatchCost {
 
 /// Cost of signing a burst of `n` updates as one batch.
 pub fn batched_cost(n: usize) -> BatchCost {
-    BatchCost {
-        signatures: 1.min(n),
-        tree_hashes: 2 * n,
-        verifications: 1.min(n),
-    }
+    BatchCost { signatures: 1.min(n), tree_hashes: 2 * n, verifications: 1.min(n) }
 }
 
 #[cfg(test)]

@@ -64,8 +64,8 @@ pub fn check_monotone(bits: &[bool]) -> Result<(), (usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pvr_bgp::{AsPath, Asn, Prefix};
     use proptest::prelude::*;
+    use pvr_bgp::{AsPath, Asn, Prefix};
 
     fn route(len: usize) -> Route {
         let mut r = Route::originate(Prefix::parse("10.0.0.0/8").unwrap());

@@ -87,9 +87,7 @@ pub struct AuditOutcome {
 impl AuditOutcome {
     /// True if no participant outside `authorized` saw a content change.
     pub fn confidential_except(&self, authorized: &[Asn]) -> bool {
-        self.content_changed
-            .iter()
-            .all(|(n, &changed)| !changed || authorized.contains(n))
+        self.content_changed.iter().all(|(n, &changed)| !changed || authorized.contains(n))
     }
 }
 

@@ -206,10 +206,7 @@ mod tests {
         assert_eq!(tracker.observe(c1.signed_root()), Freshness::Current);
         assert_eq!(tracker.observe(c2.signed_root()), Freshness::Fresh);
         assert_eq!(tracker.observe(c1.signed_root()), Freshness::Stale);
-        assert_eq!(
-            tracker.accepted_epoch(bed.a.principal(), &c2.round().context_bytes()),
-            Some(2)
-        );
+        assert_eq!(tracker.accepted_epoch(bed.a.principal(), &c2.round().context_bytes()), Some(2));
     }
 
     #[test]

@@ -268,8 +268,7 @@ impl<'a> Auditor<'a> {
         if root.context != round.context_bytes() || root.epoch != round.epoch {
             return Err(Verdict::Rejected("root is for a different round"));
         }
-        root.verify(self.keys)
-            .map_err(|_| Verdict::Rejected("root signature invalid"))
+        root.verify(self.keys).map_err(|_| Verdict::Rejected("root signature invalid"))
     }
 
     fn check_reveal(
@@ -325,8 +324,7 @@ impl<'a> Auditor<'a> {
         {
             return Err(Verdict::Rejected("top attestation does not cover this export"));
         }
-        top.verify(self.keys)
-            .map_err(|_| Verdict::Rejected("top attestation signature invalid"))
+        top.verify(self.keys).map_err(|_| Verdict::Rejected("top attestation signature invalid"))
     }
 }
 
@@ -380,10 +378,7 @@ mod tests {
         let ev = Evidence::Equivocation(EquivocationEvidence { a: r1, b: r2 });
         assert_eq!(auditor.judge(bed.a, &bed.round, &ev), Verdict::Guilty);
         // Accusing someone else with A's equivocation fails.
-        assert!(matches!(
-            auditor.judge(bed.b, &bed.round, &ev),
-            Verdict::Rejected(_)
-        ));
+        assert!(matches!(auditor.judge(bed.b, &bed.round, &ev), Verdict::Rejected(_)));
     }
 
     #[test]
@@ -397,10 +392,7 @@ mod tests {
             lo: c.reveal_bit(2).unwrap(),
             hi: c.reveal_bit(3).unwrap(),
         };
-        assert!(matches!(
-            auditor.judge(bed.a, &other_round, &ev),
-            Verdict::Rejected(_)
-        ));
+        assert!(matches!(auditor.judge(bed.a, &other_round, &ev), Verdict::Rejected(_)));
     }
 
     #[test]

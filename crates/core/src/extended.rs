@@ -69,10 +69,9 @@ impl UnequalExportsEvidence {
     /// Third-party judgment: both top attestations by `accused` valid,
     /// same prefix, favored strictly shorter ⟹ guilty.
     pub fn judge(&self, accused: Asn, round: &RoundContext, keys: &KeyStore) -> Verdict {
-        for (sr, receiver) in [
-            (&self.to_disfavored, self.disfavored),
-            (&self.to_favored, self.favored),
-        ] {
+        for (sr, receiver) in
+            [(&self.to_disfavored, self.disfavored), (&self.to_favored, self.favored)]
+        {
             if sr.route.prefix != round.prefix {
                 return Verdict::Rejected("export is for another prefix");
             }
@@ -180,11 +179,23 @@ mod tests {
         let mut d = c.disclosure_for_receiver(bed.b);
         d.exported = Some(export_via(&bed, 1, bed.b)); // core length 3
         let strict = verify_as_receiver_with_epsilon(
-            bed.b, bed.a, &bed.round, &bed.params, 0, &d, &bed.keys,
+            bed.b,
+            bed.a,
+            &bed.round,
+            &bed.params,
+            0,
+            &d,
+            &bed.keys,
         );
         assert!(!strict.is_accept(), "{strict:?}");
         let relaxed = verify_as_receiver_with_epsilon(
-            bed.b, bed.a, &bed.round, &bed.params, 1, &d, &bed.keys,
+            bed.b,
+            bed.a,
+            &bed.round,
+            &bed.params,
+            1,
+            &d,
+            &bed.keys,
         );
         assert!(relaxed.is_accept(), "{relaxed:?}");
     }
@@ -197,7 +208,13 @@ mod tests {
         let mut d = c.disclosure_for_receiver(bed.b);
         d.exported = Some(export_via(&bed, 1, bed.b)); // core length 6
         let o = verify_as_receiver_with_epsilon(
-            bed.b, bed.a, &bed.round, &bed.params, 1, &d, &bed.keys,
+            bed.b,
+            bed.a,
+            &bed.round,
+            &bed.params,
+            1,
+            &d,
+            &bed.keys,
         );
         assert!(!o.is_accept());
         assert_eq!(o.evidence().map(|e| e.kind()), Some("export-too-long"));
@@ -211,7 +228,13 @@ mod tests {
         let mut d = c.disclosure_for_receiver(bed.b);
         d.signed_root = None;
         let o = verify_as_receiver_with_epsilon(
-            bed.b, bed.a, &bed.round, &bed.params, 5, &d, &bed.keys,
+            bed.b,
+            bed.a,
+            &bed.round,
+            &bed.params,
+            5,
+            &d,
+            &bed.keys,
         );
         assert!(!o.is_accept());
     }
@@ -256,10 +279,7 @@ mod tests {
             to_favored: forged,
             favored: b2,
         };
-        assert!(matches!(
-            ev.judge(bed.a, &bed.round, &bed.keys),
-            Verdict::Rejected(_)
-        ));
+        assert!(matches!(ev.judge(bed.a, &bed.round, &bed.keys), Verdict::Rejected(_)));
     }
 
     #[test]
@@ -273,10 +293,7 @@ mod tests {
             to_favored: to_b_short,
             favored: bed.b,
         };
-        assert!(matches!(
-            ev.judge(bed.a, &bed.round, &bed.keys),
-            Verdict::Rejected(_)
-        ));
+        assert!(matches!(ev.judge(bed.a, &bed.round, &bed.keys), Verdict::Rejected(_)));
     }
 
     #[test]

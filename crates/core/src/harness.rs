@@ -77,9 +77,10 @@ impl Figure1Bed {
 
         let mut identities = BTreeMap::new();
         let mut keys = KeyStore::new();
-        let identity_of = |asn: Asn, rng: &mut HmacDrbg,
-                               identities: &mut BTreeMap<Asn, Identity>,
-                               keys: &mut KeyStore| {
+        let identity_of = |asn: Asn,
+                           rng: &mut HmacDrbg,
+                           identities: &mut BTreeMap<Asn, Identity>,
+                           keys: &mut KeyStore| {
             let id = Identity::generate(asn.principal(), HARNESS_KEY_BITS, rng);
             keys.register_identity(&id);
             identities.insert(asn, id.clone());
@@ -93,10 +94,8 @@ impl Figure1Bed {
         let mut inputs: BTreeMap<Asn, Vec<SignedRoute>> = BTreeMap::new();
         for (i, (&n, &len)) in ns.iter().zip(path_lens).enumerate() {
             // Chain ASes behind N_i, bottom (originator) first.
-            let chain: Vec<Asn> = (0..len - 1)
-                .rev()
-                .map(|j| Asn(1000 + 100 * i as u32 + j as u32))
-                .collect();
+            let chain: Vec<Asn> =
+                (0..len - 1).rev().map(|j| Asn(1000 + 100 * i as u32 + j as u32)).collect();
             for &c in &chain {
                 identity_of(c, &mut rng, &mut identities, &mut keys);
             }
@@ -178,12 +177,7 @@ impl Figure1Bed {
 
     /// The true shortest input length (ground truth for assertions).
     pub fn true_min(&self) -> usize {
-        self.inputs
-            .values()
-            .flatten()
-            .map(|sr| sr.route.path_len())
-            .min()
-            .expect("nonempty inputs")
+        self.inputs.values().flatten().map(|sr| sr.route.path_len()).min().expect("nonempty inputs")
     }
 }
 

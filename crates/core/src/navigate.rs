@@ -333,10 +333,6 @@ mod tests {
         assert!(g.vertex(&other).unwrap().content.is_none());
         // And N1 can still verify the min structure.
         let out = Label::Var(bed.output_var.0);
-        assert!(g.check_single_operator_promise(
-            &out,
-            &OperatorKind::MinPathLen,
-            &[own, other],
-        ));
+        assert!(g.check_single_operator_promise(&out, &OperatorKind::MinPathLen, &[own, other],));
     }
 }

@@ -14,9 +14,7 @@ use crate::adversary::{Adversary, Misbehavior};
 use crate::evidence::{Auditor, Verdict};
 use crate::harness::Figure1Bed;
 use crate::session::Disclosure;
-use crate::verify::{
-    cross_check_roots, verify_as_provider, verify_as_receiver, Outcome,
-};
+use crate::verify::{cross_check_roots, verify_as_provider, verify_as_receiver, Outcome};
 use pvr_bgp::Asn;
 use pvr_crypto::drbg::HmacDrbg;
 use pvr_crypto::Wire;
@@ -93,11 +91,8 @@ pub fn run_min_round(bed: &Figure1Bed, behavior: Option<Misbehavior>) -> RoundRe
                 .chain([bed.b])
                 .map(|n| (n, c.signed_root().clone()))
                 .collect();
-            let pd: BTreeMap<Asn, Disclosure> = bed
-                .ns
-                .iter()
-                .map(|&n| (n, c.disclosure_for_provider(n)))
-                .collect();
+            let pd: BTreeMap<Asn, Disclosure> =
+                bed.ns.iter().map(|&n| (n, c.disclosure_for_provider(n))).collect();
             (roots, pd, c.disclosure_for_receiver(bed.b))
         }
         Some(behavior) => {
@@ -120,11 +115,8 @@ pub fn run_min_round(bed: &Figure1Bed, behavior: Option<Misbehavior>) -> RoundRe
                 .chain([bed.b])
                 .map(|n| (n, adv.root_for(n).clone()))
                 .collect();
-            let pd: BTreeMap<Asn, Disclosure> = bed
-                .ns
-                .iter()
-                .map(|&n| (n, adv.disclosure_for_provider(n)))
-                .collect();
+            let pd: BTreeMap<Asn, Disclosure> =
+                bed.ns.iter().map(|&n| (n, adv.disclosure_for_provider(n))).collect();
             (roots, pd, adv.disclosure_for_receiver())
         }
     };
@@ -136,10 +128,7 @@ pub fn run_min_round(bed: &Figure1Bed, behavior: Option<Misbehavior>) -> RoundRe
     for (&n, d) in &provider_disclosures {
         transcripts.entry(n).or_default().push("disclosure", d.to_wire());
     }
-    transcripts
-        .entry(bed.b)
-        .or_default()
-        .push("disclosure", receiver_disclosure.to_wire());
+    transcripts.entry(bed.b).or_default().push("disclosure", receiver_disclosure.to_wire());
 
     // Phase 2 (gossip): all neighbors compare the signed roots they saw.
     // Every neighbor's root reaches every other neighbor, so each
@@ -165,14 +154,8 @@ pub fn run_min_round(bed: &Figure1Bed, behavior: Option<Misbehavior>) -> RoundRe
         );
         outcomes.insert(n, o);
     }
-    let ob = verify_as_receiver(
-        bed.b,
-        bed.a,
-        &bed.round,
-        &bed.params,
-        &receiver_disclosure,
-        &bed.keys,
-    );
+    let ob =
+        verify_as_receiver(bed.b, bed.a, &bed.round, &bed.params, &receiver_disclosure, &bed.keys);
     outcomes.insert(bed.b, ob);
 
     // Third-party judgment of all evidence.
@@ -220,10 +203,7 @@ mod tests {
         let report = run_min_round(&bed, Some(Misbehavior::SuppressInput { victim }));
         assert!(report.detected());
         assert!(report.convicted());
-        assert_eq!(
-            report.outcomes[&victim].evidence().unwrap().kind(),
-            "ignored-input"
-        );
+        assert_eq!(report.outcomes[&victim].evidence().unwrap().kind(), "ignored-input");
         // The other provider is satisfied (bit at length 4 is still 1).
         assert!(report.outcomes[&bed.ns[1]].is_accept());
     }
@@ -292,10 +272,7 @@ mod tests {
         let bed = Figure1Bed::build(&[2], 69);
         let victim = bed.ns[0];
         let report = run_min_round(&bed, Some(Misbehavior::CorruptOpening { victim }));
-        assert!(matches!(
-            report.outcomes[&victim],
-            Outcome::Suspect(Suspicion::BadReveal { .. })
-        ));
+        assert!(matches!(report.outcomes[&victim], Outcome::Suspect(Suspicion::BadReveal { .. })));
         assert!(!report.convicted());
     }
 
@@ -330,8 +307,7 @@ mod tests {
         // B's transcript includes the exported route, so it is larger
         // than a provider's.
         assert!(
-            report.transcripts[&bed.b].total_bytes()
-                > report.transcripts[&bed.ns[0]].total_bytes()
+            report.transcripts[&bed.b].total_bytes() > report.transcripts[&bed.ns[0]].total_bytes()
         );
     }
 }

@@ -9,11 +9,11 @@
 //! information can be revealed independently, depending on the
 //! authorization of the querying neighbor."
 
+use pvr_bgp::Route;
 use pvr_crypto::commit::{commit, verify as verify_commitment, Commitment, Opening};
 use pvr_crypto::drbg::HmacDrbg;
 use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
 use pvr_mht::Label;
-use pvr_bgp::Route;
 use pvr_rfg::OperatorKind;
 
 /// Commitment domain-separation tags for the three record fields.
@@ -156,7 +156,7 @@ pub fn verify_content(record: &VertexRecord, opening: &Opening) -> Option<Vertex
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pvr_bgp::{Asn, AsPath, Prefix};
+    use pvr_bgp::{AsPath, Asn, Prefix};
 
     fn rng() -> HmacDrbg {
         HmacDrbg::new(b"record tests")

@@ -213,15 +213,12 @@ impl Committer {
             .collect();
         let eval = graph.evaluate(&plain_inputs).expect("graph must validate");
 
-        let scope_routes: Vec<&Route> = bit_scope
-            .iter()
-            .flat_map(|n| plain_inputs.get(n).into_iter().flatten())
-            .collect();
+        let scope_routes: Vec<&Route> =
+            bit_scope.iter().flat_map(|n| plain_inputs.get(n).into_iter().flatten()).collect();
         let bits = min_bit_vector(&scope_routes, params.max_path_len);
         let exist = existential_bit(&scope_routes);
 
-        let (mht, vertex_openings) =
-            build_mht(&graph, &eval, &bits, exist, rng);
+        let (mht, vertex_openings) = build_mht(&graph, &eval, &bits, exist, rng);
         let signed_root =
             SignedRoot::create(identity, round.context_bytes(), round.epoch, mht.root());
 
@@ -297,11 +294,8 @@ impl Committer {
 
     /// Reveals bit `index` (1-based; 0 = existential slot).
     pub fn reveal_bit(&self, index: u32) -> Option<BitReveal> {
-        let label = if index == 0 {
-            Label::Slot(SLOT_EXIST, 0)
-        } else {
-            Label::Slot(SLOT_MIN_BITS, index)
-        };
+        let label =
+            if index == 0 { Label::Slot(SLOT_EXIST, 0) } else { Label::Slot(SLOT_MIN_BITS, index) };
         Some(BitReveal { index, proof: self.mht.prove(&label)? })
     }
 
@@ -331,9 +325,8 @@ impl Committer {
     /// bits b_i to B", plus the exported attested route for the graph's
     /// output to `b`.
     pub fn disclosure_for_receiver(&self, b: Asn) -> Disclosure {
-        let reveals: Vec<BitReveal> = (1..=self.params.max_path_len as u32)
-            .filter_map(|i| self.reveal_bit(i))
-            .collect();
+        let reveals: Vec<BitReveal> =
+            (1..=self.params.max_path_len as u32).filter_map(|i| self.reveal_bit(i)).collect();
         Disclosure {
             signed_root: Some(self.signed_root.clone()),
             bit_reveals: reveals,
@@ -414,7 +407,8 @@ impl Committer {
             if !access.structure && !access.content {
                 continue;
             }
-            if let Some(r) = self.vertex_reveal(&Label::Var(v.id.0), access.structure, access.content)
+            if let Some(r) =
+                self.vertex_reveal(&Label::Var(v.id.0), access.structure, access.content)
             {
                 reveals.push(r);
             }
@@ -463,15 +457,10 @@ fn build_mht(
     let mut openings = BTreeMap::new();
     for v in graph.vars() {
         let label = Label::Var(v.id.0);
-        let preds: Vec<Label> = graph
-            .writer_of(v.id)
-            .map(|op| vec![Label::Rule(op.id.0)])
-            .unwrap_or_default();
-        let succs: Vec<Label> = graph
-            .readers_of(v.id)
-            .iter()
-            .map(|op| Label::Rule(op.id.0))
-            .collect();
+        let preds: Vec<Label> =
+            graph.writer_of(v.id).map(|op| vec![Label::Rule(op.id.0)]).unwrap_or_default();
+        let succs: Vec<Label> =
+            graph.readers_of(v.id).iter().map(|op| Label::Rule(op.id.0)).collect();
         let content = VertexContent::Variable { routes: eval.value(v.id).to_vec() };
         let (record, opens) = make_record(&preds, &succs, &content, rng);
         items.push((label.clone(), record.to_wire()));

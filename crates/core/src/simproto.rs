@@ -309,11 +309,7 @@ impl SimRoundReport {
 }
 
 /// Builds a simulated round from a [`Figure1Bed`], honest or Byzantine.
-pub fn build_sim_round(
-    bed: &Figure1Bed,
-    behavior: Option<Misbehavior>,
-    sim_seed: u64,
-) -> SimRound {
+pub fn build_sim_round(bed: &Figure1Bed, behavior: Option<Misbehavior>, sim_seed: u64) -> SimRound {
     let mut sim: Simulator<PvrMsg> = Simulator::new(sim_seed);
     let keys = Arc::new(bed.keys.clone());
 
@@ -321,14 +317,8 @@ pub fn build_sim_round(
     // Node ids: providers in order, then B, then A.
     let mut verifier_nodes = BTreeMap::new();
     let n_verifiers = bed.ns.len() + 1;
-    let planned_ids: BTreeMap<Asn, NodeId> = bed
-        .ns
-        .iter()
-        .copied()
-        .chain([bed.b])
-        .enumerate()
-        .map(|(i, asn)| (asn, i))
-        .collect();
+    let planned_ids: BTreeMap<Asn, NodeId> =
+        bed.ns.iter().copied().chain([bed.b]).enumerate().map(|(i, asn)| (asn, i)).collect();
     for (i, &asn) in bed.ns.iter().chain([&bed.b]).enumerate() {
         let peers: Vec<NodeId> = (0..n_verifiers).filter(|&p| p != i).collect();
         let role = if asn == bed.b {
@@ -440,10 +430,7 @@ mod tests {
         let victim = bed.ns[0];
         let mut round = build_sim_round(&bed, Some(Misbehavior::SuppressInput { victim }), 3);
         let report = round.run();
-        assert_eq!(
-            report.outcomes[&victim].evidence().map(|e| e.kind()),
-            Some("ignored-input")
-        );
+        assert_eq!(report.outcomes[&victim].evidence().map(|e| e.kind()), Some("ignored-input"));
     }
 
     #[test]

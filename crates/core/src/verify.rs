@@ -22,6 +22,10 @@ use pvr_mht::{EquivocationEvidence, Label, SignedRoot};
 use std::collections::BTreeMap;
 
 /// The result of one neighbor's verification.
+// `Accuse`/`Suspect` carry full evidence and dwarf `Accept`; boxing them
+// would break the nested `Outcome::Accuse(Evidence::...)` patterns used
+// throughout (box patterns are unstable), and outcomes are transient.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Outcome {
     /// Everything checked out.
@@ -60,10 +64,7 @@ fn check_root<'a>(
     round: &RoundContext,
     keys: &KeyStore,
 ) -> Result<&'a SignedRoot, Suspicion> {
-    let root = disclosure
-        .signed_root
-        .as_ref()
-        .ok_or(Suspicion::BadRootSignature)?;
+    let root = disclosure.signed_root.as_ref().ok_or(Suspicion::BadRootSignature)?;
     if root.signer != a.principal()
         || root.context != round.context_bytes()
         || root.epoch != round.epoch
@@ -344,7 +345,8 @@ mod tests {
         let c = bed.honest_committer();
         for &n in &bed.ns {
             let d = c.disclosure_for_provider(n);
-            let o = verify_as_provider(bed.a, &bed.round, &bed.params, &bed.inputs[&n], &d, &bed.keys);
+            let o =
+                verify_as_provider(bed.a, &bed.round, &bed.params, &bed.inputs[&n], &d, &bed.keys);
             assert!(o.is_accept(), "provider {n}: {o:?}");
         }
         let d = c.disclosure_for_receiver(bed.b);
@@ -358,7 +360,8 @@ mod tests {
         let c = bed.honest_committer();
         let dp = c.existential_disclosure_for_provider();
         for &n in &bed.ns {
-            let o = verify_as_provider_existential(bed.a, &bed.round, &bed.inputs[&n], &dp, &bed.keys);
+            let o =
+                verify_as_provider_existential(bed.a, &bed.round, &bed.inputs[&n], &dp, &bed.keys);
             assert!(o.is_accept(), "{n}: {o:?}");
         }
         let dr = c.existential_disclosure_for_receiver(bed.b);
@@ -412,7 +415,14 @@ mod tests {
         let c = bed.honest_committer();
         let mut d = c.disclosure_for_provider(bed.ns[0]);
         d.bit_reveals.clear();
-        let o = verify_as_provider(bed.a, &bed.round, &bed.params, &bed.inputs[&bed.ns[0]], &d, &bed.keys);
+        let o = verify_as_provider(
+            bed.a,
+            &bed.round,
+            &bed.params,
+            &bed.inputs[&bed.ns[0]],
+            &d,
+            &bed.keys,
+        );
         assert!(matches!(o, Outcome::Suspect(Suspicion::MissingReveal { index: 2 })));
     }
 
@@ -420,8 +430,18 @@ mod tests {
     fn cross_check_detects_equivocation() {
         let bed = Figure1Bed::build(&[2], 38);
         let a_id = bed.a_identity();
-        let r1 = pvr_mht::SignedRoot::create(a_id, bed.round.context_bytes(), 1, pvr_crypto::sha256(b"1"));
-        let r2 = pvr_mht::SignedRoot::create(a_id, bed.round.context_bytes(), 1, pvr_crypto::sha256(b"2"));
+        let r1 = pvr_mht::SignedRoot::create(
+            a_id,
+            bed.round.context_bytes(),
+            1,
+            pvr_crypto::sha256(b"1"),
+        );
+        let r2 = pvr_mht::SignedRoot::create(
+            a_id,
+            bed.round.context_bytes(),
+            1,
+            pvr_crypto::sha256(b"2"),
+        );
         let ev = cross_check_roots(&[r1.clone(), r2], &bed.keys).expect("conflict");
         assert_eq!(ev.kind(), "equivocation");
         // Identical roots do not conflict.
@@ -433,7 +453,12 @@ mod tests {
         // A root with a corrupted signature cannot be used to frame A.
         let bed = Figure1Bed::build(&[2], 39);
         let a_id = bed.a_identity();
-        let r1 = pvr_mht::SignedRoot::create(a_id, bed.round.context_bytes(), 1, pvr_crypto::sha256(b"1"));
+        let r1 = pvr_mht::SignedRoot::create(
+            a_id,
+            bed.round.context_bytes(),
+            1,
+            pvr_crypto::sha256(b"1"),
+        );
         let mut forged = r1.clone();
         forged.root = pvr_crypto::sha256(b"forged");
         assert!(cross_check_roots(&[r1, forged], &bed.keys).is_none());

@@ -147,7 +147,7 @@ impl Ubig {
 
     /// True iff the value is even (0 is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |&l| l & 1 == 0)
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -190,8 +190,7 @@ impl Ubig {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
-            let a = longer[i];
+        for (i, &a) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
             let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
@@ -229,8 +228,7 @@ impl Ubig {
 
     /// Subtraction; panics on underflow.
     pub fn sub(&self, rhs: &Ubig) -> Ubig {
-        self.checked_sub(rhs)
-            .expect("Ubig::sub underflow (use checked_sub)")
+        self.checked_sub(rhs).expect("Ubig::sub underflow (use checked_sub)")
     }
 
     /// Schoolbook multiplication.
@@ -747,10 +745,7 @@ mod tests {
     #[test]
     fn modinv_known_values() {
         // 3^-1 mod 11 = 4.
-        assert_eq!(
-            Ubig::from_u64(3).modinv(&Ubig::from_u64(11)).unwrap().low_u64(),
-            4
-        );
+        assert_eq!(Ubig::from_u64(3).modinv(&Ubig::from_u64(11)).unwrap().low_u64(), 4);
         // Non-invertible.
         assert_eq!(Ubig::from_u64(6).modinv(&Ubig::from_u64(9)), None);
         // Inverse of large value.

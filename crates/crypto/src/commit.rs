@@ -102,10 +102,7 @@ impl Wire for Opening {
         self.blind.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Opening {
-            value: Vec::<u8>::decode(r)?,
-            blind: Blinding::decode(r)?,
-        })
+        Ok(Opening { value: Vec::<u8>::decode(r)?, blind: Blinding::decode(r)? })
     }
 }
 

@@ -4,8 +4,9 @@
 //! commitment blinding, simulator jitter, workload generation) flows
 //! through this DRBG so that entire end-to-end experiments are
 //! reproducible from a single `u64` seed. The generator also implements
-//! [`rand::RngCore`] so it can drive `rand`-based samplers and
-//! `proptest` where convenient.
+//! a local [`RngCore`] trait (a signature-compatible subset of
+//! `rand::RngCore`, kept in-tree because this workspace builds without
+//! registry access) so it can drive generic samplers where convenient.
 
 use crate::hmac::hmac_sha256;
 use crate::sha256::DIGEST_LEN;
@@ -26,11 +27,8 @@ pub struct HmacDrbg {
 impl HmacDrbg {
     /// Instantiates the DRBG from seed material.
     pub fn new(seed: &[u8]) -> HmacDrbg {
-        let mut drbg = HmacDrbg {
-            key: [0u8; DIGEST_LEN],
-            value: [1u8; DIGEST_LEN],
-            reseed_counter: 0,
-        };
+        let mut drbg =
+            HmacDrbg { key: [0u8; DIGEST_LEN], value: [1u8; DIGEST_LEN], reseed_counter: 0 };
         drbg.update(Some(seed));
         drbg
     }
@@ -154,7 +152,17 @@ impl HmacDrbg {
     }
 }
 
-impl rand::RngCore for HmacDrbg {
+/// Signature-compatible subset of `rand::RngCore`, defined locally so
+/// the workspace builds without the external `rand` crate. Swapping to
+/// the real trait is a matter of deleting this definition and importing
+/// `rand::RngCore` instead.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl RngCore for HmacDrbg {
     fn next_u32(&mut self) -> u32 {
         self.u32()
     }
@@ -254,7 +262,7 @@ mod tests {
 
     #[test]
     fn rng_core_integration() {
-        use rand::RngCore;
+        use super::RngCore;
         let mut d = HmacDrbg::new(b"rngcore");
         let mut buf = [0u8; 16];
         d.fill_bytes(&mut buf);

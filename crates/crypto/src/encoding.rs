@@ -251,20 +251,14 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let bytes = 0xdeadbeefu32.to_wire();
-        assert_eq!(
-            decode_exact::<u32>(&bytes[..3]).unwrap_err(),
-            WireError::Truncated
-        );
+        assert_eq!(decode_exact::<u32>(&bytes[..3]).unwrap_err(), WireError::Truncated);
     }
 
     #[test]
     fn trailing_bytes_detected() {
         let mut bytes = 7u8.to_wire();
         bytes.push(0);
-        assert_eq!(
-            decode_exact::<u8>(&bytes).unwrap_err(),
-            WireError::TrailingBytes(1)
-        );
+        assert_eq!(decode_exact::<u8>(&bytes).unwrap_err(), WireError::TrailingBytes(1));
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl KeyStore {
         message: &[u8],
         sig: &RsaSignature,
     ) -> Result<(), CryptoError> {
-        self.get(id)?
-            .verify(&Identity::bound_message(id, message), sig)
+        self.get(id)?.verify(&Identity::bound_message(id, message), sig)
     }
 
     /// Number of registered principals.
@@ -150,10 +149,7 @@ mod tests {
     fn unknown_principal_rejected() {
         let (a, _, store) = setup();
         let sig = a.sign(b"msg");
-        assert_eq!(
-            store.verify(99, b"msg", &sig).unwrap_err(),
-            CryptoError::UnknownKey
-        );
+        assert_eq!(store.verify(99, b"msg", &sig).unwrap_err(), CryptoError::UnknownKey);
     }
 
     #[test]

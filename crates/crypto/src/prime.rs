@@ -130,10 +130,7 @@ mod tests {
     fn small_known_primes() {
         let mut r = rng();
         for p in [2u64, 3, 5, 7, 11, 13, 8191, 524287, 2147483647] {
-            assert!(
-                is_probable_prime(&Ubig::from_u64(p), 16, &mut r),
-                "{p} should be prime"
-            );
+            assert!(is_probable_prime(&Ubig::from_u64(p), 16, &mut r), "{p} should be prime");
         }
     }
 
@@ -141,10 +138,7 @@ mod tests {
     fn small_known_composites() {
         let mut r = rng();
         for c in [0u64, 1, 4, 6, 9, 15, 21, 561, 1105, 6601, 8911, 2147483647 + 2] {
-            assert!(
-                !is_probable_prime(&Ubig::from_u64(c), 16, &mut r),
-                "{c} should be composite"
-            );
+            assert!(!is_probable_prime(&Ubig::from_u64(c), 16, &mut r), "{c} should be composite");
         }
     }
 

@@ -277,8 +277,8 @@ mod tests {
     fn sign_verify_each_position() {
         let (privs, pubs) = make_ring(4, 256);
         let mut rng = HmacDrbg::new(b"each position");
-        for s in 0..4 {
-            let sig = ring_sign(b"a route exists", &pubs, s, &privs[s], &mut rng).unwrap();
+        for (s, private) in privs.iter().enumerate() {
+            let sig = ring_sign(b"a route exists", &pubs, s, private, &mut rng).unwrap();
             assert!(ring_verify(b"a route exists", &pubs, &sig).is_ok(), "signer {s}");
         }
     }

@@ -19,8 +19,8 @@ use crate::sha256::sha256;
 
 /// ASN.1 DER `DigestInfo` prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// An RSA public key `(n, e)`.
@@ -143,15 +143,7 @@ impl RsaPrivateKey {
                 None => continue,
             };
             let k = bits / 8;
-            return RsaPrivateKey {
-                public: RsaPublicKey { n, e, k },
-                d,
-                p,
-                q,
-                d_p,
-                d_q,
-                q_inv,
-            };
+            return RsaPrivateKey { public: RsaPublicKey { n, e, k }, d, p, q, d_p, d_q, q_inv };
         }
     }
 

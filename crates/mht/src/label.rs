@@ -252,22 +252,16 @@ mod tests {
                     continue;
                 }
                 let (ba, bb) = (a.to_bits(), b.to_bits());
-                assert!(
-                    !ba.is_prefix_of(&bb),
-                    "{a:?} is a prefix of {b:?}"
-                );
+                assert!(!ba.is_prefix_of(&bb), "{a:?} is a prefix of {b:?}");
             }
         }
     }
 
     #[test]
     fn label_wire_round_trip() {
-        for l in [
-            Label::Var(7),
-            Label::Rule(9),
-            Label::Slot(3, 4),
-            Label::Custom(b"burst".to_vec()),
-        ] {
+        for l in
+            [Label::Var(7), Label::Rule(9), Label::Slot(3, 4), Label::Custom(b"burst".to_vec())]
+        {
             let back: Label = pvr_crypto::decode_exact(&l.to_wire()).unwrap();
             assert_eq!(back, l);
         }

@@ -32,11 +32,8 @@ impl SeqTree {
     /// Builds a tree over `items`. Empty batches are allowed (root is a
     /// fixed domain-separated constant).
     pub fn build(items: &[Vec<u8>]) -> SeqTree {
-        let leaves: Vec<Digest> = items
-            .iter()
-            .enumerate()
-            .map(|(i, it)| leaf_hash(i as u64, it))
-            .collect();
+        let leaves: Vec<Digest> =
+            items.iter().enumerate().map(|(i, it)| leaf_hash(i as u64, it)).collect();
         let mut levels = vec![leaves];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
@@ -89,11 +86,7 @@ impl SeqTree {
             }
             pos /= 2;
         }
-        Some(SeqProof {
-            index: index as u64,
-            item: self.items[index].clone(),
-            siblings,
-        })
+        Some(SeqProof { index: index as u64, item: self.items[index].clone(), siblings })
     }
 }
 

@@ -36,12 +36,7 @@ pub struct SignedRoot {
 
 impl SignedRoot {
     /// Canonical bytes covered by the signature.
-    fn signed_bytes(
-        signer: PrincipalId,
-        context: &[u8],
-        epoch: u64,
-        root: &Digest,
-    ) -> Vec<u8> {
+    fn signed_bytes(signer: PrincipalId, context: &[u8], epoch: u64, root: &Digest) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + context.len());
         buf.extend_from_slice(b"pvr.signedroot.v1");
         signer.encode(&mut buf);
@@ -52,15 +47,14 @@ impl SignedRoot {
     }
 
     /// Creates and signs a root commitment.
-    pub fn create(identity: &Identity, context: CommitContext, epoch: u64, root: Digest) -> SignedRoot {
+    pub fn create(
+        identity: &Identity,
+        context: CommitContext,
+        epoch: u64,
+        root: Digest,
+    ) -> SignedRoot {
         let bytes = Self::signed_bytes(identity.id(), &context, epoch, &root);
-        SignedRoot {
-            signer: identity.id(),
-            context,
-            epoch,
-            root,
-            signature: identity.sign(&bytes),
-        }
+        SignedRoot { signer: identity.id(), context, epoch, root, signature: identity.sign(&bytes) }
     }
 
     /// Verifies the signature against the key store.
@@ -109,10 +103,7 @@ impl EquivocationEvidence {
     /// Roots conflict when signer, context, and epoch all match but the
     /// root hashes differ.
     pub fn try_from_pair(a: &SignedRoot, b: &SignedRoot) -> Option<EquivocationEvidence> {
-        if a.signer == b.signer
-            && a.context == b.context
-            && a.epoch == b.epoch
-            && a.root != b.root
+        if a.signer == b.signer && a.context == b.context && a.epoch == b.epoch && a.root != b.root
         {
             Some(EquivocationEvidence { a: a.clone(), b: b.clone() })
         } else {
@@ -144,10 +135,7 @@ impl Wire for EquivocationEvidence {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(EquivocationEvidence {
-            a: SignedRoot::decode(r)?,
-            b: SignedRoot::decode(r)?,
-        })
+        Ok(EquivocationEvidence { a: SignedRoot::decode(r)?, b: SignedRoot::decode(r)? })
     }
 }
 

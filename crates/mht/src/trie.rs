@@ -99,13 +99,8 @@ impl SparseMht {
             let prev = leaves.insert(label.clone(), payload.clone());
             assert!(prev.is_none(), "duplicate MHT label {label:?}");
         }
-        let mut tree = SparseMht {
-            nodes: HashMap::new(),
-            leaves,
-            seed,
-            blinding,
-            root: Digest::ZERO,
-        };
+        let mut tree =
+            SparseMht { nodes: HashMap::new(), leaves, seed, blinding, root: Digest::ZERO };
         let hashed: Vec<(BitString, Digest)> = tree
             .leaves
             .iter()
@@ -224,11 +219,7 @@ impl InclusionProof {
         let mut h = leaf_hash(&path, &self.payload);
         for (i, sib) in self.siblings.iter().enumerate() {
             let depth = path.len() - 1 - i;
-            h = if path.bit(depth) {
-                node_hash(sib, &h)
-            } else {
-                node_hash(&h, sib)
-            };
+            h = if path.bit(depth) { node_hash(sib, &h) } else { node_hash(&h, sib) };
         }
         h == *root
     }
@@ -261,9 +252,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn items(n: u32) -> Vec<(Label, Vec<u8>)> {
-        (0..n)
-            .map(|i| (Label::Var(i), format!("payload-{i}").into_bytes()))
-            .collect()
+        (0..n).map(|i| (Label::Var(i), format!("payload-{i}").into_bytes())).collect()
     }
 
     #[test]
@@ -374,10 +363,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate MHT label")]
     fn duplicate_labels_panic() {
-        let xs = vec![
-            (Label::Var(0), b"a".to_vec()),
-            (Label::Var(0), b"b".to_vec()),
-        ];
+        let xs = vec![(Label::Var(0), b"a".to_vec()), (Label::Var(0), b"b".to_vec())];
         SparseMht::build(&xs, [14; 32]);
     }
 
@@ -462,10 +448,7 @@ mod tests {
         // also contains Var(1) must contain no byte sequence equal to
         // Var(1)'s payload or its leaf hash.
         let secret = b"the secret route via N2".to_vec();
-        let xs = vec![
-            (Label::Var(0), b"public".to_vec()),
-            (Label::Var(1), secret.clone()),
-        ];
+        let xs = vec![(Label::Var(0), b"public".to_vec()), (Label::Var(1), secret.clone())];
         let t = SparseMht::build(&xs, [17; 32]);
         let proof_bytes = t.prove(&Label::Var(0)).unwrap().to_wire();
         let needle = &secret[..];

@@ -297,16 +297,10 @@ impl<P: Payload> Simulator<P> {
     where
         F: FnOnce(&mut dyn Agent<P>, &mut Context<P>),
     {
-        let mut agent = std::mem::replace(
-            &mut self.nodes[node],
-            Box::new(InertAgent) as Box<dyn Agent<P>>,
-        );
-        let mut ctx = Context {
-            now: self.now,
-            self_id: node,
-            rng: &mut self.rng,
-            actions: Vec::new(),
-        };
+        let mut agent =
+            std::mem::replace(&mut self.nodes[node], Box::new(InertAgent) as Box<dyn Agent<P>>);
+        let mut ctx =
+            Context { now: self.now, self_id: node, rng: &mut self.rng, actions: Vec::new() };
         f(agent.as_mut(), &mut ctx);
         let actions = ctx.actions;
         self.nodes[node] = agent;

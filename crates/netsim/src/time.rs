@@ -112,10 +112,7 @@ mod tests {
         assert_eq!(t.as_micros(), 2000);
         assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(2));
         assert_eq!(SimTime(5).since(SimTime(10)), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_secs(1) + SimDuration::from_micros(1),
-            SimDuration(1_000_001)
-        );
+        assert_eq!(SimDuration::from_secs(1) + SimDuration::from_micros(1), SimDuration(1_000_001));
     }
 
     #[test]

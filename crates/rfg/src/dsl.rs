@@ -67,10 +67,7 @@ fn parse_asn(token: &str, line: usize) -> Result<Asn, DslError> {
         .strip_prefix("AS")
         .or_else(|| token.strip_prefix("as"))
         .ok_or_else(|| err(line, format!("expected AS<number>, got `{token}`")))?;
-    digits
-        .parse::<u32>()
-        .map(Asn)
-        .map_err(|_| err(line, format!("bad AS number `{token}`")))
+    digits.parse::<u32>().map(Asn).map_err(|_| err(line, format!("bad AS number `{token}`")))
 }
 
 fn parse_community(token: &str, line: usize) -> Result<Community, DslError> {
@@ -84,9 +81,8 @@ fn parse_community(token: &str, line: usize) -> Result<Community, DslError> {
 
 /// Splits `op(arg1, arg2, …)` into (op, args).
 fn parse_call(expr: &str, line: usize) -> Result<(String, Vec<String>), DslError> {
-    let open = expr
-        .find('(')
-        .ok_or_else(|| err(line, format!("expected <op>(…), got `{expr}`")))?;
+    let open =
+        expr.find('(').ok_or_else(|| err(line, format!("expected <op>(…), got `{expr}`")))?;
     if !expr.ends_with(')') {
         return Err(err(line, "missing closing parenthesis"));
     }
@@ -161,9 +157,8 @@ impl Compiler {
             }
             "within_hops" => {
                 need(2)?;
-                let epsilon: usize = args[0]
-                    .parse()
-                    .map_err(|_| err(line, format!("bad ε `{}`", args[0])))?;
+                let epsilon: usize =
+                    args[0].parse().map_err(|_| err(line, format!("bad ε `{}`", args[0])))?;
                 (OperatorKind::WithinHops { epsilon }, self.lookup_all(&args[1..], line)?)
             }
             "keep_community" | "drop_community" => {
@@ -181,10 +176,7 @@ impl Compiler {
                 need(2)?;
                 let asn = parse_asn(&args[0], line)?;
                 (
-                    OperatorKind::FilterAsPresence {
-                        asn,
-                        keep_if_present: op == "require_as",
-                    },
+                    OperatorKind::FilterAsPresence { asn, keep_if_present: op == "require_as" },
                     self.lookup_all(&args[1..], line)?,
                 )
             }
@@ -256,8 +248,7 @@ pub fn compile(program: &str) -> Result<CompiledPolicy, DslError> {
                     .ok_or_else(|| err(line, "expected `to`"))?;
                 let expr = rest[..to_pos].join(" ");
                 let target_asn = parse_asn(
-                    rest.get(to_pos + 1)
-                        .ok_or_else(|| err(line, "output needs a neighbor"))?,
+                    rest.get(to_pos + 1).ok_or_else(|| err(line, "output needs a neighbor"))?,
                     line,
                 )?;
                 let out_name = format!("out→{target_asn}");
@@ -280,9 +271,7 @@ pub fn compile(program: &str) -> Result<CompiledPolicy, DslError> {
         }
     }
 
-    c.graph
-        .validate()
-        .map_err(|e| err(0, format!("graph validation failed: {e}")))?;
+    c.graph.validate().map_err(|e| err(0, format!("graph validation failed: {e}")))?;
     Ok(CompiledPolicy { graph: c.graph, bindings: c.bindings })
 }
 
@@ -330,10 +319,8 @@ mod tests {
              output shorter_of(r1, m) to AS200\n",
         )
         .unwrap();
-        let promise = Promise::PreferUnlessShorter {
-            fallback: Asn(1),
-            preferred: [Asn(2), Asn(3)].into(),
-        };
+        let promise =
+            Promise::PreferUnlessShorter { fallback: Asn(1), preferred: [Asn(2), Asn(3)].into() };
         assert!(promise.implemented_by(&policy.graph, Asn(200)));
     }
 

@@ -220,11 +220,7 @@ impl RouteFlowGraph {
             }
             if let Some(expected) = op.kind.arity() {
                 if op.inputs.len() != expected {
-                    return Err(GraphError::BadArity {
-                        op: op.id,
-                        expected,
-                        got: op.inputs.len(),
-                    });
+                    return Err(GraphError::BadArity { op: op.id, expected, got: op.inputs.len() });
                 }
             }
             if writer.insert(op.output, op.id).is_some() {
@@ -242,12 +238,8 @@ impl RouteFlowGraph {
         }
         // Topological sort over operators (Kahn).
         let mut order = Vec::with_capacity(self.ops.len());
-        let mut resolved: BTreeSet<VarId> = self
-            .vars
-            .keys()
-            .filter(|v| !writer.contains_key(v))
-            .copied()
-            .collect();
+        let mut resolved: BTreeSet<VarId> =
+            self.vars.keys().filter(|v| !writer.contains_key(v)).copied().collect();
         let mut remaining: BTreeMap<OpId, &Operator> =
             self.ops.iter().map(|(&id, op)| (id, op)).collect();
         loop {
@@ -289,11 +281,8 @@ impl RouteFlowGraph {
         let mut trace = Vec::with_capacity(order.len());
         for op_id in order {
             let op = &self.ops[&op_id];
-            let in_values: Vec<Vec<Route>> = op
-                .inputs
-                .iter()
-                .map(|i| values.get(i).cloned().unwrap_or_default())
-                .collect();
+            let in_values: Vec<Vec<Route>> =
+                op.inputs.iter().map(|i| values.get(i).cloned().unwrap_or_default()).collect();
             let out = op.kind.apply(&in_values);
             trace.push(OpTrace {
                 op: op_id,
@@ -345,11 +334,8 @@ impl Evaluation {
 /// `min` operator, output r_o to `b`.
 pub fn figure1_graph(ns: &[Asn], b: Asn) -> (RouteFlowGraph, Vec<VarId>, VarId, OpId) {
     let mut g = RouteFlowGraph::new();
-    let inputs: Vec<VarId> = ns
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| g.add_input(&format!("r{}", i + 1), n))
-        .collect();
+    let inputs: Vec<VarId> =
+        ns.iter().enumerate().map(|(i, &n)| g.add_input(&format!("r{}", i + 1), n)).collect();
     let out = g.add_output("r_o", b);
     let min = g.add_op(OperatorKind::MinPathLen, &inputs, out);
     (g, inputs, out, min)
@@ -362,11 +348,8 @@ pub fn figure1_graph(ns: &[Asn], b: Asn) -> (RouteFlowGraph, Vec<VarId>, VarId, 
 pub fn figure2_graph(ns: &[Asn], b: Asn) -> (RouteFlowGraph, Vec<VarId>, VarId, OpId, OpId) {
     assert!(ns.len() >= 2, "figure 2 needs at least N1 and N2");
     let mut g = RouteFlowGraph::new();
-    let inputs: Vec<VarId> = ns
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| g.add_input(&format!("r{}", i + 1), n))
-        .collect();
+    let inputs: Vec<VarId> =
+        ns.iter().enumerate().map(|(i, &n)| g.add_input(&format!("r{}", i + 1), n)).collect();
     let v = g.add_internal("v");
     let min = g.add_op(OperatorKind::MinPathLen, &inputs[1..], v);
     let out = g.add_output("r_o", b);

@@ -25,8 +25,8 @@ pub mod promise;
 pub use access::{Access, AccessPolicy};
 pub use dsl::{compile as compile_policy, CompiledPolicy, DslError};
 pub use graph::{
-    figure1_graph, figure2_graph, Evaluation, GraphError, OpId, OpTrace, Operator,
-    RouteFlowGraph, VarId, VarKind, Variable, VertexRef,
+    figure1_graph, figure2_graph, Evaluation, GraphError, OpId, OpTrace, Operator, RouteFlowGraph,
+    VarId, VarKind, Variable, VertexRef,
 };
 pub use ops::{canonical_cmp, canonicalize, OperatorKind};
 pub use promise::{Promise, PromiseViolation};

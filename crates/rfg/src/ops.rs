@@ -19,8 +19,13 @@ use pvr_crypto::encoding::{Reader, Wire, WireError};
 /// whenever an operator must emit "some" single route. Orders by
 /// (path length, path contents, prefix, local-pref desc, med, origin).
 pub fn canonical_cmp(a: &Route, b: &Route) -> std::cmp::Ordering {
-    (a.path_len(), a.path.asns(), a.prefix, std::cmp::Reverse(a.local_pref), a.med)
-        .cmp(&(b.path_len(), b.path.asns(), b.prefix, std::cmp::Reverse(b.local_pref), b.med))
+    (a.path_len(), a.path.asns(), a.prefix, std::cmp::Reverse(a.local_pref), a.med).cmp(&(
+        b.path_len(),
+        b.path.asns(),
+        b.prefix,
+        std::cmp::Reverse(b.local_pref),
+        b.med,
+    ))
 }
 
 /// Sorts and deduplicates a route set into canonical form.
@@ -126,15 +131,11 @@ impl OperatorKind {
                 }
             }
             OperatorKind::FilterCommunity { community, keep_if_present } => canonicalize(
-                all()
-                    .filter(|r| r.has_community(*community) == *keep_if_present)
-                    .collect(),
+                all().filter(|r| r.has_community(*community) == *keep_if_present).collect(),
             ),
-            OperatorKind::FilterAsPresence { asn, keep_if_present } => canonicalize(
-                all()
-                    .filter(|r| r.path.contains(*asn) == *keep_if_present)
-                    .collect(),
-            ),
+            OperatorKind::FilterAsPresence { asn, keep_if_present } => {
+                canonicalize(all().filter(|r| r.path.contains(*asn) == *keep_if_present).collect())
+            }
             OperatorKind::FilterPrefix { cover } => {
                 canonicalize(all().filter(|r| cover.covers(&r.prefix)).collect())
             }
@@ -144,10 +145,7 @@ impl OperatorKind {
                 let min = routes.first().map(|r| r.path_len());
                 match min {
                     None => Vec::new(),
-                    Some(m) => routes
-                        .into_iter()
-                        .filter(|r| r.path_len() <= m + epsilon)
-                        .collect(),
+                    Some(m) => routes.into_iter().filter(|r| r.path_len() <= m + epsilon).collect(),
                 }
             }
             OperatorKind::ShorterOf => {

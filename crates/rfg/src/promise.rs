@@ -243,10 +243,7 @@ impl Promise {
         }
     }
 
-    fn check_shortest(
-        pool: &[(Asn, &Route)],
-        out: Option<&Route>,
-    ) -> Result<(), PromiseViolation> {
+    fn check_shortest(pool: &[(Asn, &Route)], out: Option<&Route>) -> Result<(), PromiseViolation> {
         let min = pool.iter().map(|(_, r)| r.path_len()).min();
         match (min, out) {
             (None, None) => Ok(()),
@@ -276,13 +273,8 @@ impl Promise {
             return false;
         };
         let all_inputs: BTreeSet<Asn> = graph.inputs().into_iter().map(|(_, n)| n).collect();
-        let input_var_of = |n: Asn| {
-            graph
-                .inputs()
-                .into_iter()
-                .find(|&(_, asn)| asn == n)
-                .map(|(v, _)| v)
-        };
+        let input_var_of =
+            |n: Asn| graph.inputs().into_iter().find(|&(_, asn)| asn == n).map(|(v, _)| v);
         let vars_cover = |vars: &[crate::graph::VarId], set: &BTreeSet<Asn>| {
             let covered: BTreeSet<Asn> = vars
                 .iter()
@@ -302,7 +294,8 @@ impl Promise {
             }
             Promise::WithinHopsOfBest { epsilon } => {
                 // min over all inputs is the ε = 0 case, which implies any ε.
-                if writer.kind == OperatorKind::MinPathLen && vars_cover(&writer.inputs, &all_inputs)
+                if writer.kind == OperatorKind::MinPathLen
+                    && vars_cover(&writer.inputs, &all_inputs)
                 {
                     return true;
                 }
@@ -362,12 +355,7 @@ impl Promise {
     /// protocol? Requires: each subset neighbor sees its own input
     /// variable, the receiver sees the output variable, and every
     /// participant can see the deciding operator.
-    pub fn verifiable_under(
-        &self,
-        graph: &RouteFlowGraph,
-        policy: &AccessPolicy,
-        to: Asn,
-    ) -> bool {
+    pub fn verifiable_under(&self, graph: &RouteFlowGraph, policy: &AccessPolicy, to: Asn) -> bool {
         let Some((out_var, _)) = graph.outputs().into_iter().find(|&(_, n)| n == to) else {
             return false;
         };
@@ -526,10 +514,8 @@ mod tests {
 
     #[test]
     fn prefer_unless_shorter_semantics() {
-        let p = Promise::PreferUnlessShorter {
-            fallback: Asn(1),
-            preferred: [Asn(2), Asn(3)].into(),
-        };
+        let p =
+            Promise::PreferUnlessShorter { fallback: Asn(1), preferred: [Asn(2), Asn(3)].into() };
         // N1 strictly shorter: exporting N1's route is fine.
         let ins = inputs(&[(1, &[1, 9]), (2, &[2, 8, 9])]);
         assert!(p.check(&ins, &out_to(200, Some(route(&[1, 9]))), B).is_ok());
@@ -571,19 +557,15 @@ mod tests {
     fn static_check_figure2() {
         let ns = [Asn(1), Asn(2), Asn(3)];
         let (g, _, _, _, _) = figure2_graph(&ns, B);
-        let promise = Promise::PreferUnlessShorter {
-            fallback: Asn(1),
-            preferred: [Asn(2), Asn(3)].into(),
-        };
+        let promise =
+            Promise::PreferUnlessShorter { fallback: Asn(1), preferred: [Asn(2), Asn(3)].into() };
         assert!(promise.implemented_by(&g, B));
         // The figure 2 graph does NOT implement shortest-overall (N2's
         // longer route can win a tie).
         assert!(!Promise::ShortestOverall.implemented_by(&g, B));
         // Swapped roles fail.
-        let swapped = Promise::PreferUnlessShorter {
-            fallback: Asn(2),
-            preferred: [Asn(1), Asn(3)].into(),
-        };
+        let swapped =
+            Promise::PreferUnlessShorter { fallback: Asn(2), preferred: [Asn(1), Asn(3)].into() };
         assert!(!swapped.implemented_by(&g, B));
     }
 

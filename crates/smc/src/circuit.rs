@@ -48,10 +48,7 @@ impl Circuit {
             Gate::Not(a) => Some(a.0),
             _ => None,
         } {
-            assert!(
-                (limit as usize) < self.gates.len(),
-                "gate references a future wire"
-            );
+            assert!((limit as usize) < self.gates.len(), "gate references a future wire");
         }
         self.gates.push(gate);
         WireId(self.gates.len() as u32 - 1)
@@ -183,11 +180,7 @@ impl Circuit {
                 Gate::And(a, b) => depth[a.0 as usize].max(depth[b.0 as usize]) + 1,
             };
         }
-        self.outputs
-            .iter()
-            .map(|w| depth[w.0 as usize])
-            .max()
-            .unwrap_or(0)
+        self.outputs.iter().map(|w| depth[w.0 as usize]).max().unwrap_or(0)
     }
 
     /// Plaintext evaluation (reference semantics for the MPC tests).
@@ -222,9 +215,7 @@ pub fn to_bits(value: u64, width: usize) -> Vec<bool> {
 
 /// Converts little-endian bits back to a value.
 pub fn from_bits(bits: &[bool]) -> u64 {
-    bits.iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
 }
 
 /// Builds the PVR-equivalent SMC task: the minimum of `k` `width`-bit
@@ -232,9 +223,8 @@ pub fn from_bits(bits: &[bool]) -> u64 {
 pub fn min_circuit(k: usize, width: usize) -> Circuit {
     assert!(k >= 1);
     let mut c = Circuit::new();
-    let words: Vec<Vec<WireId>> = (0..k)
-        .map(|p| (0..width).map(|_| c.input(p as u32)).collect())
-        .collect();
+    let words: Vec<Vec<WireId>> =
+        (0..k).map(|p| (0..width).map(|_| c.input(p as u32)).collect()).collect();
     let mut best = words[0].clone();
     for w in &words[1..] {
         let is_less = c.lt(w, &best);

@@ -102,10 +102,7 @@ mod tests {
         let mut rng = HmacDrbg::new(b"calibration");
         let result = run_gmw(&c, &inputs, &mut rng);
         let secs = SmcCostModel::fairplay_calibrated().estimate_seconds(&result.stats);
-        assert!(
-            (10.0..25.0).contains(&secs),
-            "5-player voting should model ≈15 s, got {secs:.2}"
-        );
+        assert!((10.0..25.0).contains(&secs), "5-player voting should model ≈15 s, got {secs:.2}");
     }
 
     #[test]

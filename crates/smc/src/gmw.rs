@@ -155,22 +155,13 @@ pub fn run_gmw(circuit: &Circuit, inputs: &[Vec<bool>], rng: &mut HmacDrbg) -> G
         }
     }
 
-    stats.rounds = circuit
-        .outputs()
-        .iter()
-        .map(|w| wire_round[w.0 as usize])
-        .max()
-        .unwrap_or(0);
+    stats.rounds = circuit.outputs().iter().map(|w| wire_round[w.0 as usize]).max().unwrap_or(0);
 
     // Output reconstruction: all parties publish their output shares.
     let outputs = circuit
         .outputs()
         .iter()
-        .map(|w| {
-            shares
-                .iter()
-                .fold(false, |acc, sh| acc ^ sh[w.0 as usize])
-        })
+        .map(|w| shares.iter().fold(false, |acc, sh| acc ^ sh[w.0 as usize]))
         .collect();
     stats.bits_broadcast += (circuit.outputs().len() as u64) * n as u64 * (n as u64 - 1);
 
@@ -223,6 +214,9 @@ mod tests {
     }
 
     #[test]
+    // The `2 * 2 * 1` spells out the OT formula: parties × OTs-per-AND
+    // × rounds, so the factor of 1 is deliberate documentation.
+    #[allow(clippy::identity_op)]
     fn two_party_works() {
         let c = min_circuit(2, 4);
         let inputs: Vec<Vec<bool>> = [11u64, 6].iter().map(|&v| to_bits(v, 4)).collect();

@@ -9,12 +9,8 @@
 //!
 //! Run with: `cargo run --release --example internet_scale`
 
-use pvr::bgp::{
-    internet_like, Asn, BgpRouter, InstantiateOptions, InternetParams,
-};
-use pvr::core::{
-    verify_as_provider, verify_as_receiver, Committer, PvrParams, RoundContext,
-};
+use pvr::bgp::{internet_like, Asn, BgpRouter, InstantiateOptions, InternetParams};
+use pvr::core::{verify_as_provider, verify_as_receiver, Committer, PvrParams, RoundContext};
 use pvr::crypto::HmacDrbg;
 use pvr::netsim::RunLimits;
 use pvr::rfg::figure1_graph;
@@ -62,11 +58,8 @@ fn main() {
     // customers as "B", and verify a real prefix decision.
     let a = Asn(100);
     let a_router: &BgpRouter = net.router(a);
-    let prefix = a_router
-        .selected_prefixes()
-        .into_iter()
-        .next()
-        .expect("A selected at least one prefix");
+    let prefix =
+        a_router.selected_prefixes().into_iter().next().expect("A selected at least one prefix");
     let providers: Vec<Asn> = topology
         .neighbor_roles(a)
         .into_iter()

@@ -13,9 +13,7 @@ use pvr::core::{run_min_round, Figure1Bed, Misbehavior, Outcome, Verdict};
 fn main() {
     println!("=== PVR detection matrix ===\n");
     let bed = Figure1Bed::build(&[2, 3, 5], 4242);
-    println!(
-        "scenario: providers with path lengths 2/3/5, A promised B the shortest\n"
-    );
+    println!("scenario: providers with path lengths 2/3/5, A promised B the shortest\n");
 
     let victim = bed.ns[0];
     let behaviors: Vec<(&str, Option<Misbehavior>)> = vec![
@@ -51,11 +49,7 @@ fn main() {
         if report.gossip_evidence.is_some() {
             all.push("gossip:equivocation".to_string());
         }
-        let guilty = report
-            .verdicts
-            .iter()
-            .filter(|(_, v)| *v == Verdict::Guilty)
-            .count();
+        let guilty = report.verdicts.iter().filter(|(_, v)| *v == Verdict::Guilty).count();
         println!(
             "{:<20} {:>9} {:>10} {:>9}  {}",
             name,

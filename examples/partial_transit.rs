@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run --example partial_transit`
 
+use pvr::bgp::Asn;
 use pvr::core::{Figure1Bed, VisibleGraph};
 use pvr::mht::Label;
 use pvr::rfg::{AccessPolicy, OperatorKind, Promise};
-use pvr::bgp::Asn;
 use std::collections::BTreeSet;
 
 fn main() {
@@ -22,7 +22,11 @@ fn main() {
     // N1 offers a 3-hop route; N2/N3 offer 3 and 4 hops. The promise
     // prefers N2..N3 on ties, so the honest export is via N2.
     let bed = Figure1Bed::build_figure2(&[3, 3, 4], 77);
-    println!("graph: {} variables, {} operators", bed.graph.vars().count(), bed.graph.ops().count());
+    println!(
+        "graph: {} variables, {} operators",
+        bed.graph.vars().count(),
+        bed.graph.ops().count()
+    );
 
     // Static check (§2.2): does the graph implement the promise?
     let promise = Promise::PreferUnlessShorter {

@@ -70,8 +70,10 @@ let near = within_hops(1, eu)
 output pick_one(near) to AS300
 ";
     let policy2 = compile_policy(program2).expect("compiles");
-    println!("\nsecond program compiled: {} operators (filters + ε-guard)",
-        policy2.graph.ops().count());
+    println!(
+        "\nsecond program compiled: {} operators (filters + ε-guard)",
+        policy2.graph.ops().count()
+    );
 
     // Error reporting has line numbers:
     let bad = "input r1 from AS1\nlet x = teleport(r1)\n";

@@ -17,19 +17,21 @@ fn main() {
     println!("cast: A = {}, B = {}, providers = {:?}", bed.a, bed.b, bed.ns);
     for &n in &bed.ns {
         let sr = bed.input_of(n);
-        println!("  {n} advertises {} (attested, {} signatures)",
-            sr.route, sr.attestations.len());
+        println!("  {n} advertises {} (attested, {} signatures)", sr.route, sr.attestations.len());
     }
 
     // --- Honest round -------------------------------------------------
     println!("\n--- honest round ---");
     let committer = bed.honest_committer();
     println!("A commits to its decision: root = {}", committer.signed_root().root);
-    println!("A's bit vector claims min = {:?}", pvr::core::claimed_min(
-        &(1..=bed.params.max_path_len as u32)
-            .map(|i| committer.reveal_bit(i).unwrap().bit().unwrap())
-            .collect::<Vec<_>>(),
-    ));
+    println!(
+        "A's bit vector claims min = {:?}",
+        pvr::core::claimed_min(
+            &(1..=bed.params.max_path_len as u32)
+                .map(|i| committer.reveal_bit(i).unwrap().bit().unwrap())
+                .collect::<Vec<_>>(),
+        )
+    );
 
     let report = run_min_round(&bed, None);
     for (asn, outcome) in &report.outcomes {

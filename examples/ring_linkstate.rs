@@ -21,10 +21,8 @@ fn main() {
 
     // A's upstream neighborhood: five providers, each with a key pair.
     let k = 5;
-    let providers: Vec<Identity> =
-        (1..=k).map(|i| Identity::generate(i, 512, &mut rng)).collect();
-    let ring: Vec<RsaPublicKey> =
-        providers.iter().map(|p| p.public().clone()).collect();
+    let providers: Vec<Identity> = (1..=k).map(|i| Identity::generate(i, 512, &mut rng)).collect();
+    let ring: Vec<RsaPublicKey> = providers.iter().map(|p| p.public().clone()).collect();
     println!("ring of {k} providers established (RSA-512 for demo speed)");
 
     // The statement the paper has the N_i sign.
@@ -32,14 +30,9 @@ fn main() {
 
     // Secretly, provider #3 (index 2) is the one with the route.
     let signer_index = 2;
-    let sig = ring_sign(
-        statement,
-        &ring,
-        signer_index,
-        providers[signer_index].private_key(),
-        &mut rng,
-    )
-    .expect("signing succeeds");
+    let sig =
+        ring_sign(statement, &ring, signer_index, providers[signer_index].private_key(), &mut rng)
+            .expect("signing succeeds");
     println!(
         "one provider signed the statement ({} bytes of signature material)",
         sig.v.len() * (1 + sig.xs.len())
@@ -53,12 +46,16 @@ fn main() {
     // member signed: B cannot tell. Demonstrate by having every member
     // sign and checking all signatures verify with identical shape.
     println!("\nanonymity check: signatures from every possible signer");
-    for i in 0..k as usize {
-        let s = ring_sign(statement, &ring, i, providers[i].private_key(), &mut rng).unwrap();
+    for (i, provider) in providers.iter().enumerate().take(k as usize) {
+        let s = ring_sign(statement, &ring, i, provider.private_key(), &mut rng).unwrap();
         ring_verify(statement, &ring, &s).expect("verifies");
         assert_eq!(s.xs.len(), sig.xs.len());
         assert_eq!(s.v.len(), sig.v.len());
-        println!("  signer {}: verifies, {} ring elements, indistinguishable shape", i + 1, s.xs.len());
+        println!(
+            "  signer {}: verifies, {} ring elements, indistinguishable shape",
+            i + 1,
+            s.xs.len()
+        );
     }
 
     // Integrity: the statement is bound.
@@ -68,9 +65,8 @@ fn main() {
 
     // Ring membership is bound too: a different neighborhood rejects it.
     let mut other_rng = HmacDrbg::from_u64_labeled(999, "other-ring");
-    let outsiders: Vec<RsaPublicKey> = (10..10 + k)
-        .map(|i| Identity::generate(i, 512, &mut other_rng).public().clone())
-        .collect();
+    let outsiders: Vec<RsaPublicKey> =
+        (10..10 + k).map(|i| Identity::generate(i, 512, &mut other_rng).public().clone()).collect();
     assert!(ring_verify(statement, &outsiders, &sig).is_err());
     println!("membership check: the signature is bound to A's neighbor ring");
 

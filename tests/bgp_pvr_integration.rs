@@ -5,12 +5,8 @@
 //! and checks the verification outcomes — the full pipeline the paper
 //! envisions, with no hand-built inputs.
 
-use pvr::bgp::{
-    figure1, internet_like, Asn, InstantiateOptions, InternetParams, Topology,
-};
-use pvr::core::{
-    verify_as_provider, verify_as_receiver, Committer, PvrParams, RoundContext,
-};
+use pvr::bgp::{figure1, internet_like, Asn, InstantiateOptions, InternetParams, Topology};
+use pvr::core::{verify_as_provider, verify_as_receiver, Committer, PvrParams, RoundContext};
 use pvr::crypto::{HmacDrbg, Identity};
 use pvr::netsim::RunLimits;
 use pvr::rfg::figure1_graph;
@@ -49,10 +45,7 @@ fn figure1_topology_feeds_pvr_round() {
         .ns
         .iter()
         .map(|&n| {
-            let sr = a_router
-                .received_chain(n, cast.prefix)
-                .expect("route from provider")
-                .clone();
+            let sr = a_router.received_chain(n, cast.prefix).expect("route from provider").clone();
             (n, vec![sr])
         })
         .collect();

@@ -46,15 +46,9 @@ fn e7_provider_learns_only_its_own_bit() {
     // N2's bit at its own length stays 1 whether the minimum is 2, 3, or
     // its own 4: N2 cannot rank itself against the others.
     for lens in [[2usize, 4], [3, 4], [4, 4]] {
-        let other = [[2usize, 4], [3, 4], [4, 4]]
-            .into_iter()
-            .find(|l| l != &lens)
-            .unwrap();
+        let other = [[2usize, 4], [3, 4], [4, 4]].into_iter().find(|l| l != &lens).unwrap();
         let outcome = counterfactual_min_audit(&lens, &other, 21);
-        assert!(
-            !outcome.content_changed[&Asn(2)],
-            "{lens:?} vs {other:?}: N2 distinguished"
-        );
+        assert!(!outcome.content_changed[&Asn(2)], "{lens:?} vs {other:?}: N2 distinguished");
     }
 }
 
@@ -81,13 +75,11 @@ fn e7_provider_counts_are_not_leaked_to_providers() {
 fn e7_bit_vector_is_a_function_of_the_minimum() {
     // Direct unit-level statement of why the construction is private:
     // the full vector B sees is determined by the min alone.
-    use pvr::core::min_bit_vector;
     use pvr::bgp::{AsPath, Prefix, Route};
+    use pvr::core::min_bit_vector;
     let route = |len: usize| {
         let mut r = Route::originate(Prefix::parse("10.0.0.0/8").unwrap());
-        r.path = AsPath::from_slice(
-            &(0..len).map(|i| Asn(i as u32 + 1)).collect::<Vec<_>>(),
-        );
+        r.path = AsPath::from_slice(&(0..len).map(|i| Asn(i as u32 + 1)).collect::<Vec<_>>());
         r
     };
     let w1 = [route(3), route(7), route(9)];

@@ -68,11 +68,7 @@ fn dsl_promise_and_static_checker_agree() {
     ];
     for (program, promise, expect) in cases {
         let policy = compile_policy(program).unwrap();
-        assert_eq!(
-            promise.implemented_by(&policy.graph, Asn(200)),
-            expect,
-            "{program}"
-        );
+        assert_eq!(promise.implemented_by(&policy.graph, Asn(200)), expect, "{program}");
     }
 }
 
@@ -81,23 +77,16 @@ fn epsilon_promise_interoperates_with_sessions() {
     // A session whose receiver tolerates ε=1: an export one hop above
     // the minimum passes, two hops fails — across epochs.
     let bed = Figure1Bed::build(&[2, 3, 4], 502);
-    let mut session = PvrSession::new(
-        bed.a_identity(),
-        bed.prefix,
-        bed.params,
-        bed.graph.clone(),
-        &bed.ns,
-        502,
-    );
+    let mut session =
+        PvrSession::new(bed.a_identity(), bed.prefix, bed.params, bed.graph.clone(), &bed.ns, 502);
     let c = session.next_round(bed.inputs.clone());
     let round = c.round().clone();
 
     // Honest export (min = 2) passes at any ε.
     let d = c.disclosure_for_receiver(bed.b);
     for eps in [0usize, 1, 3] {
-        let o = verify_as_receiver_with_epsilon(
-            bed.b, bed.a, &round, &bed.params, eps, &d, &bed.keys,
-        );
+        let o =
+            verify_as_receiver_with_epsilon(bed.b, bed.a, &round, &bed.params, eps, &d, &bed.keys);
         assert!(o.is_accept(), "ε={eps}");
     }
 
@@ -119,14 +108,8 @@ fn epsilon_promise_interoperates_with_sessions() {
 #[test]
 fn epoch_tracker_guards_a_session_stream() {
     let bed = Figure1Bed::build(&[2, 3], 503);
-    let mut session = PvrSession::new(
-        bed.a_identity(),
-        bed.prefix,
-        bed.params,
-        bed.graph.clone(),
-        &bed.ns,
-        503,
-    );
+    let mut session =
+        PvrSession::new(bed.a_identity(), bed.prefix, bed.params, bed.graph.clone(), &bed.ns, 503);
     let mut tracker = EpochTracker::new();
     let mut roots = Vec::new();
     for _ in 0..3 {
@@ -182,8 +165,15 @@ fn mrai_damped_substrate_still_feeds_clean_pvr_rounds() {
     let round = RoundContext { prefix: cast.prefix, epoch: 1 };
     let params = PvrParams::default();
     let mut rng = HmacDrbg::from_u64_labeled(9, "mrai-round");
-    let committer =
-        Committer::new(&a_identity, round.clone(), params, graph, inputs.clone(), &cast.ns, &mut rng);
+    let committer = Committer::new(
+        &a_identity,
+        round.clone(),
+        params,
+        graph,
+        inputs.clone(),
+        &cast.ns,
+        &mut rng,
+    );
     for &n in &cast.ns {
         let d = committer.disclosure_for_provider(n);
         let o = verify_as_provider(cast.a, &round, &params, &inputs[&n], &d, &keys);

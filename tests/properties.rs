@@ -89,13 +89,8 @@ fn suppression_detected_exactly_when_it_matters() {
         let victim = bed.ns[i];
         let report = run_min_round(&bed, Some(Misbehavior::SuppressInput { victim }));
 
-        let min_of_others = lens
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, &l)| l)
-            .min()
-            .unwrap();
+        let min_of_others =
+            lens.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &l)| l).min().unwrap();
         let is_violation = victim_len < min_of_others;
         assert_eq!(
             report.detected(),
@@ -168,9 +163,7 @@ fn colluding_victim_cannot_frame_honest_a() {
 
 #[test]
 fn existential_protocol_properties() {
-    use pvr::core::{
-        verify_as_provider_existential, verify_as_receiver_existential,
-    };
+    use pvr::core::{verify_as_provider_existential, verify_as_receiver_existential};
     let bed = Figure1Bed::build(&[3, 2], 66);
     let c = bed.honest_committer();
 
@@ -208,7 +201,8 @@ fn existential_protocol_properties() {
         graph: vec![],
     };
     // No reveal at all → suspicion for the provider.
-    let o = verify_as_provider_existential(bed.a, &bed.round, &bed.inputs[&bed.ns[0]], &d, &bed.keys);
+    let o =
+        verify_as_provider_existential(bed.a, &bed.round, &bed.inputs[&bed.ns[0]], &d, &bed.keys);
     assert!(o.detected());
 }
 

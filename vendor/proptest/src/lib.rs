@@ -1,0 +1,373 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build container has no access to crates.io, so the real
+//! proptest cannot be fetched. This shim supports the subset the
+//! workspace's property tests use — the `proptest!` macro (with an
+//! optional `#![proptest_config(...)]` header), `any::<T>()` for the
+//! primitive types, integer-range strategies, `collection::vec`, and
+//! the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros —
+//! deterministically (fixed seed, fixed case count) so CI runs are
+//! reproducible. No shrinking: a failing case panics with the assertion
+//! message plus the failing case index on stderr; because the seed is
+//! fixed, that index is a complete reproduction recipe. Swapping back
+//! to the real proptest is a one-line change in the workspace manifest.
+
+use std::marker::PhantomData;
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`: everything the `proptest!` tests need.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator; quality is ample for test-case
+/// generation and it keeps the shim dependency-free.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn from_seed(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of values of one type, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start() as u128, *self.end() as u128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi - lo + 1;
+                (lo + (rng.next_u64() as u128) % span) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+impl_signed_strategy!(i32, i64);
+
+/// Types with a canonical full-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut Rng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        out
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut Rng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut Rng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Mirrors `proptest::prelude::any`: the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+pub mod collection {
+    //! Mirrors `proptest::collection`.
+    use super::{Rng, Strategy};
+
+    /// Half-open range of collection sizes, mirroring
+    /// `proptest::collection::SizeRange`. The `From` impls are what let
+    /// a bare `1..8` literal infer `usize` at `vec()` call sites.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s with lengths drawn from `len` and
+    /// elements drawn from `elem`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// Mirrors `proptest::collection::vec(element_strategy, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.len.lo + (rng.next_u64() as usize) % (self.len.hi - self.len.lo);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Reports the failing case index when a property-test body panics.
+/// The shim does no shrinking, but runs are deterministic, so the
+/// index alone reproduces the failure.
+#[doc(hidden)]
+pub struct CaseGuard {
+    case: u32,
+}
+
+impl CaseGuard {
+    pub fn new(case: u32) -> Self {
+        CaseGuard { case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[proptest-shim] property failed on case {} (deterministic: rerun reproduces it)",
+                self.case
+            );
+        }
+    }
+}
+
+/// Mirrors `proptest::proptest!`: each test function runs `config.cases`
+/// deterministic cases, sampling every `arg in strategy` binding. An
+/// optional `#![proptest_config(...)]` header applies to every test in
+/// the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::Rng::from_seed(0x5eed_0000_0000_0001);
+            for __pvr_case in 0..config.cases {
+                let __pvr_guard = $crate::CaseGuard::new(__pvr_case);
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                // The body is inlined (not wrapped in a closure) so that
+                // `prop_assume!` can `continue` to the next case.
+                $body
+                drop(__pvr_guard);
+            }
+        }
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    (cfg = $cfg:expr;) => {};
+}
+
+/// Mirrors `proptest::prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_eq!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assert_ne!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Mirrors `proptest::prop_assume!`: skips the current case when the
+/// assumption fails. Only valid inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = Rng::from_seed(42);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (0i64..=5).sample(&mut rng);
+            assert!((0..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = Rng::from_seed(3);
+        let s = collection::vec(any::<u8>(), 2usize..5);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::from_seed(7);
+        let mut b = Rng::from_seed(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_multiple_args(x in 1u32..100, y in 0u8..=3) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(y <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn config_header_and_assume(x in 0u64..10, ys in collection::vec(any::<bool>(), 0..4)) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10 && x != 3);
+            prop_assert!(ys.len() < 4);
+        }
+    }
+}
