@@ -1,0 +1,318 @@
+//! The campaign runner: strategies × placements × security modes,
+//! executed on the parallel sweep and scored into a detection/impact
+//! matrix.
+
+use crate::cell::CellContext;
+use crate::metrics::AttackOutcome;
+use crate::strategy::{catalog, AttackKind, AttackStrategy, SecurityMode};
+use crate::sweep::{default_parallelism, sweep};
+use pvr_bgp::{internet_like, Asn, InternetParams, Prefix, Role, Topology};
+use pvr_crypto::drbg::HmacDrbg;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Campaign-wide configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Topology generator parameters.
+    pub internet: InternetParams,
+    /// Campaign seed: drives topology, placements, and per-cell seeds.
+    pub seed: u64,
+    /// Number of attacker/victim placement pairs to sweep.
+    pub placements: usize,
+    /// Security modes to sweep (escalation order recommended).
+    pub modes: Vec<SecurityMode>,
+    /// RSA modulus size for signed modes (small keys keep CI fast).
+    pub key_bits: usize,
+    /// Worker threads for the sweep; 0 = machine parallelism.
+    pub parallelism: usize,
+}
+
+impl CampaignConfig {
+    /// The CI-smoke configuration: a small Internet, one placement, all
+    /// modes — every matrix row exercised in seconds.
+    pub fn quick(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            internet: InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 },
+            seed,
+            placements: 1,
+            modes: SecurityMode::ALL.to_vec(),
+            key_bits: 512,
+            parallelism: 0,
+        }
+    }
+}
+
+/// One attacker/victim pairing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// The malicious AS.
+    pub attacker: Asn,
+    /// The AS whose prefix is attacked.
+    pub victim: Asn,
+    /// The victim's originated prefix.
+    pub victim_prefix: Prefix,
+}
+
+/// One scored cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// Strategy row name.
+    pub strategy: String,
+    /// Strategy family.
+    pub kind: AttackKind,
+    /// Security mode the cell ran under.
+    pub mode: SecurityMode,
+    /// The placement used.
+    pub placement: Placement,
+    /// Impact and detection scores.
+    pub outcome: AttackOutcome,
+}
+
+/// All cells of a finished campaign, in deterministic cell order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignReport {
+    /// Scored cells: strategy-major, then placement, then mode.
+    pub cells: Vec<CellResult>,
+}
+
+/// A configured campaign, ready to run.
+pub struct Campaign {
+    config: CampaignConfig,
+    topology: Arc<Topology>,
+    /// Customer-cone sizes, computed once and shared with every cell.
+    cones: Arc<BTreeMap<Asn, usize>>,
+    placements: Vec<Placement>,
+    strategies: Vec<Box<dyn AttackStrategy>>,
+}
+
+/// True when `role` (the role `other` plays relative to some AS) marks
+/// `other` as sitting uphill (provider or peer).
+fn is_provider_or_peer(role: &Role) -> bool {
+    matches!(role, Role::Provider | Role::Peer)
+}
+
+/// Deterministically chooses attacker/victim pairs. Victims are
+/// originating ASes (stubs). Attackers must (1) not be the victim,
+/// (2) have at least two uphill neighbors so a route leak has a valley
+/// to form, (3) have at least one provider (so hijacks reach a
+/// customer-preferring audience), and (4) not be adjacent to the victim
+/// (a direct neighbor's "shortcut" would be a legitimate route, not an
+/// attack). Preference is given to attackers sharing no neighbor with
+/// the victim.
+fn choose_placements(topology: &Topology, count: usize, seed: u64) -> Vec<Placement> {
+    let mut rng = HmacDrbg::from_u64_labeled(seed, "pvr-attack placements");
+    let victims: Vec<Asn> =
+        topology.ases().filter(|&a| !topology.originated_by(a).is_empty()).collect();
+    assert!(!victims.is_empty(), "topology has no originating ASes to victimize");
+    let mut out = Vec::with_capacity(count);
+    // Bounded retry per placement: the counter resets on every success,
+    // so only genuine exhaustion of the (victim, attacker) space — not a
+    // large `count` or duplicate draws along the way — trips the assert.
+    let mut failed_draws = 0usize;
+    while out.len() < count {
+        assert!(
+            failed_draws < 1000,
+            "exhausted eligible attacker/victim placements after {} of {} requested \
+             (topology supports fewer distinct pairs)",
+            out.len(),
+            count
+        );
+        let victim = victims[rng.below(victims.len() as u64) as usize];
+        let victim_prefix = topology.originated_by(victim)[0];
+        let victim_neighbors: BTreeSet<Asn> =
+            topology.neighbor_roles(victim).into_iter().map(|(n, _)| n).collect();
+        let eligible: Vec<Asn> = topology
+            .ases()
+            .filter(|&a| {
+                if a == victim || victim_neighbors.contains(&a) {
+                    return false;
+                }
+                let roles = topology.neighbor_roles(a);
+                let uphill = roles.iter().filter(|(_, r)| is_provider_or_peer(r)).count();
+                let providers = roles.iter().filter(|(_, r)| matches!(r, Role::Provider)).count();
+                uphill >= 2 && providers >= 1
+            })
+            .collect();
+        if eligible.is_empty() {
+            failed_draws += 1;
+            continue;
+        }
+        // Prefer attackers whose neighborhood is disjoint from the
+        // victim's (cleaner poisoning signal).
+        let disjoint: Vec<Asn> = eligible
+            .iter()
+            .copied()
+            .filter(|&a| {
+                topology.neighbor_roles(a).iter().all(|(n, _)| !victim_neighbors.contains(n))
+            })
+            .collect();
+        let pool = if disjoint.is_empty() { &eligible } else { &disjoint };
+        let attacker = pool[rng.below(pool.len() as u64) as usize];
+        let p = Placement { attacker, victim, victim_prefix };
+        if out.contains(&p) {
+            failed_draws += 1;
+        } else {
+            out.push(p);
+            failed_draws = 0;
+        }
+    }
+    out
+}
+
+impl Campaign {
+    /// Builds the campaign: generates the topology and chooses
+    /// placements deterministically from the configured seed.
+    pub fn new(config: CampaignConfig) -> Campaign {
+        let topology = internet_like(config.internet, config.seed);
+        let placements = choose_placements(&topology, config.placements.max(1), config.seed);
+        let cones = Arc::new(topology.customer_cone_sizes());
+        Campaign { config, topology: Arc::new(topology), cones, placements, strategies: catalog() }
+    }
+
+    /// The chosen attacker/victim pairs.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Total number of cells a run will score.
+    pub fn cell_count(&self) -> usize {
+        self.strategies.len() * self.placements.len() * self.config.modes.len()
+    }
+
+    /// Runs every cell on the parallel sweep. The report is
+    /// byte-identical for any `parallelism`, including 1.
+    pub fn run(&self) -> CampaignReport {
+        let specs: Vec<(usize, usize, usize)> = {
+            let mut v = Vec::with_capacity(self.cell_count());
+            for s in 0..self.strategies.len() {
+                for p in 0..self.placements.len() {
+                    for m in 0..self.config.modes.len() {
+                        v.push((s, p, m));
+                    }
+                }
+            }
+            v
+        };
+        let threads = if self.config.parallelism == 0 {
+            default_parallelism()
+        } else {
+            self.config.parallelism
+        };
+        let cells = sweep(specs.len(), threads, |i| {
+            let (s, p, m) = specs[i];
+            self.run_cell(i, s, p, m)
+        });
+        CampaignReport { cells }
+    }
+
+    fn run_cell(&self, index: usize, s: usize, p: usize, m: usize) -> CellResult {
+        let strategy = &self.strategies[s];
+        let placement = self.placements[p];
+        let mode = self.config.modes[m];
+        // One derived seed per cell: a function of (campaign seed, cell
+        // index) only, so results cannot depend on scheduling.
+        let cell_seed =
+            HmacDrbg::from_u64_labeled(self.config.seed, &format!("pvr-attack cell {index}")).u64();
+        let ctx = CellContext {
+            topology: Arc::clone(&self.topology),
+            cones: Arc::clone(&self.cones),
+            attacker: placement.attacker,
+            victim: placement.victim,
+            victim_prefix: placement.victim_prefix,
+            mode,
+            seed: cell_seed,
+            key_bits: self.config.key_bits,
+        };
+        CellResult {
+            strategy: strategy.name().to_string(),
+            kind: strategy.kind(),
+            mode,
+            placement,
+            outcome: strategy.execute(&ctx),
+        }
+    }
+}
+
+impl CampaignReport {
+    /// Cells of the given family under the given mode.
+    fn select(&self, kinds: &[AttackKind], mode: SecurityMode) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| c.mode == mode && kinds.contains(&c.kind)).collect()
+    }
+
+    /// Minimum poisoned fraction across cells of the given kinds/mode.
+    /// Returns 0.0 when no cell matches, so `min_poisoned(..) > 0`
+    /// assertions cannot pass vacuously on an empty selection.
+    pub fn min_poisoned(&self, kinds: &[AttackKind], mode: SecurityMode) -> f64 {
+        let cells = self.select(kinds, mode);
+        if cells.is_empty() {
+            return 0.0;
+        }
+        cells.iter().map(|c| c.outcome.poisoned_fraction).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Fraction of cells of the given kinds/mode whose attack was
+    /// detected.
+    pub fn detection_rate(&self, kinds: &[AttackKind], mode: SecurityMode) -> f64 {
+        let cells = self.select(kinds, mode);
+        if cells.is_empty() {
+            return 0.0;
+        }
+        cells.iter().filter(|c| c.outcome.detected).count() as f64 / cells.len() as f64
+    }
+
+    /// The detection/impact matrix: one row per strategy, one column
+    /// group per mode, averaged over placements.
+    pub fn render_matrix(&self) -> String {
+        let mut modes: Vec<SecurityMode> = Vec::new();
+        let mut rows: Vec<(String, AttackKind)> = Vec::new();
+        for c in &self.cells {
+            if !modes.contains(&c.mode) {
+                modes.push(c.mode);
+            }
+            if !rows.iter().any(|(s, _)| *s == c.strategy) {
+                rows.push((c.strategy.clone(), c.kind));
+            }
+        }
+        let mut out = String::new();
+        write!(out, "{:<22} {:<12}", "strategy", "family").unwrap();
+        for m in &modes {
+            write!(out, " | {:^16}", m.label()).unwrap();
+        }
+        writeln!(out).unwrap();
+        write!(out, "{:<22} {:<12}", "", "").unwrap();
+        for _ in &modes {
+            write!(out, " | {:>7} {:>8}", "poison", "detect").unwrap();
+        }
+        writeln!(out).unwrap();
+        for (strategy, kind) in &rows {
+            write!(out, "{:<22} {:<12}", strategy, kind.label()).unwrap();
+            for &m in &modes {
+                let cells: Vec<&CellResult> =
+                    self.cells.iter().filter(|c| c.mode == m && &c.strategy == strategy).collect();
+                let n = cells.len().max(1) as f64;
+                let poison: f64 =
+                    cells.iter().map(|c| c.outcome.poisoned_fraction).sum::<f64>() / n;
+                let detected = cells.iter().filter(|c| c.outcome.detected).count();
+                let det = if cells.is_empty() {
+                    "-".to_string()
+                } else if detected == cells.len() {
+                    let blocked = cells.iter().all(|c| c.outcome.blocked);
+                    if blocked {
+                        "blocked".to_string()
+                    } else {
+                        "yes".to_string()
+                    }
+                } else if detected == 0 {
+                    "no".to_string()
+                } else {
+                    format!("{}/{}", detected, cells.len())
+                };
+                write!(out, " | {:>6.1}% {:>8}", poison * 100.0, det).unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        out
+    }
+}

@@ -1,0 +1,84 @@
+//! The route-leak gossip audit: PVR's §3.6 gossip applied to export
+//! conformance.
+//!
+//! A route leak is invisible to S-BGP: every attestation in the leaked
+//! chain is genuine, so no single receiver can reject it. What exposes
+//! the leak is *pooling relationships the neighbors already know*: a
+//! provider P of the suspect sees, from the attested path, which
+//! neighbor U the suspect learned the route from; U knows (and can
+//! attest) its own relationship with the suspect; P knows its own. If
+//! both relationships point uphill — the route came *from* a provider
+//! or peer and went *to* a provider or peer — the export is a
+//! Gao–Rexford valley, and the two attestations plus the two
+//! self-declared relationships are transferable evidence. Nobody
+//! reveals a relationship the routing protocol's messages did not
+//! already imply to that party, which is exactly the paper's
+//! confidentiality bar.
+
+use pvr_bgp::{AsPath, Asn, BgpNetwork, Prefix, Role};
+use std::collections::BTreeSet;
+
+/// One detected valley: `suspect` exported `prefix`, learned from
+/// `upstream`, to `reporter`, with both relationships uphill.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakEvidence {
+    /// The provider/peer of the suspect that received the leak.
+    pub reporter: Asn,
+    /// The provider/peer the route was learned from (second hop of the
+    /// attested path).
+    pub upstream: Asn,
+    /// The leaked prefix.
+    pub prefix: Prefix,
+    /// The leaked route's AS path, as the reporter holds it.
+    pub path: AsPath,
+}
+
+/// True when `role` (the role the *suspect* plays relative to a
+/// neighbor) means that neighbor sits uphill of the suspect — i.e. the
+/// neighbor is the suspect's provider or peer.
+fn uphill_of_suspect(role: Role) -> bool {
+    matches!(role, Role::Customer | Role::PartialTransitCustomer { .. } | Role::Peer)
+}
+
+/// Audits `suspect`'s exports for Gao–Rexford valleys using only what
+/// each neighbor individually knows, returning every (reporter,
+/// upstream, prefix) valley found. Empty for honest ASes in a converged
+/// valley-free network (asserted by the accuracy tests).
+pub fn leak_gossip_audit(net: &BgpNetwork, suspect: Asn) -> Vec<LeakEvidence> {
+    let ases: BTreeSet<Asn> = net.ases().collect();
+    let mut out = Vec::new();
+    for &reporter in &ases {
+        if reporter == suspect {
+            continue;
+        }
+        // The reporter's own (private) relationship with the suspect.
+        let suspect_role = match net.router(reporter).policy().role(suspect) {
+            Some(r) => r,
+            None => continue, // not a neighbor of the suspect
+        };
+        if !uphill_of_suspect(suspect_role) {
+            continue; // exports to the suspect's customers are always legal
+        }
+        for (prefix, route) in net.router(reporter).routes_from(suspect) {
+            let path = route.path.asns();
+            // A leaked route reads [suspect, upstream, ...]; a path of
+            // length 1 is the suspect's own origination (always legal).
+            if path.len() < 2 || path[0] != suspect {
+                continue;
+            }
+            let upstream = path[1];
+            if !ases.contains(&upstream) {
+                continue;
+            }
+            // The upstream's own (private) relationship with the suspect.
+            let learned_role = match net.router(upstream).policy().role(suspect) {
+                Some(r) => r,
+                None => continue,
+            };
+            if uphill_of_suspect(learned_role) {
+                out.push(LeakEvidence { reporter, upstream, prefix, path: route.path.clone() });
+            }
+        }
+    }
+    out
+}

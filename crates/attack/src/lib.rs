@@ -1,0 +1,51 @@
+//! # pvr-attack — the adversarial campaign engine
+//!
+//! The paper argues that PVR lets networks detect policy violations
+//! their neighbors cannot see. Arguing it requires an adversary worth
+//! detecting: this crate sweeps a catalog of routing attacks — prefix
+//! and sub-prefix hijacks, route leaks, forged and truncated
+//! attestation chains, bogus promises, and the full Byzantine protocol
+//! catalog from `pvr_core::adversary` — across attacker/victim
+//! placements on Internet-like topologies, under three escalating
+//! security postures ([`SecurityMode::Plain`], [`SecurityMode::Signed`],
+//! [`SecurityMode::Pvr`]), and scores every cell for impact (poisoned
+//! fraction, customer-cone-weighted traffic share) and detection
+//! (substrate rejections, PVR verdicts, the gossip leak audit, and
+//! detection latency).
+//!
+//! * [`strategy`] — the [`AttackStrategy`] trait and the catalog;
+//! * [`cell`] — one (strategy, placement, mode) cell and its executor;
+//! * [`metrics`] — impact/detection scoring;
+//! * [`gossip`] — the §3.6-style gossip audit that exposes route leaks
+//!   without revealing private relationships;
+//! * [`campaign`] — the sweep runner and the detection/impact matrix;
+//! * [`mod@sweep`] — the deterministic multi-threaded executor (the
+//!   workspace's first parallel path: derived per-cell seeds, results
+//!   merged in cell order, output independent of scheduling).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use pvr_attack::{Campaign, CampaignConfig};
+//!
+//! let report = Campaign::new(CampaignConfig::quick(7)).run();
+//! println!("{}", report.render_matrix());
+//! ```
+//!
+//! Experiment `e12` in `pvr-bench` prints the full matrix; the
+//! integration tests assert its headline claims (plain BGP poisons,
+//! signed BGP still misses leaks and promises, PVR detects them all).
+
+pub mod campaign;
+pub mod cell;
+pub mod gossip;
+pub mod metrics;
+pub mod strategy;
+pub mod sweep;
+
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, CellResult, Placement};
+pub use cell::CellContext;
+pub use gossip::{leak_gossip_audit, LeakEvidence};
+pub use metrics::AttackOutcome;
+pub use strategy::{catalog, AttackKind, AttackStrategy, SecurityMode};
+pub use sweep::{default_parallelism, sweep};

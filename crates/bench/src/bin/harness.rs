@@ -1,22 +1,50 @@
-//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//! The experiment harness: regenerates every experiment table (see the
+//! doc comments on `pvr_bench`'s `eN` functions for the figure/section
+//! each one reproduces).
 //!
 //! Usage:
-//!   cargo run --release -p pvr-bench --bin harness           # all
-//!   cargo run --release -p pvr-bench --bin harness e3 e4     # subset
-//!   cargo run --release -p pvr-bench --bin harness -- --quick   # CI smoke
+//!   cargo run --release -p pvr-bench --bin harness             # all
+//!   cargo run --release -p pvr-bench --bin harness e3 e4       # subset
+//!   cargo run --release -p pvr-bench --bin harness -- --quick  # CI smoke
+//!   cargo run --release -p pvr-bench --bin harness -- --json   # machine-readable
+//!
+//! `--json` replaces the human tables with one JSON document on stdout:
+//! `{schema, quick, experiments: [{id, wall_secs, rows}], total_wall_secs}`
+//! — the format CI archives as the `BENCH_*.json` perf trajectory.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
 
 /// The subset `--quick` runs: the cheapest experiment per subsystem, so
 /// a CI smoke pass exercises the harness end-to-end in seconds.
-const QUICK: &[&str] = &["e1", "e2", "e5"];
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12"];
+
+/// Minimal JSON string escaping (the tables are ASCII plus `µ`/`×`/`→`;
+/// everything below 0x20 is control-escaped).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    if let Some(flag) = args.iter().find(|a| a.starts_with("--") && *a != "--quick") {
-        eprintln!("error: unknown flag `{flag}` (the only flag is --quick)");
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(flag) =
+        args.iter().find(|a| a.starts_with("--") && *a != "--quick" && *a != "--json")
+    {
+        eprintln!("error: unknown flag `{flag}` (flags: --quick, --json)");
         std::process::exit(2);
     }
     let explicit: Vec<&str> =
@@ -27,12 +55,14 @@ fn main() {
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
 
-    println!("PVR reproduction — experiment harness");
-    println!("paper: Gurney et al., HotNets-X 2011 (see EXPERIMENTS.md)\n");
+    if !json {
+        println!("PVR reproduction — experiment harness");
+        println!("paper: Gurney et al., HotNets-X 2011\n");
+    }
 
     let runners: Vec<(&str, Runner)> = vec![
-        // Keep ids in sync with EXPERIMENTS.md; unknown ids are rejected
-        // below so a typo'd CI invocation cannot silently run nothing.
+        // Unknown ids are rejected below so a typo'd CI invocation
+        // cannot silently run nothing.
         ("e1", pvr_bench::e1_detection_matrix),
         ("e2", pvr_bench::e2_graph_navigation),
         ("e3", pvr_bench::e3_crypto_costs),
@@ -44,6 +74,7 @@ fn main() {
         ("e9", pvr_bench::e9_ring_scaling),
         ("e10", pvr_bench::e10_promise_ladder),
         ("e11", pvr_bench::e11_ablations),
+        ("e12", pvr_bench::e12_attack_campaigns),
     ];
 
     let known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();
@@ -52,13 +83,42 @@ fn main() {
         std::process::exit(2);
     }
 
+    let total = std::time::Instant::now();
+    let mut records: Vec<(&str, f64, String)> = Vec::new();
     for (id, run) in runners {
         if !wanted.is_empty() && !wanted.contains(&id) {
             continue;
         }
         let t = std::time::Instant::now();
         let table = run();
-        println!("{table}");
-        println!("[{id} completed in {:.2} s]\n{}", t.elapsed().as_secs_f64(), "=".repeat(72));
+        let wall = t.elapsed().as_secs_f64();
+        if json {
+            records.push((id, wall, table));
+        } else {
+            println!("{table}");
+            println!("[{id} completed in {wall:.2} s]\n{}", "=".repeat(72));
+        }
+    }
+
+    if json {
+        let mut out = String::from("{\"schema\":\"pvr-bench-v1\",");
+        out.push_str(&format!("\"quick\":{quick},\"experiments\":["));
+        for (i, (id, wall, table)) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"id\":\"{id}\",\"wall_secs\":{wall:.4},\"rows\":["));
+            for (j, line) in table.lines().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&json_escape(line));
+                out.push('"');
+            }
+            out.push_str("]}");
+        }
+        out.push_str(&format!("],\"total_wall_secs\":{:.4}}}", total.elapsed().as_secs_f64()));
+        println!("{out}");
     }
 }

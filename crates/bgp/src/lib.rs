@@ -43,10 +43,10 @@ pub use path::AsPath;
 pub use policy::{PolicyConfig, Role};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib};
 pub use route::{Community, Origin, Route};
-pub use router::{BgpRouter, LocalEvent, RouterStats, SecurityMode};
+pub use router::{BgpRouter, LocalEvent, Malice, RouterStats, SecurityMode};
 pub use sbgp::{Attestation, SbgpError, SignedRoute};
 pub use topology::{
     figure1, internet_like, BgpNetwork, Edge, Figure1Cast, InstantiateOptions, InternetParams,
-    Topology,
+    OriginTable, Topology,
 };
 pub use types::{Asn, Prefix};

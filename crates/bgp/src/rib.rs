@@ -55,6 +55,11 @@ impl AdjRibIn {
         self.routes.get(&prefix)?.get(&neighbor)
     }
 
+    /// All (prefix, route) entries held from `neighbor`, in prefix order.
+    pub fn from_neighbor(&self, neighbor: Asn) -> Vec<(Prefix, &Route)> {
+        self.routes.iter().filter_map(|(&p, per)| per.get(&neighbor).map(|r| (p, r))).collect()
+    }
+
     /// All prefixes with at least one route.
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
         self.routes.keys().copied()

@@ -17,9 +17,10 @@ use crate::policy::PolicyConfig;
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib};
 use crate::route::Route;
 use crate::sbgp::SignedRoute;
+use crate::topology::OriginTable;
 use crate::types::{Asn, Prefix};
 use pvr_crypto::keys::{Identity, KeyStore};
-use pvr_netsim::{Agent, Context, NodeId, SimDuration};
+use pvr_netsim::{Agent, Context, NodeId, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -48,7 +49,8 @@ pub enum SecurityMode {
     },
 }
 
-/// Per-router counters (inputs to experiment E8's overhead table).
+/// Per-router counters (inputs to experiment E8's overhead table and
+/// E12's detection columns).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RouterStats {
     /// UPDATE messages received.
@@ -61,8 +63,22 @@ pub struct RouterStats {
     pub routes_rejected: u64,
     /// Announcements dropped due to attestation failures.
     pub attestation_failures: u64,
+    /// Announcements dropped because the origin AS is not authorized
+    /// for the prefix (RPKI-style check, see [`OriginTable`]).
+    pub origin_failures: u64,
     /// Decision-process runs that changed the best route.
     pub best_changes: u64,
+}
+
+/// Hooks that turn a router into a malicious agent. Used by the
+/// `pvr-attack` campaign engine; every flag defaults to honest
+/// behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct Malice {
+    /// Ignore export policy: advertise every selected route to every
+    /// neighbor regardless of where it was learned — the classic
+    /// customer→provider route leak (a Gao–Rexford valley).
+    pub leak_all: bool,
 }
 
 /// Reserved timer id for the MRAI flush (schedule timers use indices,
@@ -96,6 +112,14 @@ pub struct BgpRouter {
     mrai_buffer: BTreeMap<NodeId, BgpUpdate>,
     /// Whether an MRAI flush timer is currently armed.
     mrai_armed: bool,
+    /// Malicious-behaviour switches (campaign engine).
+    malice: Malice,
+    /// Origin authorizations checked on import when present.
+    origin_table: Option<Arc<OriginTable>>,
+    /// When this router first dropped an announcement for a security
+    /// reason (attestation or origin failure) — the campaign engine's
+    /// detection-latency measurement.
+    first_security_reject: Option<SimTime>,
     stats: RouterStats,
 }
 
@@ -117,8 +141,36 @@ impl BgpRouter {
             mrai: None,
             mrai_buffer: BTreeMap::new(),
             mrai_armed: false,
+            malice: Malice::default(),
+            origin_table: None,
+            first_security_reject: None,
             stats: RouterStats::default(),
         }
+    }
+
+    /// Switches this router to the given malicious behaviour.
+    pub fn set_malice(&mut self, malice: Malice) {
+        self.malice = malice;
+    }
+
+    /// Installs an origin-authorization table; subsequently received
+    /// announcements whose origin is unauthorized are dropped.
+    pub fn set_origin_table(&mut self, table: Arc<OriginTable>) {
+        self.origin_table = Some(table);
+    }
+
+    /// The signing identity (signed mode only).
+    pub fn identity(&self) -> Option<&Identity> {
+        match &self.security {
+            SecurityMode::Signed { identity, .. } => Some(identity),
+            SecurityMode::Plain => None,
+        }
+    }
+
+    /// When this router first dropped an announcement for a security
+    /// reason, if it ever did.
+    pub fn first_security_reject(&self) -> Option<SimTime> {
+        self.first_security_reject
     }
 
     /// Enables MRAI batching: updates are buffered and flushed at most
@@ -167,6 +219,13 @@ impl BgpRouter {
         self.adj_in.get(neighbor, prefix)
     }
 
+    /// Every (prefix, route) pair currently held from `neighbor`, in
+    /// prefix order. The raw material for the `pvr-attack` gossip audit:
+    /// a neighbor reveals only what the suspect itself announced to it.
+    pub fn routes_from(&self, neighbor: Asn) -> Vec<(Prefix, &Route)> {
+        self.adj_in.from_neighbor(neighbor)
+    }
+
     /// Read access to the import policy.
     pub fn policy(&self) -> &PolicyConfig {
         &self.policy
@@ -202,9 +261,16 @@ impl BgpRouter {
         let neighbor_list: Vec<(Asn, NodeId)> =
             self.neighbor_nodes.iter().map(|(&a, &n)| (a, n)).collect();
         for (neighbor, node) in neighbor_list {
-            let exportable = best
-                .as_ref()
-                .filter(|cand| self.policy.may_export(&cand.route, cand.learned_from, neighbor));
+            // A leaking router bypasses export policy entirely (still
+            // skipping the neighbor the route came from: re-exporting to
+            // the source would only be loop-rejected there).
+            let exportable = best.as_ref().filter(|cand| {
+                if self.malice.leak_all {
+                    cand.learned_from != Some(neighbor)
+                } else {
+                    self.policy.may_export(&cand.route, cand.learned_from, neighbor)
+                }
+            });
             match exportable {
                 Some(cand) => {
                     let out_route = cand.route.propagated_by(self.asn);
@@ -243,19 +309,31 @@ impl BgpRouter {
         }
     }
 
-    /// Processes one announcement from `from`; returns the prefix if the
-    /// Adj-RIB-In changed.
-    fn process_announce(&mut self, from: Asn, sr: SignedRoute) -> Option<Prefix> {
+    /// Processes one announcement from `from` at simulated time `now`;
+    /// returns the prefix if the Adj-RIB-In changed.
+    fn process_announce(&mut self, from: Asn, sr: SignedRoute, now: SimTime) -> Option<Prefix> {
         // Attestation check first (signed mode only).
         if let SecurityMode::Signed { keys, .. } = &self.security {
             if let Err(_e) = sr.verify(self.asn, keys) {
                 self.stats.attestation_failures += 1;
+                self.first_security_reject.get_or_insert(now);
                 return None;
             }
             // The claimed first AS must be the actual sender.
             if sr.route.path.first_as() != Some(from) {
                 self.stats.attestation_failures += 1;
+                self.first_security_reject.get_or_insert(now);
                 return None;
+            }
+        }
+        // Origin authorization (RPKI-style) when a table is installed.
+        if let Some(table) = &self.origin_table {
+            if let Some(origin) = sr.route.path.origin_as() {
+                if !table.permits(sr.route.prefix, origin) {
+                    self.stats.origin_failures += 1;
+                    self.first_security_reject.get_or_insert(now);
+                    return None;
+                }
             }
         }
         let prefix = sr.route.prefix;
@@ -348,8 +426,9 @@ impl Agent<BgpUpdate> for BgpRouter {
                 touched.push(prefix);
             }
         }
+        let now = ctx.now();
         for sr in msg.announces {
-            if let Some(p) = self.process_announce(from, sr) {
+            if let Some(p) = self.process_announce(from, sr, now) {
                 touched.push(p);
             }
         }

@@ -127,6 +127,60 @@ impl Topology {
         self.edges.len()
     }
 
+    /// All relationship edges, in declaration order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The prefixes `asn` originates at simulation start.
+    pub fn originated_by(&self, asn: Asn) -> &[Prefix] {
+        self.originations.get(&asn).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Builds the RPKI-style origin-authorization table for this
+    /// topology's declared originations: each origination authorizes
+    /// its AS for the prefix *and everything it covers* (ROA maxLength
+    /// semantics), so an unauthorized sub-prefix announcement is
+    /// invalid, not unknown.
+    pub fn origin_table(&self) -> OriginTable {
+        let mut entries = Vec::new();
+        for (&asn, prefixes) in &self.originations {
+            for &p in prefixes {
+                entries.push((p, asn));
+            }
+        }
+        OriginTable { entries }
+    }
+
+    /// Customer-cone sizes: for each AS, the number of ASes (itself
+    /// included) reachable by walking provider→customer edges downward.
+    /// The standard proxy for how much traffic an AS carries; E12
+    /// weights hijacked-traffic share by it.
+    pub fn customer_cone_sizes(&self) -> BTreeMap<Asn, usize> {
+        let mut down: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+        for e in &self.edges {
+            match *e {
+                Edge::ProviderCustomer { provider, customer }
+                | Edge::PartialTransit { provider, customer, .. } => {
+                    down.entry(provider).or_default().push(customer);
+                }
+                Edge::Peering(..) => {}
+            }
+        }
+        let mut cones = BTreeMap::new();
+        for &asn in &self.ases {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![asn];
+            while let Some(x) = stack.pop() {
+                if seen.insert(x) {
+                    stack.extend(down.get(&x).into_iter().flatten().copied());
+                }
+            }
+            cones.insert(asn, seen.len());
+        }
+        cones
+    }
+
     /// The neighbors of `asn` with the role each plays *relative to
     /// `asn`*.
     pub fn neighbor_roles(&self, asn: Asn) -> Vec<(Asn, Role)> {
@@ -261,6 +315,48 @@ impl Default for InstantiateOptions {
     }
 }
 
+/// RPKI-style origin authorizations: which AS may originate each
+/// prefix. An announcement is *invalid* when some entry covers its
+/// prefix but no covering entry matches its origin AS; announcements
+/// of prefixes no entry covers are *unknown* and accepted, mirroring
+/// route-origin validation deployment reality.
+#[derive(Clone, Debug, Default)]
+pub struct OriginTable {
+    /// (authorized prefix, authorized origin) pairs.
+    entries: Vec<(Prefix, Asn)>,
+}
+
+impl OriginTable {
+    /// Builds a table from explicit (prefix, origin) authorizations.
+    pub fn new(entries: Vec<(Prefix, Asn)>) -> OriginTable {
+        OriginTable { entries }
+    }
+
+    /// May `origin` announce `announced`?
+    pub fn permits(&self, announced: Prefix, origin: Asn) -> bool {
+        let mut covered = false;
+        for &(p, asn) in &self.entries {
+            if p.covers(&announced) {
+                if asn == origin {
+                    return true;
+                }
+                covered = true;
+            }
+        }
+        !covered
+    }
+
+    /// Number of authorization entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no authorizations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// An instantiated network: simulator plus AS → node mapping.
 pub struct BgpNetwork {
     /// The underlying simulator.
@@ -294,6 +390,16 @@ impl BgpNetwork {
     /// The shared key store in signed mode.
     pub fn keystore(&self) -> Option<&Arc<KeyStore>> {
         self.keystore.as_ref()
+    }
+
+    /// Installs an origin-authorization table on every router. Call
+    /// before running: the check applies to announcements received
+    /// afterwards.
+    pub fn install_origin_table(&mut self, table: Arc<OriginTable>) {
+        let ases: Vec<Asn> = self.node_of.keys().copied().collect();
+        for asn in ases {
+            self.router_mut(asn).set_origin_table(Arc::clone(&table));
+        }
     }
 
     /// All ASes in the network.

@@ -1,4 +1,4 @@
-//! Ablations of the paper's design choices (DESIGN.md §5).
+//! Ablations of the paper's design choices (printed by experiment E11).
 //!
 //! The §3.3 bit-vector construction looks roundabout — why not simply
 //! commit to each received route's length and open them all to B? This

@@ -68,6 +68,54 @@ pub enum Misbehavior {
     },
 }
 
+/// Compile-time completeness guard for [`Misbehavior::catalog`]: adding
+/// a variant is a build error here until the catalog learns about it,
+/// so a new attack can never silently skip the detection-matrix tests.
+const _: fn(&Misbehavior) = |m| match m {
+    Misbehavior::ExportLonger
+    | Misbehavior::SuppressInput { .. }
+    | Misbehavior::DenyAll
+    | Misbehavior::Equivocate { .. }
+    | Misbehavior::NonMonotoneBits
+    | Misbehavior::FabricateExport
+    | Misbehavior::RefuseReveal { .. }
+    | Misbehavior::CorruptOpening { .. } => {}
+};
+
+impl Misbehavior {
+    /// Every strategy in the catalog, with `victim` as the target of the
+    /// victim-parameterized variants. For the targeted suppressions to
+    /// count as promise violations, `victim` should hold the unique
+    /// minimum route (see `properties.rs` for why suppressing a longer
+    /// route violates nothing).
+    pub fn catalog(victim: Asn) -> Vec<Misbehavior> {
+        vec![
+            Misbehavior::ExportLonger,
+            Misbehavior::SuppressInput { victim },
+            Misbehavior::DenyAll,
+            Misbehavior::Equivocate { victim },
+            Misbehavior::NonMonotoneBits,
+            Misbehavior::FabricateExport,
+            Misbehavior::RefuseReveal { victim },
+            Misbehavior::CorruptOpening { victim },
+        ]
+    }
+
+    /// A short stable label for tables and campaign rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Misbehavior::ExportLonger => "export-longer",
+            Misbehavior::SuppressInput { .. } => "suppress-input",
+            Misbehavior::DenyAll => "deny-all",
+            Misbehavior::Equivocate { .. } => "equivocate",
+            Misbehavior::NonMonotoneBits => "non-monotone-bits",
+            Misbehavior::FabricateExport => "fabricate-export",
+            Misbehavior::RefuseReveal { .. } => "refuse-reveal",
+            Misbehavior::CorruptOpening { .. } => "corrupt-opening",
+        }
+    }
+}
+
 /// A Byzantine committer: produces per-neighbor roots and disclosures
 /// according to its strategy.
 pub struct Adversary {

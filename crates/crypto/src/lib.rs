@@ -4,14 +4,14 @@
 //! from scratch (the workspace's offline crate set contains no crypto
 //! crates):
 //!
-//! * [`sha256`] — SHA-256 (FIPS 180-4), the paper's commitment/MHT hash (§3.8);
+//! * [`mod@sha256`] — SHA-256 (FIPS 180-4), the paper's commitment/MHT hash (§3.8);
 //! * [`hmac`] — HMAC-SHA-256, used for keyed derivation;
 //! * [`drbg`] — HMAC-DRBG (SP 800-90A): all randomness in the workspace is
 //!   deterministic from a seed, so whole experiments replay bit-for-bit;
 //! * [`bignum`] / [`prime`] / [`rsa`] — arbitrary-precision arithmetic,
 //!   Miller–Rabin, and RSA with PKCS#1 v1.5 signatures (the paper budgets
 //!   "about two milliseconds" per RSA-1024 signature, reproduced in E3);
-//! * [`commit`] — blinded hash commitments `H(b ‖ p)` (§3.2, footnote 2);
+//! * [`mod@commit`] — blinded hash commitments `H(b ‖ p)` (§3.2, footnote 2);
 //! * [`ring`] — Rivest–Shamir–Tauman ring signatures for the link-state
 //!   existential variant (§3.2, citing \[20\]);
 //! * [`keys`] — principal identities and the out-of-band PKI;

@@ -45,7 +45,7 @@ pub fn unblinded_phantom(path: &BitString) -> Digest {
 }
 
 /// Whether phantom siblings are blinded (the paper's design, §3.6) or
-/// publicly recomputable (the ablation of DESIGN.md §5).
+/// publicly recomputable (the E11 structural-privacy ablation).
 ///
 /// With `Unblinded`, any proof recipient can test each sibling hash
 /// against [`unblinded_phantom`] and learn whether the adjacent subtree
@@ -391,7 +391,7 @@ mod tests {
 
     #[test]
     fn ablation_unblinded_siblings_leak_absence() {
-        // The structural-privacy ablation (DESIGN.md §5): with public
+        // The structural-privacy ablation (E11): with public
         // phantom values, a proof recipient can test each sibling hash
         // and learn whether the adjacent subtree is empty.
         use crate::label::BitString;

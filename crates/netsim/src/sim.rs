@@ -120,6 +120,9 @@ pub struct SimStats {
     pub timers_fired: u64,
     /// Total events processed.
     pub events: u64,
+    /// Messages injected from outside the simulation (attack campaigns,
+    /// test harnesses) via [`Simulator::inject`].
+    pub injected: u64,
 }
 
 struct QueuedEvent<P> {
@@ -243,8 +246,10 @@ impl<P: Payload> Simulator<P> {
     }
 
     /// Injects a message from outside the simulation (e.g. a test
-    /// harness kicking off a round); delivered after link latency.
+    /// harness kicking off a round, or an attack campaign forging
+    /// announcements); delivered after link latency.
     pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: P) {
+        self.stats.injected += 1;
         self.schedule_send(src, dst, msg);
     }
 

@@ -24,7 +24,10 @@
 //!   auditor, Byzantine adversaries, the confidentiality auditor, and
 //!   the in-network protocol (§3);
 //! * [`smc`] — the §3.1 strawmen: a real GMW execution plus calibrated
-//!   cost models.
+//!   cost models;
+//! * [`attack`] — the adversarial campaign engine: hijack/leak/forgery
+//!   strategies swept over placements and security modes on a
+//!   deterministic parallel executor.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@
 //! assert!(report.detected() && report.convicted());
 //! ```
 
+pub use pvr_attack as attack;
 pub use pvr_bgp as bgp;
 pub use pvr_core as core;
 pub use pvr_crypto as crypto;

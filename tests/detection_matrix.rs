@@ -1,0 +1,58 @@
+//! Detection-matrix completeness: every `Misbehavior` variant yields a
+//! non-OK result from the appropriate verifier.
+//!
+//! `Misbehavior::catalog` is guarded by a compile-time exhaustiveness
+//! check, so adding a new Byzantine strategy without extending the
+//! catalog breaks the build — and this test then guarantees the new
+//! variant cannot silently go undetected.
+
+use pvr::core::{run_min_round, Figure1Bed, Misbehavior, Verdict};
+
+#[test]
+fn every_misbehavior_variant_is_detected() {
+    // ns[0] holds the unique minimum, so victim-targeted variants are
+    // genuine promise violations.
+    for seed in [21u64, 22] {
+        let bed = Figure1Bed::build(&[2, 4, 5], seed);
+        let victim = bed.ns[0];
+        for behavior in Misbehavior::catalog(victim) {
+            let report = run_min_round(&bed, Some(behavior.clone()));
+            assert!(
+                report.detected(),
+                "seed={seed} {behavior:?}: no verifier produced a non-OK outcome"
+            );
+            match behavior {
+                // Omission faults are detected as suspicion only: the
+                // victim cannot transfer "I received nothing" to a third
+                // party, so no conviction is expected (§2.3 Evidence
+                // covers commission faults).
+                Misbehavior::RefuseReveal { .. } | Misbehavior::CorruptOpening { .. } => {
+                    assert!(!report.convicted(), "seed={seed} {behavior:?}");
+                }
+                // Commission faults must convict, and every accusation
+                // from a correct party must stand up before the auditor.
+                _ => {
+                    assert!(report.convicted(), "seed={seed} {behavior:?}: no conviction");
+                    for (accuser, verdict) in &report.verdicts {
+                        assert_eq!(
+                            *verdict,
+                            Verdict::Guilty,
+                            "seed={seed} {behavior:?}: weak accusation by {accuser}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn catalog_is_labeled_distinctly() {
+    let victim = pvr::bgp::Asn(1);
+    let catalog = Misbehavior::catalog(victim);
+    assert_eq!(catalog.len(), 8, "catalog must cover all variants");
+    let mut labels: Vec<&str> = catalog.iter().map(|m| m.label()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), catalog.len(), "labels must be unique");
+}

@@ -1,0 +1,122 @@
+//! Property tests for the `internet_like` topology generator: the
+//! structural invariants every campaign and experiment silently relies
+//! on — connectivity, no self-loops, and valley-free route propagation
+//! under the Gao–Rexford roles the generator assigns.
+
+use proptest::prelude::*;
+use pvr::bgp::{internet_like, Asn, Edge, InstantiateOptions, InternetParams, Role, Topology};
+use pvr::netsim::RunLimits;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// (local, neighbor) → the role `neighbor` plays relative to `local`.
+fn role_map(t: &Topology) -> BTreeMap<(Asn, Asn), Role> {
+    let mut map = BTreeMap::new();
+    for local in t.ases() {
+        for (neighbor, role) in t.neighbor_roles(local) {
+            map.insert((local, neighbor), role);
+        }
+    }
+    map
+}
+
+fn is_customer_role(role: &Role) -> bool {
+    matches!(role, Role::Customer | Role::PartialTransitCustomer { .. })
+}
+
+/// Checks one received route for valley-freedom: every intermediate
+/// hop's export must have been policy-legal given the roles, i.e. a
+/// route learned from a peer or provider may only have been exported to
+/// a customer.
+fn path_is_valley_free(receiver: Asn, path: &[Asn], roles: &BTreeMap<(Asn, Asn), Role>) -> bool {
+    let m = path.len();
+    for i in 0..m.saturating_sub(1) {
+        let exporter = path[i];
+        let learned_from = path[i + 1];
+        let target = if i == 0 { receiver } else { path[i - 1] };
+        let src_role = match roles.get(&(exporter, learned_from)) {
+            Some(r) => r,
+            None => return false, // route claims a non-existent adjacency
+        };
+        let tgt_role = match roles.get(&(exporter, target)) {
+            Some(r) => r,
+            None => return false,
+        };
+        if !src_role.is_customer_learned() && !is_customer_role(tgt_role) {
+            return false; // peer/provider-learned route exported uphill
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn internet_like_structural_invariants(
+        seed in 0u64..10_000,
+        tier1 in 2usize..4,
+        tier2 in 2usize..6,
+        stubs in 2usize..9,
+    ) {
+        let params = InternetParams { tier1, tier2, stubs, t2_peering_prob: 0.25 };
+        let t = internet_like(params, seed);
+
+        // Every declared AS class is present.
+        prop_assert_eq!(t.as_count(), tier1 + tier2 + stubs);
+
+        // No self-loops on any edge.
+        let mut undirected: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+        for e in t.edges() {
+            let (a, b) = match *e {
+                Edge::ProviderCustomer { provider, customer } => (provider, customer),
+                Edge::Peering(a, b) => (a, b),
+                Edge::PartialTransit { provider, customer, .. } => (provider, customer),
+            };
+            prop_assert_ne!(a, b, "self-loop edge");
+            undirected.entry(a).or_default().push(b);
+            undirected.entry(b).or_default().push(a);
+        }
+
+        // Connectivity: every AS reaches every other over the
+        // relationship graph.
+        let start = t.ases().next().expect("non-empty topology");
+        let mut seen = BTreeSet::from([start]);
+        let mut queue = VecDeque::from([start]);
+        while let Some(x) = queue.pop_front() {
+            for &n in undirected.get(&x).into_iter().flatten() {
+                if seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), t.as_count(), "topology is disconnected");
+
+        // Every stub originates exactly one prefix and the origin table
+        // covers it.
+        let table = t.origin_table();
+        prop_assert_eq!(table.len(), stubs);
+    }
+
+    #[test]
+    fn internet_like_routes_are_valley_free(seed in 0u64..10_000) {
+        let params = InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 };
+        let t = internet_like(params, seed);
+        let roles = role_map(&t);
+        let mut net = t.instantiate(InstantiateOptions::default());
+        net.converge(RunLimits::none());
+        let mut checked = 0usize;
+        for v in net.ases().collect::<Vec<_>>() {
+            for (neighbor, _) in t.neighbor_roles(v) {
+                for (_, route) in net.router(v).routes_from(neighbor) {
+                    prop_assert!(
+                        path_is_valley_free(v, route.path.asns(), &roles),
+                        "valley route at {v} from {neighbor}: {:?}",
+                        route.path
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        prop_assert!(checked > 0, "no routes propagated at all");
+    }
+}
