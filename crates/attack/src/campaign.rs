@@ -262,6 +262,16 @@ impl CampaignReport {
         cells.iter().filter(|c| c.outcome.detected).count() as f64 / cells.len() as f64
     }
 
+    /// Network-wide chain-verification statistics summed over the
+    /// cells of `mode`: `(verify_calls, cache_hits)`. The E13 hit-rate
+    /// source; not part of the rendered matrix (whose bytes are pinned
+    /// by the determinism tests).
+    pub fn verification_totals(&self, mode: SecurityMode) -> (u64, u64) {
+        self.cells.iter().filter(|c| c.mode == mode).fold((0, 0), |(calls, hits), cell| {
+            (calls + cell.outcome.verify_calls, hits + cell.outcome.verify_cache_hits)
+        })
+    }
+
     /// The detection/impact matrix: one row per strategy, one column
     /// group per mode, averaged over placements.
     pub fn render_matrix(&self) -> String {

@@ -2,7 +2,9 @@
 //! the machinery to execute it.
 
 use crate::gossip::leak_gossip_audit;
-use crate::metrics::{poisoning_scores, substrate_rejections, via_attacker, AttackOutcome};
+use crate::metrics::{
+    poisoning_scores, substrate_rejections, verification_stats, via_attacker, AttackOutcome,
+};
 use crate::strategy::SecurityMode;
 use pvr_bgp::{Asn, BgpNetwork, InstantiateOptions, Prefix, Topology};
 use pvr_core::{run_min_round, Figure1Bed, Misbehavior};
@@ -113,6 +115,7 @@ impl CellContext {
             0
         };
         let evidence = rejections + leak_evidence;
+        let (verify_calls, verify_cache_hits) = verification_stats(&net);
         AttackOutcome {
             poisoned_fraction,
             cone_share,
@@ -120,6 +123,8 @@ impl CellContext {
             evidence,
             detection_time: first_reject,
             blocked: rejections > 0 && poisoned.is_empty(),
+            verify_calls,
+            verify_cache_hits,
         }
     }
 
@@ -149,6 +154,8 @@ impl CellContext {
             evidence: report.verdicts.len(),
             detection_time: None,
             blocked: false,
+            verify_calls: 0,
+            verify_cache_hits: 0,
         }
     }
 }

@@ -31,6 +31,12 @@ pub struct AttackOutcome {
     /// True when the substrate dropped every malicious announcement —
     /// the attack was not merely detected but never took effect.
     pub blocked: bool,
+    /// Attestation-signature checks performed network-wide during the
+    /// attacked run (signed modes; 0 under `Plain`).
+    pub verify_calls: u64,
+    /// How many of those the network-wide verification cache answered
+    /// without RSA math — the E13 chain-verify hit-rate source.
+    pub verify_cache_hits: u64,
 }
 
 impl AttackOutcome {
@@ -44,6 +50,8 @@ impl AttackOutcome {
             evidence: 0,
             detection_time: None,
             blocked: false,
+            verify_calls: 0,
+            verify_cache_hits: 0,
         }
     }
 }
@@ -83,6 +91,12 @@ pub fn poisoning_scores(
     let total: f64 = honest.iter().map(|&a| weight(a)).sum();
     let hit: f64 = poisoned.iter().map(|&a| weight(a)).sum();
     (poisoned.len() as f64 / honest.len() as f64, if total > 0.0 { hit / total } else { 0.0 })
+}
+
+/// Network-wide verification-cache statistics: `(calls, hits)` from
+/// the shared [`pvr_bgp::VerifyCache`], or zeros in plain mode.
+pub fn verification_stats(net: &BgpNetwork) -> (u64, u64) {
+    net.verify_cache().map_or((0, 0), |c| (c.calls(), c.hits()))
 }
 
 /// Sums security rejections (attestation + origin failures) across all

@@ -17,7 +17,7 @@ type Runner = fn() -> String;
 
 /// The subset `--quick` runs: the cheapest experiment per subsystem, so
 /// a CI smoke pass exercises the harness end-to-end in seconds.
-const QUICK: &[&str] = &["e1", "e2", "e5", "e12"];
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13"];
 
 /// Minimal JSON string escaping (the tables are ASCII plus `µ`/`×`/`→`;
 /// everything below 0x20 is control-escaped).
@@ -75,6 +75,7 @@ fn main() {
         ("e10", pvr_bench::e10_promise_ladder),
         ("e11", pvr_bench::e11_ablations),
         ("e12", pvr_bench::e12_attack_campaigns),
+        ("e13", pvr_bench::e13_crypto_perf),
     ];
 
     let known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();

@@ -664,6 +664,172 @@ pub fn e12_attack_campaigns() -> String {
     out
 }
 
+/// E13 — the fast-crypto path: Montgomery REDC with windowed
+/// exponentiation vs the schoolbook baseline (`modpow`/`sign`/`verify`
+/// at RSA-1024/2048), plus the network-wide attestation verification
+/// cache (chain verify cold vs warm, and per-`SecurityMode` totals on
+/// a converged Internet-like topology). Only the timings vary between
+/// runs; every count, hit rate, and verdict is deterministic.
+pub fn e13_crypto_perf() -> String {
+    use pvr_attack::metrics::verification_stats;
+    use pvr_attack::SecurityMode;
+    use pvr_bgp::{demo_chain, InstantiateOptions, VerifyCache};
+    use pvr_crypto::Ubig;
+    use std::hint::black_box;
+
+    let mut out = String::new();
+    writeln!(out, "E13: fast-crypto path (Montgomery REDC + windowed exp + verify cache)").unwrap();
+
+    // -- raw crypto: schoolbook vs Montgomery -------------------------
+    writeln!(
+        out,
+        "{:<20} {:>6} {:>12} {:>12} {:>9}",
+        "op", "bits", "schoolbook", "montgomery", "speedup"
+    )
+    .unwrap();
+    let msg = b"e13: update-sized message";
+    for bits in [1024usize, 2048] {
+        let mut rng = HmacDrbg::from_u64_labeled(13, "e13-keys");
+        let key = RsaPrivateKey::generate(bits, &mut rng);
+        // Full-width-exponent modpow: the core of CRT signing.
+        let base = Ubig::random_below(key.public().n(), &mut rng);
+        let exp = Ubig::random_bits(bits - 1, &mut rng);
+        let n = key.public().n();
+        let t_school = median_secs(3, || {
+            black_box(base.modpow_schoolbook(&exp, n));
+        });
+        let t_fast = median_secs(3, || {
+            black_box(base.modpow(&exp, n));
+        });
+        writeln!(
+            out,
+            "{:<20} {:>6} {:>12} {:>12} {:>8.1}x",
+            "modpow (full exp)",
+            bits,
+            fmt_time(t_school),
+            fmt_time(t_fast),
+            t_school / t_fast
+        )
+        .unwrap();
+        let t_school = median_secs(3, || {
+            black_box(key.sign_schoolbook(msg));
+        });
+        let t_fast = median_secs(5, || {
+            black_box(key.sign(msg));
+        });
+        writeln!(
+            out,
+            "{:<20} {:>6} {:>12} {:>12} {:>8.1}x",
+            "sign",
+            bits,
+            fmt_time(t_school),
+            fmt_time(t_fast),
+            t_school / t_fast
+        )
+        .unwrap();
+        let sig = key.sign(msg);
+        let t_school = median_secs(11, || {
+            key.public().verify_schoolbook(msg, &sig).unwrap();
+        });
+        let t_fast = median_secs(11, || {
+            key.public().verify(msg, &sig).unwrap();
+        });
+        writeln!(
+            out,
+            "{:<20} {:>6} {:>12} {:>12} {:>8.1}x",
+            "verify",
+            bits,
+            fmt_time(t_school),
+            fmt_time(t_fast),
+            t_school / t_fast
+        )
+        .unwrap();
+    }
+
+    // -- chain verify: cold vs warm shared cache ----------------------
+    let hops = 5u32;
+    let (chain, keys, receiver) = demo_chain(hops, 1024, b"e13-chain");
+    assert!(chain.verify(receiver, &keys).is_ok());
+    let t_cold = median_secs(5, || {
+        let cache = VerifyCache::new();
+        chain.verify_cached(receiver, &keys, Some(&cache)).unwrap();
+    });
+    let warm = VerifyCache::new();
+    chain.verify_cached(receiver, &keys, Some(&warm)).unwrap();
+    let t_warm = median_secs(11, || {
+        chain.verify_cached(receiver, &keys, Some(&warm)).unwrap();
+    });
+    writeln!(
+        out,
+        "chain verify ({hops} hops, RSA-1024): cold {} -> warm {} ({:.0}x; {} of {} checks cached)",
+        fmt_time(t_cold),
+        fmt_time(t_warm),
+        t_cold / t_warm,
+        warm.hits(),
+        warm.calls()
+    )
+    .unwrap();
+
+    // -- network-wide totals per security mode ------------------------
+    let params = InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 };
+    let topology = internet_like(params, 13);
+    writeln!(
+        out,
+        "converged internet-like topology ({} ASes, {} edges), RSA-512:",
+        topology.as_count(),
+        topology.edge_count()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>13} {:>11} {:>9} {:>13}",
+        "mode", "verify calls", "cache hits", "hit rate", "verifies/sec"
+    )
+    .unwrap();
+    // The Signed and Pvr substrates are identical on the import path
+    // (Pvr adds post-hoc audits, not import-time crypto), so each
+    // distinct substrate converges once and the pvr row reuses the
+    // signed measurement.
+    let mut measured: Vec<(SecurityMode, u64, u64, f64)> = Vec::new();
+    for (mode, signed) in [(SecurityMode::Plain, false), (SecurityMode::Signed, true)] {
+        let mut net = topology.instantiate(InstantiateOptions {
+            seed: 13,
+            signed,
+            key_bits: 512,
+            ..Default::default()
+        });
+        if signed {
+            net.install_origin_table(std::sync::Arc::new(topology.origin_table()));
+        }
+        let t = Instant::now();
+        net.converge(RunLimits::none());
+        let wall = t.elapsed().as_secs_f64();
+        let (calls, hits) = verification_stats(&net);
+        measured.push((mode, calls, hits, wall));
+    }
+    let signed_row = measured[1];
+    measured.push((SecurityMode::Pvr, signed_row.1, signed_row.2, signed_row.3));
+    for (mode, calls, hits, wall) in measured {
+        let (rate, per_sec) = if calls > 0 {
+            (
+                format!("{:.1}%", hits as f64 * 100.0 / calls as f64),
+                format!("{:.0}", calls as f64 / wall.max(1e-9)),
+            )
+        } else {
+            ("-".to_string(), "-".to_string())
+        };
+        writeln!(out, "{:<8} {:>13} {:>11} {:>9} {:>13}", mode.label(), calls, hits, rate, per_sec)
+            .unwrap();
+    }
+    writeln!(out, "(expected: modpow/sign well past 3x — windowed REDC beats a division per")
+        .unwrap();
+    writeln!(out, " bit; verify bounded by the 17-bit public exponent; warm chain verify is")
+        .unwrap();
+    writeln!(out, " structural checks only; signed modes show a large, deterministic hit rate)")
+        .unwrap();
+    out
+}
+
 /// Sanity used by tests: E1 claims must hold programmatically.
 pub fn e1_invariants_hold() -> bool {
     let bed = Figure1Bed::build(&[2, 3, 5], 42);
@@ -722,6 +888,7 @@ pub fn all_experiments() -> Vec<(&'static str, String)> {
         ("e10", e10_promise_ladder()),
         ("e11", e11_ablations()),
         ("e12", e12_attack_campaigns()),
+        ("e13", e13_crypto_perf()),
     ]
 }
 

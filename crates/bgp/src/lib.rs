@@ -44,7 +44,7 @@ pub use policy::{PolicyConfig, Role};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib};
 pub use route::{Community, Origin, Route};
 pub use router::{BgpRouter, LocalEvent, Malice, RouterStats, SecurityMode};
-pub use sbgp::{Attestation, SbgpError, SignedRoute};
+pub use sbgp::{demo_chain, Attestation, SbgpError, SignedRoute, VerifyCache};
 pub use topology::{
     figure1, internet_like, BgpNetwork, Edge, Figure1Cast, InstantiateOptions, InternetParams,
     OriginTable, Topology,

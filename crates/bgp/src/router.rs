@@ -16,7 +16,7 @@ use crate::messages::BgpUpdate;
 use crate::policy::PolicyConfig;
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib};
 use crate::route::Route;
-use crate::sbgp::SignedRoute;
+use crate::sbgp::{SignedRoute, VerifyCache};
 use crate::topology::OriginTable;
 use crate::types::{Asn, Prefix};
 use pvr_crypto::keys::{Identity, KeyStore};
@@ -66,6 +66,13 @@ pub struct RouterStats {
     /// Announcements dropped because the origin AS is not authorized
     /// for the prefix (RPKI-style check, see [`OriginTable`]).
     pub origin_failures: u64,
+    /// Attestation-signature checks this router requested (signed
+    /// mode with the network-wide cache installed; one per attestation
+    /// of each received chain).
+    pub verify_calls: u64,
+    /// How many of those were answered by the network-wide
+    /// [`VerifyCache`] without running RSA.
+    pub verify_cache_hits: u64,
     /// Decision-process runs that changed the best route.
     pub best_changes: u64,
 }
@@ -116,6 +123,10 @@ pub struct BgpRouter {
     malice: Malice,
     /// Origin authorizations checked on import when present.
     origin_table: Option<Arc<OriginTable>>,
+    /// Network-wide attestation-verification memo (signed mode;
+    /// installed by `Topology::instantiate`, shared by every router of
+    /// one `BgpNetwork`).
+    verify_cache: Option<Arc<VerifyCache>>,
     /// When this router first dropped an announcement for a security
     /// reason (attestation or origin failure) — the campaign engine's
     /// detection-latency measurement.
@@ -143,6 +154,7 @@ impl BgpRouter {
             mrai_armed: false,
             malice: Malice::default(),
             origin_table: None,
+            verify_cache: None,
             first_security_reject: None,
             stats: RouterStats::default(),
         }
@@ -157,6 +169,12 @@ impl BgpRouter {
     /// announcements whose origin is unauthorized are dropped.
     pub fn set_origin_table(&mut self, table: Arc<OriginTable>) {
         self.origin_table = Some(table);
+    }
+
+    /// Installs the shared attestation-verification cache. Verdicts
+    /// are unchanged; repeated chain verifies skip the RSA math.
+    pub fn set_verify_cache(&mut self, cache: Arc<VerifyCache>) {
+        self.verify_cache = Some(cache);
     }
 
     /// The signing identity (signed mode only).
@@ -314,7 +332,16 @@ impl BgpRouter {
     fn process_announce(&mut self, from: Asn, sr: SignedRoute, now: SimTime) -> Option<Prefix> {
         // Attestation check first (signed mode only).
         if let SecurityMode::Signed { keys, .. } = &self.security {
-            if let Err(_e) = sr.verify(self.asn, keys) {
+            let cache = self.verify_cache.as_deref();
+            let before = cache.map(|c| (c.calls(), c.hits()));
+            let verdict = sr.verify_cached(self.asn, keys, cache);
+            if let (Some(cache), Some((calls, hits))) = (cache, before) {
+                // The simulation is single-threaded, so the deltas are
+                // exactly this router's share of the shared counters.
+                self.stats.verify_calls += cache.calls() - calls;
+                self.stats.verify_cache_hits += cache.hits() - hits;
+            }
+            if verdict.is_err() {
                 self.stats.attestation_failures += 1;
                 self.first_security_reject.get_or_insert(now);
                 return None;

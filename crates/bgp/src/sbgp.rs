@@ -22,6 +22,10 @@ use crate::types::{Asn, Prefix};
 use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
 use pvr_crypto::keys::{Identity, KeyStore};
 use pvr_crypto::rsa::RsaSignature;
+use pvr_crypto::sha256::sha256_concat;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// One hop's signature over (prefix, path-so-far, intended receiver).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -39,13 +43,27 @@ pub struct Attestation {
 }
 
 impl Attestation {
+    /// Writes the canonical signing payload into `buf` (which is
+    /// cleared first). Chain verification reuses one growable buffer
+    /// across all attestations instead of allocating per hop.
+    fn signed_bytes_into(
+        buf: &mut Vec<u8>,
+        prefix: &Prefix,
+        path: &AsPath,
+        target: Asn,
+        signer: Asn,
+    ) {
+        buf.clear();
+        buf.extend_from_slice(b"pvr.sbgp.v1");
+        prefix.encode(buf);
+        path.encode(buf);
+        target.encode(buf);
+        signer.encode(buf);
+    }
+
     fn signed_bytes(prefix: &Prefix, path: &AsPath, target: Asn, signer: Asn) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
-        buf.extend_from_slice(b"pvr.sbgp.v1");
-        prefix.encode(&mut buf);
-        path.encode(&mut buf);
-        target.encode(&mut buf);
-        signer.encode(&mut buf);
+        Self::signed_bytes_into(&mut buf, prefix, path, target, signer);
         buf
     }
 
@@ -82,6 +100,68 @@ impl Wire for Attestation {
             signer: Asn::decode(r)?,
             signature: RsaSignature::decode(r)?,
         })
+    }
+}
+
+/// A network-wide RSA-verification memo for attestation signatures.
+///
+/// `sbgp` re-verifies the *entire* chain at every import hop, so a
+/// route that crosses `h` ASes costs `O(h²)` RSA verifies network-wide
+/// — and every prefix-suffix attestation past the first hop is one
+/// some router already checked. One cache shared per
+/// [`crate::BgpNetwork`] collapses that: the verdict for an
+/// attestation depends only on the signer, the signed payload, and
+/// the signature bytes, all captured in the cache key.
+///
+/// The key is `(signer, sha256(signed_bytes ‖ signature))`. Hashing
+/// the signature *with* the payload is load-bearing: a forged
+/// attestation carries the same signed bytes as the genuine one but a
+/// different (invalid) signature, and a payload-only key would let the
+/// genuine chain's cached `true` launder the forgery (pinned by the
+/// cache regression tests in `tests/detection_matrix.rs`).
+///
+/// Interior mutability is a `Mutex` so the cache can be shared
+/// read-only across router agents; a simulation is single-threaded,
+/// so the lock is never contended.
+#[derive(Debug, Default)]
+pub struct VerifyCache {
+    verdicts: Mutex<HashMap<(Asn, [u8; 32]), bool>>,
+    calls: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl VerifyCache {
+    /// An empty cache.
+    pub fn new() -> VerifyCache {
+        VerifyCache::default()
+    }
+
+    /// Total attestation-signature checks requested through the cache.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// How many of those were answered from the memo (no RSA math).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Checks `signer`'s signature over `signed_bytes`, consulting the
+    /// memo first. The verdict (valid or not) is cached either way —
+    /// a forged chain replayed at every hop would otherwise cost the
+    /// full RSA verify each time it is rejected.
+    fn check(&self, signer: Asn, signed_bytes: &[u8], sig: &RsaSignature, keys: &KeyStore) -> bool {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let digest = sha256_concat(&[signed_bytes, &sig.0]);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(digest.as_bytes());
+        if let Some(&verdict) = self.verdicts.lock().unwrap().get(&(signer, key)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return verdict;
+        }
+        let verdict = keys.verify(signer.principal(), signed_bytes, sig).is_ok();
+        self.verdicts.lock().unwrap().insert((signer, key), verdict);
+        verdict
     }
 }
 
@@ -146,6 +226,18 @@ impl SignedRoute {
     ///   `receiver`);
     /// * every signature verifies.
     pub fn verify(&self, receiver: Asn, keys: &KeyStore) -> Result<(), SbgpError> {
+        self.verify_cached(receiver, keys, None)
+    }
+
+    /// [`SignedRoute::verify`] with an optional network-wide
+    /// [`VerifyCache`]: verdicts are identical with or without the
+    /// cache, only the number of RSA operations differs.
+    pub fn verify_cached(
+        &self,
+        receiver: Asn,
+        keys: &KeyStore,
+        cache: Option<&VerifyCache>,
+    ) -> Result<(), SbgpError> {
         let path = self.route.path.asns();
         if path.is_empty() {
             return Err(SbgpError::EmptyPath);
@@ -160,6 +252,8 @@ impl SignedRoute {
             });
         }
         let m = path.len();
+        // One signing-payload buffer for the whole chain.
+        let mut buf = Vec::with_capacity(64);
         for (j, att) in self.attestations.iter().enumerate() {
             // Attestation j (origin first) was made by path[m-1-j].
             let signer_idx = m - 1 - j;
@@ -177,7 +271,20 @@ impl SignedRoute {
             if att.target != expected_target {
                 return Err(SbgpError::WrongTarget { expected: expected_target, got: att.target });
             }
-            att.verify(keys)?;
+            Attestation::signed_bytes_into(
+                &mut buf,
+                &att.prefix,
+                &att.path,
+                att.target,
+                att.signer,
+            );
+            let ok = match cache {
+                Some(cache) => cache.check(att.signer, &buf, &att.signature, keys),
+                None => keys.verify(att.signer.principal(), &buf, &att.signature).is_ok(),
+            };
+            if !ok {
+                return Err(SbgpError::BadSignature(att.signer));
+            }
         }
         Ok(())
     }
@@ -191,6 +298,36 @@ impl Wire for SignedRoute {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SignedRoute { route: Route::decode(r)?, attestations: decode_seq(r)? })
     }
+}
+
+/// Builds a genuine `hops`-long attestation chain AS1 → … → AS`hops`,
+/// announced toward AS`hops+1`, plus the populated key store. The
+/// shared fixture behind the E13 experiment, the chain-verify bench,
+/// and the cache regression tests — one place to change if chain
+/// conventions ever do.
+pub fn demo_chain(
+    hops: u32,
+    key_bits: usize,
+    seed: &[u8],
+) -> (SignedRoute, KeyStore, /* receiver */ Asn) {
+    use pvr_crypto::drbg::HmacDrbg;
+    assert!(hops >= 1, "a chain needs at least an origin");
+    let mut rng = HmacDrbg::new(seed);
+    let ids: Vec<Identity> =
+        (1..=hops as u64).map(|a| Identity::generate(a, key_bits, &mut rng)).collect();
+    let mut keys = KeyStore::new();
+    for id in &ids {
+        keys.register_identity(id);
+    }
+    let prefix = Prefix::parse("10.77.0.0/16").unwrap();
+    let mut route = Route::originate(prefix);
+    route.path = AsPath::from_slice(&[Asn(1)]);
+    let mut chain = SignedRoute::originate(&ids[0], route, Asn(2));
+    for hop in 2..=hops {
+        let next = chain.route.clone().propagated_by(Asn(hop));
+        chain = SignedRoute::extend(&chain, &ids[hop as usize - 1], next, Asn(hop + 1));
+    }
+    (chain, keys, Asn(hops + 1))
 }
 
 /// Attestation-chain verification failures.
@@ -383,6 +520,45 @@ mod tests {
         let back: SignedRoute = pvr_crypto::decode_exact(&sr.to_wire()).unwrap();
         assert_eq!(back, sr);
         assert!(back.verify(Asn(3), &keys).is_ok());
+    }
+
+    #[test]
+    fn cached_verify_matches_uncached() {
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        let cache = VerifyCache::new();
+        assert_eq!(sr.verify(Asn(3), &keys), sr.verify_cached(Asn(3), &keys, Some(&cache)));
+        assert_eq!(cache.calls(), 2);
+        assert_eq!(cache.hits(), 0);
+        // Second pass: every signature check answered from the memo.
+        assert!(sr.verify_cached(Asn(3), &keys, Some(&cache)).is_ok());
+        assert_eq!(cache.calls(), 4);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn cache_does_not_launder_forged_signatures() {
+        // Same signed bytes, different signature: the genuine chain's
+        // cached `true` must not validate the forgery (the cache key
+        // covers the signature, not just the payload).
+        let (ids, keys) = setup();
+        let sr = two_hop_chain(&ids);
+        let cache = VerifyCache::new();
+        assert!(sr.verify_cached(Asn(3), &keys, Some(&cache)).is_ok());
+        let mut forged = sr.clone();
+        forged.attestations[0].signature.0[5] ^= 1;
+        assert_eq!(
+            forged.verify_cached(Asn(3), &keys, Some(&cache)),
+            Err(SbgpError::BadSignature(Asn(1)))
+        );
+        // And the rejection itself is memoized on replay.
+        let calls = cache.calls();
+        assert_eq!(
+            forged.verify_cached(Asn(3), &keys, Some(&cache)),
+            Err(SbgpError::BadSignature(Asn(1)))
+        );
+        assert_eq!(cache.calls(), calls + 1);
+        assert!(cache.hits() >= 1);
     }
 
     #[test]

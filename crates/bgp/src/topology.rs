@@ -10,6 +10,7 @@ use crate::messages::BgpUpdate;
 use crate::policy::{PolicyConfig, Role};
 use crate::route::Community;
 use crate::router::{BgpRouter, LocalEvent, SecurityMode};
+use crate::sbgp::VerifyCache;
 use crate::types::{Asn, Prefix};
 use pvr_crypto::drbg::HmacDrbg;
 use pvr_crypto::keys::{Identity, KeyStore};
@@ -238,6 +239,11 @@ impl Topology {
             None
         };
 
+        // One attestation-verification memo for the whole network: a
+        // chain already checked upstream is not re-verified limb by
+        // limb at every subsequent hop.
+        let verify_cache = keystore.as_ref().map(|_| Arc::new(VerifyCache::new()));
+
         // First pass: create routers so node ids are known.
         let mut node_of = BTreeMap::new();
         for &asn in &self.ases {
@@ -258,6 +264,9 @@ impl Topology {
                 None => SecurityMode::Plain,
             };
             let mut router = BgpRouter::new(asn, policy, security);
+            if let Some(cache) = &verify_cache {
+                router.set_verify_cache(Arc::clone(cache));
+            }
             if let Some(interval) = options.mrai {
                 router.set_mrai(interval);
             }
@@ -283,7 +292,7 @@ impl Topology {
             }
         }
 
-        BgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks) }
+        BgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks), verify_cache }
     }
 }
 
@@ -363,6 +372,7 @@ pub struct BgpNetwork {
     pub sim: Simulator<BgpUpdate>,
     node_of: BTreeMap<Asn, NodeId>,
     keystore: Option<Arc<KeyStore>>,
+    verify_cache: Option<Arc<VerifyCache>>,
 }
 
 impl BgpNetwork {
@@ -390,6 +400,11 @@ impl BgpNetwork {
     /// The shared key store in signed mode.
     pub fn keystore(&self) -> Option<&Arc<KeyStore>> {
         self.keystore.as_ref()
+    }
+
+    /// The network-wide attestation-verification cache in signed mode.
+    pub fn verify_cache(&self) -> Option<&Arc<VerifyCache>> {
+        self.verify_cache.as_ref()
     }
 
     /// Installs an origin-authorization table on every router. Call

@@ -13,6 +13,7 @@
 //! production cryptography (see crate-level docs).
 
 use crate::drbg::HmacDrbg;
+use crate::montgomery::Montgomery;
 use std::cmp::Ordering;
 
 /// An arbitrary-precision unsigned integer.
@@ -133,6 +134,18 @@ impl Ubig {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();
         }
+    }
+
+    /// The little-endian limbs (no trailing zeros).
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Constructs from little-endian limbs (trailing zeros permitted).
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Ubig {
+        let mut n = Ubig { limbs };
+        n.normalize();
+        n
     }
 
     /// True iff the value is 0.
@@ -422,13 +435,48 @@ impl Ubig {
     }
 
     /// Modular multiplication `(self * rhs) mod m`.
+    ///
+    /// Odd moduli go through the division-free [`Montgomery`] path
+    /// (two REDC passes instead of a double-width product plus a Knuth
+    /// Algorithm D quotient). Even moduli keep the schoolbook
+    /// multiply-then-divide fallback: REDC requires `gcd(R, m) = 1`
+    /// with `R` a power of two, which an even `m` can never satisfy.
+    /// Hot loops that reduce by one modulus repeatedly (RSA, Miller–
+    /// Rabin) should build a [`Montgomery`] context once instead of
+    /// paying its precomputation on every call here.
     pub fn mul_mod(&self, rhs: &Ubig, m: &Ubig) -> Ubig {
-        self.mul(rhs).rem(m)
+        assert!(!m.is_zero(), "mul_mod with zero modulus");
+        match Montgomery::new(m) {
+            Some(ctx) => ctx.mul(self, rhs),
+            None => self.mul(rhs).rem(m),
+        }
     }
 
-    /// Modular exponentiation `self^exp mod m` by left-to-right binary
-    /// square-and-multiply.
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Odd moduli (the only kind RSA and Miller–Rabin ever reduce by)
+    /// use Montgomery REDC with 4-bit windowed exponentiation; even
+    /// moduli fall back to [`Ubig::modpow_schoolbook`] since REDC
+    /// requires an odd modulus.
     pub fn modpow(&self, exp: &Ubig, m: &Ubig) -> Ubig {
+        assert!(!m.is_zero(), "modpow with zero modulus");
+        if m.is_one() {
+            return Ubig::zero();
+        }
+        match Montgomery::new(m) {
+            Some(ctx) => ctx.pow(self, exp),
+            None => self.modpow_schoolbook(exp, m),
+        }
+    }
+
+    /// Modular exponentiation by left-to-right binary square-and-
+    /// multiply with a full division per step.
+    ///
+    /// This is the pre-Montgomery reference path: the even-modulus
+    /// fallback of [`Ubig::modpow`], the equivalence oracle for the
+    /// Montgomery property tests, and the baseline that experiment E13
+    /// and `benches/crypto.rs` measure the fast path against.
+    pub fn modpow_schoolbook(&self, exp: &Ubig, m: &Ubig) -> Ubig {
         assert!(!m.is_zero(), "modpow with zero modulus");
         if m.is_one() {
             return Ubig::zero();
@@ -439,9 +487,9 @@ impl Ubig {
         }
         let mut acc = Ubig::one();
         for i in (0..exp.bit_len()).rev() {
-            acc = acc.mul_mod(&acc, m);
+            acc = acc.mul(&acc).rem(m);
             if exp.bit(i) {
-                acc = acc.mul_mod(&base, m);
+                acc = acc.mul(&base).rem(m);
             }
         }
         acc

@@ -8,9 +8,11 @@
 //! * [`hmac`] — HMAC-SHA-256, used for keyed derivation;
 //! * [`drbg`] — HMAC-DRBG (SP 800-90A): all randomness in the workspace is
 //!   deterministic from a seed, so whole experiments replay bit-for-bit;
-//! * [`bignum`] / [`prime`] / [`rsa`] — arbitrary-precision arithmetic,
-//!   Miller–Rabin, and RSA with PKCS#1 v1.5 signatures (the paper budgets
-//!   "about two milliseconds" per RSA-1024 signature, reproduced in E3);
+//! * [`bignum`] / [`montgomery`] / [`prime`] / [`rsa`] — arbitrary-precision
+//!   arithmetic, Montgomery REDC with windowed exponentiation (the fast
+//!   path under every RSA operation, measured in E13), Miller–Rabin, and
+//!   RSA with PKCS#1 v1.5 signatures (the paper budgets "about two
+//!   milliseconds" per RSA-1024 signature, reproduced in E3);
 //! * [`mod@commit`] — blinded hash commitments `H(b ‖ p)` (§3.2, footnote 2);
 //! * [`ring`] — Rivest–Shamir–Tauman ring signatures for the link-state
 //!   existential variant (§3.2, citing \[20\]);
@@ -31,6 +33,7 @@ pub mod encoding;
 pub mod error;
 pub mod hmac;
 pub mod keys;
+pub mod montgomery;
 pub mod prime;
 pub mod ring;
 pub mod rsa;
@@ -43,6 +46,7 @@ pub use encoding::{decode_exact, decode_seq, encode_seq, Reader, Wire, WireError
 pub use error::CryptoError;
 pub use hmac::{hmac_sha256, HmacSha256};
 pub use keys::{Identity, KeyStore, PrincipalId};
+pub use montgomery::Montgomery;
 pub use ring::{ring_sign, ring_verify, RingSignature};
 pub use rsa::{RsaPrivateKey, RsaPublicKey, RsaSignature};
 pub use sha256::{sha256, sha256_concat, Digest, Sha256};

@@ -1,0 +1,613 @@
+//! Montgomery modular arithmetic: the fast path under every RSA
+//! operation in the workspace.
+//!
+//! The schoolbook [`Ubig::modpow_schoolbook`](crate::bignum::Ubig::modpow_schoolbook)
+//! costs a full double-width multiplication *plus a Knuth Algorithm D
+//! division* per exponent bit. Montgomery's method trades the division
+//! for two extra multiplications *once* (at context build), after which
+//! every modular multiplication is a single interleaved multiply-reduce
+//! pass (REDC) with no division at all. Three further levers stack on
+//! top, and together they are where experiment E13's sign/verify/modpow
+//! speedups come from:
+//!
+//! * **fused FIOS multiply** — the `a·b` accumulation and the `m·n`
+//!   fold run as one loop with two independent carry chains, which the
+//!   CPU overlaps;
+//! * **dedicated squaring** — `a²` computes only the upper-triangle
+//!   products, doubles them, then reduces (≈1.5k² multiplies instead
+//!   of 2k²), with a two-way interleaved reduction at RSA-2048 size;
+//! * **adaptive fixed-window exponentiation** — window width 1–5
+//!   chosen from the exponent length, so a full-length CRT exponent
+//!   gets a 4/5-bit window (¼ the multiplies of square-and-multiply)
+//!   while `e = 65537` skips table building entirely.
+//!
+//! Kernels are monomorphized over the limb count for the sizes RSA
+//! actually uses (1–32 limbs in powers of two), with a dynamic-width
+//! fallback for everything else.
+//!
+//! # REDC invariants
+//!
+//! A [`Montgomery`] context for an odd modulus `n` of `k` 64-bit limbs
+//! fixes `R = 2^(64k)` and maintains:
+//!
+//! * `gcd(R, n) = 1` — guaranteed by `n` odd; this is why even moduli
+//!   cannot use this path and fall back to schoolbook arithmetic;
+//! * `n0_inv = -n^(-1) mod 2^64` — the per-limb folding constant,
+//!   computed by Newton–Hensel lifting from `n`'s low limb;
+//! * `r1 = R mod n` — the Montgomery form of 1 (`to_mont(1)`);
+//! * `r2 = R² mod n` — the conversion constant: `to_mont(x)` is
+//!   `redc(x · r2)` and `from_mont(x̄)` is `redc(x̄ · 1)`.
+//!
+//! Every kernel takes inputs `< n` and returns a fully reduced result
+//! in `[0, n)` (the classic CIOS bound keeps the pre-subtraction value
+//! `< 2n`, so one conditional final subtraction suffices). All
+//! arithmetic is variable-time, like the rest of this crate: fine for
+//! a research simulator, never for production cryptography.
+
+use crate::bignum::Ubig;
+
+/// A precomputed Montgomery context for one odd modulus.
+///
+/// Build it once per modulus ([`Montgomery::new`]), then every
+/// [`mul`](Montgomery::mul), [`square`](Montgomery::square), and
+/// [`pow`](Montgomery::pow) runs division-free. [`crate::rsa`] caches
+/// one context per key (for `n`, `p`, and `q`) so repeated sign/verify
+/// calls pay the precomputation exactly once.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// The modulus.
+    n: Ubig,
+    /// The modulus as exactly `k` little-endian limbs.
+    n_limbs: Vec<u64>,
+    /// Limb count of the modulus; `R = 2^(64k)`.
+    k: usize,
+    /// `-n^(-1) mod 2^64`.
+    n0_inv: u64,
+    /// `R mod n`: the Montgomery form of 1.
+    r1: Vec<u64>,
+    /// `R² mod n`: the to-Montgomery conversion constant.
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Builds a context for `n`. Returns `None` when `n` is even or
+    /// `n ≤ 1`: REDC requires `gcd(R, n) = 1`, which fails for even
+    /// `n`, and a modulus of 0 or 1 has no useful residue ring.
+    pub fn new(n: &Ubig) -> Option<Montgomery> {
+        if n.is_even() || n.is_one() {
+            return None;
+        }
+        let n_limbs = n.limbs().to_vec();
+        let k = n_limbs.len();
+        // Newton–Hensel: for odd n0, x = n0 is an inverse mod 2^3;
+        // each iteration doubles the valid bit count, so five reach 96
+        // ≥ 64 bits. Negate to get the REDC folding constant.
+        let n0 = n_limbs[0];
+        let mut inv = n0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let r1 = Ubig::one().shl(64 * k).rem(n);
+        let r2 = r1.mul(&r1).rem(n);
+        Some(Montgomery {
+            n: n.clone(),
+            n_limbs,
+            k,
+            n0_inv: inv.wrapping_neg(),
+            r1: pad_limbs(&r1, k),
+            r2: pad_limbs(&r2, k),
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// Montgomery product `out = a·b·R^(-1) mod n`, dispatching to the
+    /// monomorphized kernel for this modulus width. `a`, `b`, `out`
+    /// are `k` limbs; `t` is the `k + 1`-limb scratch.
+    fn mont_mul_buf(&self, a: &[u64], b: &[u64], t: &mut [u64], out: &mut [u64]) {
+        let n = &self.n_limbs[..];
+        let inv = self.n0_inv;
+        match self.k {
+            1 => fios::<1>(cvt(a), cvt(b), cvt(n), inv, t),
+            2 => fios::<2>(cvt(a), cvt(b), cvt(n), inv, t),
+            4 => fios::<4>(cvt(a), cvt(b), cvt(n), inv, t),
+            8 => fios::<8>(cvt(a), cvt(b), cvt(n), inv, t),
+            16 => fios::<16>(cvt(a), cvt(b), cvt(n), inv, t),
+            32 => fios::<32>(cvt(a), cvt(b), cvt(n), inv, t),
+            k => fios_dyn(a, b, n, inv, t, k),
+        }
+        final_sub(t[self.k], &t[..self.k], n, out);
+    }
+
+    /// Montgomery square `out = a²·R^(-1) mod n`. `u` is the
+    /// `2k + 1`-limb scratch.
+    fn mont_sqr_buf(&self, a: &[u64], u: &mut [u64], out: &mut [u64]) {
+        let n = &self.n_limbs[..];
+        let inv = self.n0_inv;
+        match self.k {
+            1 => sqr::<1>(cvt(a), cvt(n), inv, u),
+            2 => sqr::<2>(cvt(a), cvt(n), inv, u),
+            4 => sqr::<4>(cvt(a), cvt(n), inv, u),
+            8 => sqr::<8>(cvt(a), cvt(n), inv, u),
+            16 => sqr::<16>(cvt(a), cvt(n), inv, u),
+            32 => sqr::<32>(cvt(a), cvt(n), inv, u),
+            k => sqr_dyn(a, n, inv, u, k),
+        }
+        final_sub(u[2 * self.k], &u[self.k..2 * self.k], n, out);
+    }
+
+    /// `(a · b) mod n`, division-free: `redc(redc(a·b), r2)` — the
+    /// first pass yields `a·b·R^(-1)`, the second multiplies the `R`
+    /// back in.
+    pub fn mul(&self, a: &Ubig, b: &Ubig) -> Ubig {
+        let k = self.k;
+        let a = pad_limbs(&a.rem(&self.n), k);
+        let b = pad_limbs(&b.rem(&self.n), k);
+        let mut t = vec![0u64; k + 1];
+        let mut lo = vec![0u64; k];
+        let mut out = vec![0u64; k];
+        self.mont_mul_buf(&a, &b, &mut t, &mut lo);
+        self.mont_mul_buf(&lo, &self.r2, &mut t, &mut out);
+        Ubig::from_limbs(out)
+    }
+
+    /// `a² mod n`, division-free, on the dedicated squaring kernel.
+    pub fn square(&self, a: &Ubig) -> Ubig {
+        let k = self.k;
+        let a = pad_limbs(&a.rem(&self.n), k);
+        let mut u = vec![0u64; 2 * k + 1];
+        let mut t = vec![0u64; k + 1];
+        let mut lo = vec![0u64; k];
+        let mut out = vec![0u64; k];
+        self.mont_sqr_buf(&a, &mut u, &mut lo);
+        self.mont_mul_buf(&lo, &self.r2, &mut t, &mut out);
+        Ubig::from_limbs(out)
+    }
+
+    /// `base^exp mod n` by fixed-window exponentiation over Montgomery
+    /// products: `2^w` precomputed powers, then `w` squarings plus at
+    /// most one table multiply per exponent window, with `w` chosen
+    /// from the exponent length (so `e = 65537` degenerates to plain
+    /// square-and-multiply with no table at all).
+    pub fn pow(&self, base: &Ubig, exp: &Ubig) -> Ubig {
+        let k = self.k;
+        if exp.is_zero() {
+            return Ubig::one(); // n > 1, so 1 mod n = 1
+        }
+        let bits = exp.bit_len();
+        let w = window_width(bits);
+        let mut t = vec![0u64; k + 1];
+        let mut u = vec![0u64; 2 * k + 1];
+        let mut tmp = vec![0u64; k];
+
+        // table[d] = base^d in Montgomery form, d < 2^w.
+        let base_red = pad_limbs(&base.rem(&self.n), k);
+        let mut table: Vec<Vec<u64>> = vec![vec![0u64; k]; 1 << w];
+        table[0].copy_from_slice(&self.r1);
+        self.mont_mul_buf(&base_red, &self.r2, &mut t, &mut tmp);
+        table[1].copy_from_slice(&tmp);
+        for d in 2..1 << w {
+            let (lo, hi) = table.split_at_mut(d);
+            self.mont_mul_buf(&lo[d - 1], &lo[1], &mut t, &mut hi[0]);
+        }
+
+        let exp_limbs = exp.limbs();
+        // The w-bit window at position widx (bits widx·w .. widx·w+w).
+        let digit = |widx: usize| -> usize {
+            let bit = widx * w;
+            let (limb, off) = (bit / 64, bit % 64);
+            let lo = exp_limbs.get(limb).copied().unwrap_or(0) >> off;
+            let hi = if off + w > 64 {
+                exp_limbs.get(limb + 1).copied().unwrap_or(0) << (64 - off)
+            } else {
+                0
+            };
+            ((lo | hi) as usize) & ((1 << w) - 1)
+        };
+
+        let nwin = bits.div_ceil(w);
+        let mut acc = table[digit(nwin - 1)].clone();
+        for widx in (0..nwin - 1).rev() {
+            for _ in 0..w {
+                self.mont_sqr_buf(&acc, &mut u, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let d = digit(widx);
+            if d != 0 {
+                self.mont_mul_buf(&acc, &table[d], &mut t, &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+
+        // from_mont: one REDC against the plain value 1.
+        let mut one = vec![0u64; k];
+        one[0] = 1;
+        self.mont_mul_buf(&acc, &one, &mut t, &mut tmp);
+        Ubig::from_limbs(tmp)
+    }
+}
+
+/// Window width for an exponent of `bits` bits: balances the `2^w - 2`
+/// table multiplies against the `bits/w` saved window multiplies.
+fn window_width(bits: usize) -> usize {
+    match bits {
+        0..=32 => 1,
+        33..=96 => 2,
+        97..=288 => 3,
+        289..=768 => 4,
+        _ => 5,
+    }
+}
+
+/// Slice → fixed-size array reference (lengths are checked by the
+/// dispatcher's match on `k`).
+fn cvt<const K: usize>(s: &[u64]) -> &[u64; K] {
+    s[..K].try_into().expect("kernel width matches modulus width")
+}
+
+/// One fused FIOS pass: `t[0..k]` ← `a·b·R^(-1)` before the final
+/// subtraction, top carry (0 or 1) in `t[k]`. The `a·b` accumulation
+/// and the `m·n` fold share the loop but carry independently, which
+/// keeps both multiply chains in flight.
+///
+/// `#[inline(always)]` so the monomorphized [`fios`] wrappers
+/// const-propagate `k` and get the fully unrolled codegen; the same
+/// body serves [`fios_dyn`] at runtime widths.
+#[inline(always)]
+fn fios_core(a: &[u64], b: &[u64], n: &[u64], n0_inv: u64, t: &mut [u64], k: usize) {
+    t[..k + 1].fill(0);
+    for &ai in a[..k].iter() {
+        let s = t[0] as u128 + ai as u128 * b[0] as u128;
+        let mut c_ab = (s >> 64) as u64;
+        let m = (s as u64).wrapping_mul(n0_inv);
+        let s2 = (s as u64) as u128 + m as u128 * n[0] as u128;
+        let mut c_mn = (s2 >> 64) as u64;
+        for j in 1..k {
+            let s = t[j] as u128 + ai as u128 * b[j] as u128 + c_ab as u128;
+            c_ab = (s >> 64) as u64;
+            let s2 = (s as u64) as u128 + m as u128 * n[j] as u128 + c_mn as u128;
+            t[j - 1] = s2 as u64;
+            c_mn = (s2 >> 64) as u64;
+        }
+        let s = t[k] as u128 + c_ab as u128 + c_mn as u128;
+        t[k - 1] = s as u64;
+        t[k] = (s >> 64) as u64;
+    }
+}
+
+/// Monomorphized [`fios_core`] (array inputs pin the width for the
+/// optimizer).
+fn fios<const K: usize>(a: &[u64; K], b: &[u64; K], n: &[u64; K], n0_inv: u64, t: &mut [u64]) {
+    fios_core(a, b, n, n0_inv, t, K);
+}
+
+/// Dynamic-width [`fios_core`] for limb counts without a monomorphized
+/// kernel.
+fn fios_dyn(a: &[u64], b: &[u64], n: &[u64], n0_inv: u64, t: &mut [u64], k: usize) {
+    fios_core(a, b, n, n0_inv, t, k);
+}
+
+/// Montgomery squaring, SOS-style: upper-triangle products, doubled,
+/// diagonal added, then the `m·n` reduction sweep. `u[k..2k]` holds
+/// the pre-subtraction result, top carry in `u[2k]`. At `k ≥ 32`
+/// (even) the reduction processes two rows per pass (two independent
+/// carry chains); below that the plain sweep wins.
+///
+/// `#[inline(always)]` so the monomorphized [`sqr`] wrappers
+/// const-propagate `k` (folding the reduction-strategy branch away);
+/// the same body serves [`sqr_dyn`] at runtime widths.
+#[inline(always)]
+fn sqr_core(a: &[u64], n: &[u64], n0_inv: u64, u: &mut [u64], k: usize) {
+    u[..2 * k + 1].fill(0);
+    // Off-diagonal half products.
+    for i in 0..k {
+        let ai = a[i];
+        let mut carry = 0u64;
+        for j in i + 1..k {
+            let s = u[i + j] as u128 + ai as u128 * a[j] as u128 + carry as u128;
+            u[i + j] = s as u64;
+            carry = (s >> 64) as u64;
+        }
+        u[i + k] = carry;
+    }
+    // Double, then add the diagonal a[i]².
+    let mut top = 0u64;
+    for x in u[..2 * k].iter_mut() {
+        let nt = *x >> 63;
+        *x = (*x << 1) | top;
+        top = nt;
+    }
+    let mut carry = 0u64;
+    for i in 0..k {
+        let s = u[2 * i] as u128 + a[i] as u128 * a[i] as u128 + carry as u128;
+        u[2 * i] = s as u64;
+        let s2 = u[2 * i + 1] as u128 + (s >> 64);
+        u[2 * i + 1] = s2 as u64;
+        carry = (s2 >> 64) as u64;
+    }
+    // Reduction: fold rows m[i]·n into u.
+    if k >= 32 && k % 2 == 0 {
+        // Two rows per pass. Row i's m0 is known immediately; row
+        // i+1's m1 needs u[i+1] after m0's j=1 term, computed in the
+        // preamble; the joint loop then runs both carry chains.
+        let mut carry2 = 0u64;
+        let mut i = 0;
+        while i < k {
+            let m0 = u[i].wrapping_mul(n0_inv);
+            let s = u[i] as u128 + m0 as u128 * n[0] as u128;
+            let mut c0 = (s >> 64) as u64;
+            let s = u[i + 1] as u128 + m0 as u128 * n[1] as u128 + c0 as u128;
+            let u_i1 = s as u64;
+            c0 = (s >> 64) as u64;
+            let m1 = u_i1.wrapping_mul(n0_inv);
+            let s = u_i1 as u128 + m1 as u128 * n[0] as u128;
+            let mut c1 = (s >> 64) as u64;
+            for j in 2..k {
+                let s = u[i + j] as u128 + m0 as u128 * n[j] as u128 + c0 as u128;
+                c0 = (s >> 64) as u64;
+                let s2 = (s as u64) as u128 + m1 as u128 * n[j - 1] as u128 + c1 as u128;
+                u[i + j] = s2 as u64;
+                c1 = (s2 >> 64) as u64;
+            }
+            let s = u[i + k] as u128
+                + c0 as u128
+                + m1 as u128 * n[k - 1] as u128
+                + c1 as u128
+                + carry2 as u128;
+            u[i + k] = s as u64;
+            let s2 = u[i + k + 1] as u128 + (s >> 64);
+            u[i + k + 1] = s2 as u64;
+            carry2 = (s2 >> 64) as u64;
+            i += 2;
+        }
+        u[2 * k] = u[2 * k].wrapping_add(carry2);
+    } else {
+        let mut carry2 = 0u64;
+        for i in 0..k {
+            let m = u[i].wrapping_mul(n0_inv);
+            let mut carry = 0u64;
+            for j in 0..k {
+                let s = u[i + j] as u128 + m as u128 * n[j] as u128 + carry as u128;
+                u[i + j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = u[i + k] as u128 + carry as u128 + carry2 as u128;
+            u[i + k] = s as u64;
+            carry2 = (s >> 64) as u64;
+        }
+        u[2 * k] = carry2;
+    }
+}
+
+/// Monomorphized [`sqr_core`] (array inputs pin the width for the
+/// optimizer).
+fn sqr<const K: usize>(a: &[u64; K], n: &[u64; K], n0_inv: u64, u: &mut [u64]) {
+    sqr_core(a, n, n0_inv, u, K);
+}
+
+/// Dynamic-width [`sqr_core`] for limb counts without a monomorphized
+/// kernel.
+fn sqr_dyn(a: &[u64], n: &[u64], n0_inv: u64, u: &mut [u64], k: usize) {
+    sqr_core(a, n, n0_inv, u, k);
+}
+
+/// `out = (top·2^(64k) + limbs) - n` if that value is `≥ n`, else a
+/// copy of `limbs`. Callers guarantee the value is `< 2n`.
+fn final_sub(top: u64, limbs: &[u64], n: &[u64], out: &mut [u64]) {
+    let ge = top != 0 || geq(limbs, n);
+    if ge {
+        let mut borrow = 0u64;
+        for j in 0..n.len() {
+            let (d1, b1) = limbs[j].overflowing_sub(n[j]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[j] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+    } else {
+        out.copy_from_slice(limbs);
+    }
+}
+
+/// `a >= b` over equal-length limb slices.
+fn geq(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for j in (0..a.len()).rev() {
+        if a[j] != b[j] {
+            return a[j] > b[j];
+        }
+    }
+    true
+}
+
+/// `x`'s limbs zero-extended to exactly `k` limbs (`x` must fit).
+fn pad_limbs(x: &Ubig, k: usize) -> Vec<u64> {
+    let limbs = x.limbs();
+    debug_assert!(limbs.len() <= k);
+    let mut out = vec![0u64; k];
+    out[..limbs.len()].copy_from_slice(limbs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use proptest::prelude::*;
+
+    fn big(hex: &str) -> Ubig {
+        Ubig::from_hex(hex).unwrap()
+    }
+
+    /// An odd modulus ≥ 3 built from arbitrary bytes.
+    fn odd_modulus(bytes: &[u8]) -> Ubig {
+        let mut m = Ubig::from_bytes_be(bytes);
+        if m.is_even() {
+            m = m.add(&Ubig::one());
+        }
+        if m.is_one() || m.is_zero() {
+            m = Ubig::from_u64(3);
+        }
+        m
+    }
+
+    #[test]
+    fn rejects_even_and_degenerate_moduli() {
+        assert!(Montgomery::new(&Ubig::from_u64(4)).is_none());
+        assert!(Montgomery::new(&Ubig::zero()).is_none());
+        assert!(Montgomery::new(&Ubig::one()).is_none());
+        assert!(Montgomery::new(&Ubig::from_u64(3)).is_some());
+    }
+
+    #[test]
+    fn known_values() {
+        let m = Ubig::from_u64(497);
+        let ctx = Montgomery::new(&m).unwrap();
+        assert_eq!(ctx.pow(&Ubig::from_u64(4), &Ubig::from_u64(13)).low_u64(), 445);
+        assert_eq!(ctx.mul(&Ubig::from_u64(20), &Ubig::from_u64(30)).low_u64(), 600 % 497);
+        assert_eq!(ctx.square(&Ubig::from_u64(100)).low_u64(), 10_000 % 497);
+    }
+
+    #[test]
+    fn operands_larger_than_modulus_are_reduced() {
+        let m = big("10000000000000001"); // odd, 65 bits
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = big("123456789abcdef0123456789abcdef0123");
+        let b = big("fedcba9876543210fedcba9876543210fed");
+        assert_eq!(ctx.mul(&a, &b), a.mul(&b).rem(&m));
+        assert_eq!(ctx.square(&a), a.mul(&a).rem(&m));
+    }
+
+    #[test]
+    fn pow_edge_exponents() {
+        let m = big("f000000000000000000000000000000d"); // odd 128-bit
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = big("deadbeefcafebabe");
+        assert_eq!(ctx.pow(&a, &Ubig::zero()), Ubig::one());
+        assert_eq!(ctx.pow(&a, &Ubig::one()), a.rem(&m));
+        assert_eq!(ctx.pow(&Ubig::zero(), &big("ff")), Ubig::zero());
+        assert_eq!(ctx.pow(&Ubig::one(), &big("ffffffffffffffffffffffff")), Ubig::one());
+        // Fermat on a word-sized prime (the one-limb kernel).
+        let p = Ubig::from_u64(1_000_000_007);
+        let ctx_p = Montgomery::new(&p).unwrap();
+        let base = Ubig::from_u64(123_456_789);
+        assert_eq!(ctx_p.pow(&base, &p.sub(&Ubig::one())), Ubig::one());
+    }
+
+    #[test]
+    fn fermat_at_rsa_scale() {
+        // A 256-bit probable prime: a^(p-1) ≡ 1 must hold through the
+        // full multi-limb kernel path.
+        let mut rng = HmacDrbg::new(b"montgomery fermat");
+        let p = crate::prime::gen_prime(256, &mut rng);
+        let ctx = Montgomery::new(&p).unwrap();
+        let a = Ubig::random_below(&p, &mut rng);
+        assert_eq!(ctx.pow(&a, &p.sub(&Ubig::one())), Ubig::one());
+    }
+
+    /// Every kernel width — each monomorphized size (1, 2, 4, 8, 16,
+    /// 32 limbs) and dynamic widths around them — agrees with the
+    /// schoolbook path on mul, square, and pow.
+    #[test]
+    fn kernel_dispatch_widths_match_schoolbook() {
+        let mut rng = HmacDrbg::new(b"kernel widths");
+        for limbs in [1usize, 2, 3, 4, 5, 8, 12, 16, 24, 32, 33] {
+            let mut m = Ubig::random_bits(limbs * 64, &mut rng);
+            if m.is_even() {
+                m = m.add(&Ubig::one());
+            }
+            let ctx = Montgomery::new(&m).unwrap();
+            let a = Ubig::random_below(&m, &mut rng);
+            let b = Ubig::random_below(&m, &mut rng);
+            let e = Ubig::from_u64(rng.u64() | 1);
+            assert_eq!(ctx.mul(&a, &b), a.mul(&b).rem(&m), "mul at {limbs} limbs");
+            assert_eq!(ctx.square(&a), a.mul(&a).rem(&m), "square at {limbs} limbs");
+            assert_eq!(ctx.pow(&a, &e), a.modpow_schoolbook(&e, &m), "pow at {limbs} limbs");
+        }
+    }
+
+    /// The adaptive window must produce identical results at every
+    /// width boundary (1/2/3/4/5-bit windows).
+    #[test]
+    fn window_widths_agree() {
+        let mut rng = HmacDrbg::new(b"window widths");
+        let mut m = Ubig::random_bits(192, &mut rng);
+        if m.is_even() {
+            m = m.add(&Ubig::one());
+        }
+        let ctx = Montgomery::new(&m).unwrap();
+        let a = Ubig::random_below(&m, &mut rng);
+        for bits in [1usize, 17, 32, 33, 96, 97, 288, 289, 768, 769, 1024] {
+            let e = Ubig::random_bits(bits, &mut rng);
+            assert_eq!(ctx.pow(&a, &e), a.modpow_schoolbook(&e, &m), "exponent of {bits} bits");
+        }
+    }
+
+    proptest! {
+        /// Montgomery mul == schoolbook mul-then-divide, across random
+        /// odd moduli and operand sizes (operands may exceed the
+        /// modulus; zero and one included via the 0-length vectors).
+        #[test]
+        fn prop_mul_matches_schoolbook(
+            a in proptest::collection::vec(any::<u8>(), 0..48),
+            b in proptest::collection::vec(any::<u8>(), 0..48),
+            m in proptest::collection::vec(any::<u8>(), 1..40),
+        ) {
+            let m = odd_modulus(&m);
+            let (a, b) = (Ubig::from_bytes_be(&a), Ubig::from_bytes_be(&b));
+            let ctx = Montgomery::new(&m).unwrap();
+            prop_assert_eq!(ctx.mul(&a, &b), a.mul(&b).rem(&m));
+        }
+
+        /// Montgomery square == schoolbook, including the
+        /// `bit_len(m)`-edge operands m-1, m, and m+1.
+        #[test]
+        fn prop_square_matches_schoolbook(
+            m in proptest::collection::vec(any::<u8>(), 1..40),
+        ) {
+            let m = odd_modulus(&m);
+            let ctx = Montgomery::new(&m).unwrap();
+            for a in [
+                Ubig::zero(),
+                Ubig::one(),
+                m.sub(&Ubig::one()),
+                m.clone(),
+                m.add(&Ubig::one()),
+            ] {
+                prop_assert_eq!(ctx.square(&a), a.mul(&a).rem(&m));
+            }
+        }
+
+        /// Montgomery windowed pow == schoolbook square-and-multiply,
+        /// across random odd moduli, bases, and exponents (covering
+        /// zero/one exponents and bases by construction).
+        #[test]
+        fn prop_pow_matches_schoolbook(
+            base in proptest::collection::vec(any::<u8>(), 0..32),
+            exp in proptest::collection::vec(any::<u8>(), 0..16),
+            m in proptest::collection::vec(any::<u8>(), 1..32),
+        ) {
+            let m = odd_modulus(&m);
+            let (base, exp) = (Ubig::from_bytes_be(&base), Ubig::from_bytes_be(&exp));
+            let ctx = Montgomery::new(&m).unwrap();
+            prop_assert_eq!(ctx.pow(&base, &exp), base.modpow_schoolbook(&exp, &m));
+        }
+
+        /// The public dispatchers agree with the schoolbook reference.
+        #[test]
+        fn prop_dispatch_consistency(
+            a in proptest::collection::vec(any::<u8>(), 0..32),
+            e in 0u64..200,
+            m in proptest::collection::vec(any::<u8>(), 1..24),
+        ) {
+            let m = odd_modulus(&m);
+            let a = Ubig::from_bytes_be(&a);
+            let e = Ubig::from_u64(e);
+            prop_assert_eq!(a.modpow(&e, &m), a.modpow_schoolbook(&e, &m));
+            prop_assert_eq!(a.mul_mod(&a, &m), a.mul(&a).rem(&m));
+        }
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::bignum::Ubig;
 use crate::drbg::HmacDrbg;
+use crate::montgomery::Montgomery;
 
 /// Number of Miller–Rabin rounds used by [`is_probable_prime`].
 pub const MILLER_RABIN_ROUNDS: usize = 32;
@@ -72,15 +73,18 @@ pub fn is_probable_prime(n: &Ubig, rounds: usize, rng: &mut HmacDrbg) -> bool {
         s += 1;
     }
     let n_minus_3 = n.sub(&Ubig::from_u64(3));
+    // One Montgomery context per candidate: every witness shares the
+    // modulus, so the REDC precomputation amortizes over all rounds.
+    let ctx = Montgomery::new(n).expect("candidate is odd and > 3 here");
     'witness: for _ in 0..rounds {
         // a uniform in [2, n-2].
         let a = Ubig::random_below(&n_minus_3, rng).add(&two);
-        let mut x = a.modpow(&d, n);
+        let mut x = ctx.pow(&a, &d);
         if x.is_one() || x == n_minus_1 {
             continue 'witness;
         }
         for _ in 0..s - 1 {
-            x = x.mul_mod(&x, n);
+            x = ctx.square(&x);
             if x == n_minus_1 {
                 continue 'witness;
             }

@@ -14,8 +14,10 @@
 use crate::bignum::Ubig;
 use crate::drbg::HmacDrbg;
 use crate::error::CryptoError;
+use crate::montgomery::Montgomery;
 use crate::prime::gen_rsa_prime;
 use crate::sha256::sha256;
+use std::sync::OnceLock;
 
 /// ASN.1 DER `DigestInfo` prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
@@ -24,12 +26,32 @@ const SHA256_DIGEST_INFO: [u8; 19] = [
 ];
 
 /// An RSA public key `(n, e)`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: Ubig,
     e: Ubig,
     /// Modulus size in bytes, cached for encoding.
     k: usize,
+    /// Montgomery context for `n`, built on first use so repeated
+    /// verifies pay the REDC precomputation once per key.
+    mont: OnceLock<Montgomery>,
+}
+
+// Key identity is `(n, e)`; the lazily built Montgomery cache is
+// derived state and must not affect equality (a key that has verified
+// something equals a fresh copy that has not).
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+impl std::fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsaPublicKey").field("n", &self.n).field("e", &self.e).finish()
+    }
 }
 
 /// An RSA private key with CRT parameters.
@@ -45,6 +67,10 @@ pub struct RsaPrivateKey {
     d_p: Ubig,
     d_q: Ubig,
     q_inv: Ubig,
+    /// Montgomery contexts for `p` and `q`, built on first use so
+    /// repeated signs pay the REDC precomputation once per key.
+    mont_p: OnceLock<Montgomery>,
+    mont_q: OnceLock<Montgomery>,
 }
 
 /// A detached RSA signature (always exactly modulus-size bytes).
@@ -78,14 +104,42 @@ impl RsaPublicKey {
         self.n.bit_len()
     }
 
+    /// The cached Montgomery context for `n` (every RSA modulus is a
+    /// product of odd primes, hence odd).
+    fn mont(&self) -> &Montgomery {
+        self.mont.get_or_init(|| Montgomery::new(&self.n).expect("RSA modulus is odd"))
+    }
+
     /// Raw RSA public operation `m^e mod n` (textbook; used by the ring
     /// signature's trapdoor permutation, not directly for signing).
     pub fn raw_public(&self, m: &Ubig) -> Ubig {
-        m.modpow(&self.e, &self.n)
+        self.mont().pow(m, &self.e)
+    }
+
+    /// Raw public operation on the pre-Montgomery schoolbook path.
+    /// Kept as the measured baseline for experiment E13 and the
+    /// crypto benches, and as the equivalence oracle in tests.
+    pub fn raw_public_schoolbook(&self, m: &Ubig) -> Ubig {
+        m.modpow_schoolbook(&self.e, &self.n)
     }
 
     /// Verifies a PKCS#1 v1.5 SHA-256 signature over `message`.
     pub fn verify(&self, message: &[u8], sig: &RsaSignature) -> Result<(), CryptoError> {
+        self.verify_with(message, sig, |s| self.raw_public(s))
+    }
+
+    /// [`RsaPublicKey::verify`] on the schoolbook exponentiation path
+    /// (the E13/bench baseline; verdicts are always identical).
+    pub fn verify_schoolbook(&self, message: &[u8], sig: &RsaSignature) -> Result<(), CryptoError> {
+        self.verify_with(message, sig, |s| self.raw_public_schoolbook(s))
+    }
+
+    fn verify_with(
+        &self,
+        message: &[u8],
+        sig: &RsaSignature,
+        raw: impl Fn(&Ubig) -> Ubig,
+    ) -> Result<(), CryptoError> {
         if sig.0.len() != self.k {
             return Err(CryptoError::SignatureInvalid);
         }
@@ -93,7 +147,7 @@ impl RsaPublicKey {
         if s >= self.n {
             return Err(CryptoError::SignatureInvalid);
         }
-        let em = self.raw_public(&s).to_bytes_be_padded(self.k);
+        let em = raw(&s).to_bytes_be_padded(self.k);
         let expected = emsa_pkcs1_v15(message, self.k)?;
         if em == expected {
             Ok(())
@@ -143,7 +197,17 @@ impl RsaPrivateKey {
                 None => continue,
             };
             let k = bits / 8;
-            return RsaPrivateKey { public: RsaPublicKey { n, e, k }, d, p, q, d_p, d_q, q_inv };
+            return RsaPrivateKey {
+                public: RsaPublicKey { n, e, k, mont: OnceLock::new() },
+                d,
+                p,
+                q,
+                d_p,
+                d_q,
+                q_inv,
+                mont_p: OnceLock::new(),
+                mont_q: OnceLock::new(),
+            };
         }
     }
 
@@ -152,18 +216,38 @@ impl RsaPrivateKey {
         &self.public
     }
 
+    /// The cached Montgomery contexts for the (odd) CRT primes.
+    fn mont_p(&self) -> &Montgomery {
+        self.mont_p.get_or_init(|| Montgomery::new(&self.p).expect("RSA prime is odd"))
+    }
+
+    fn mont_q(&self) -> &Montgomery {
+        self.mont_q.get_or_init(|| Montgomery::new(&self.q).expect("RSA prime is odd"))
+    }
+
     /// Raw RSA private operation `c^d mod n`, accelerated with the CRT.
     pub fn raw_private(&self, c: &Ubig) -> Ubig {
         // m1 = c^dP mod p ; m2 = c^dQ mod q ; h = qInv (m1 - m2) mod p
-        let m1 = c.rem(&self.p).modpow(&self.d_p, &self.p);
-        let m2 = c.rem(&self.q).modpow(&self.d_q, &self.q);
+        let m1 = self.mont_p().pow(c, &self.d_p);
+        let m2 = self.mont_q().pow(c, &self.d_q);
         let diff = if m1 >= m2 {
             m1.sub(&m2)
         } else {
             // (m1 - m2) mod p with wraparound.
             self.p.sub(&m2.sub(&m1).rem(&self.p))
         };
-        let h = self.q_inv.mul_mod(&diff.rem(&self.p), &self.p);
+        let h = self.mont_p().mul(&self.q_inv, &diff);
+        m2.add(&h.mul(&self.q))
+    }
+
+    /// Raw private operation on the pre-Montgomery schoolbook path
+    /// (same CRT structure, full division per exponent bit). The E13
+    /// and bench baseline.
+    pub fn raw_private_schoolbook(&self, c: &Ubig) -> Ubig {
+        let m1 = c.rem(&self.p).modpow_schoolbook(&self.d_p, &self.p);
+        let m2 = c.rem(&self.q).modpow_schoolbook(&self.d_q, &self.q);
+        let diff = if m1 >= m2 { m1.sub(&m2) } else { self.p.sub(&m2.sub(&m1).rem(&self.p)) };
+        let h = self.q_inv.mul(&diff.rem(&self.p)).rem(&self.p);
         m2.add(&h.mul(&self.q))
     }
 
@@ -173,6 +257,16 @@ impl RsaPrivateKey {
             .expect("modulus too small for SHA-256 DigestInfo");
         let m = Ubig::from_bytes_be(&em);
         let s = self.raw_private(&m);
+        RsaSignature(s.to_bytes_be_padded(self.public.k))
+    }
+
+    /// [`RsaPrivateKey::sign`] on the schoolbook path (the E13/bench
+    /// baseline; signatures are always byte-identical to `sign`).
+    pub fn sign_schoolbook(&self, message: &[u8]) -> RsaSignature {
+        let em = emsa_pkcs1_v15(message, self.public.k)
+            .expect("modulus too small for SHA-256 DigestInfo");
+        let m = Ubig::from_bytes_be(&em);
+        let s = self.raw_private_schoolbook(&m);
         RsaSignature(s.to_bytes_be_padded(self.public.k))
     }
 
@@ -264,6 +358,37 @@ mod tests {
         // s >= n must be rejected outright.
         let too_big = RsaSignature(key.public().n().to_bytes_be_padded(key.public().modulus_len()));
         assert!(key.public().verify(b"m", &too_big).is_err());
+    }
+
+    #[test]
+    fn montgomery_and_schoolbook_paths_agree() {
+        let key = test_key(512);
+        let msg = b"equivalence";
+        assert_eq!(key.sign(msg).0, key.sign_schoolbook(msg).0);
+        let sig = key.sign(msg);
+        assert!(key.public().verify(msg, &sig).is_ok());
+        assert!(key.public().verify_schoolbook(msg, &sig).is_ok());
+        let mut bad = sig.clone();
+        bad.0[9] ^= 1;
+        assert!(key.public().verify(msg, &bad).is_err());
+        assert!(key.public().verify_schoolbook(msg, &bad).is_err());
+        let mut rng = HmacDrbg::new(b"raw-paths");
+        for _ in 0..3 {
+            let m = Ubig::random_below(key.public().n(), &mut rng);
+            assert_eq!(key.public().raw_public(&m), key.public().raw_public_schoolbook(&m));
+            assert_eq!(key.raw_private(&m), key.raw_private_schoolbook(&m));
+        }
+    }
+
+    #[test]
+    fn equality_ignores_montgomery_cache() {
+        // A key that has verified something (cache built) must still
+        // equal a fresh copy of itself.
+        let key = test_key(512);
+        let warm = key.public().clone();
+        let sig = key.sign(b"m");
+        assert!(warm.verify(b"m", &sig).is_ok());
+        assert_eq!(&warm, key.public());
     }
 
     #[test]

@@ -64,6 +64,17 @@ fn campaign_matrix_invariants() {
             assert_eq!(cell.outcome.poisoned_fraction, 0.0, "{}", cell.strategy);
         }
     }
+
+    // Chain verification runs through the network-wide cache in every
+    // signed-mode cell: multi-hop propagation re-checks prefix-suffix
+    // attestations, so the hit rate is structurally nonzero.
+    for mode in [SecurityMode::Signed, SecurityMode::Pvr] {
+        let (calls, hits) = report.verification_totals(mode);
+        assert!(calls > 0, "{mode:?}: no attestation checks recorded");
+        assert!(hits > 0, "{mode:?}: chain-verify cache never hit");
+        assert!(hits < calls, "{mode:?}: first-sight checks cannot be hits");
+    }
+    assert_eq!(report.verification_totals(SecurityMode::Plain), (0, 0));
 }
 
 #[test]

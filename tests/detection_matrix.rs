@@ -5,8 +5,14 @@
 //! check, so adding a new Byzantine strategy without extending the
 //! catalog breaks the build — and this test then guarantees the new
 //! variant cannot silently go undetected.
+//!
+//! Also pins the attestation-chain fixtures against the network-wide
+//! `VerifyCache`: a performance cache must never change an
+//! accept/reject verdict, in any call order.
 
+use pvr::bgp::{demo_chain, AsPath, Asn, Prefix, SbgpError, SignedRoute, VerifyCache};
 use pvr::core::{run_min_round, Figure1Bed, Misbehavior, Verdict};
+use pvr::crypto::KeyStore;
 
 #[test]
 fn every_misbehavior_variant_is_detected() {
@@ -44,6 +50,76 @@ fn every_misbehavior_variant_is_detected() {
             }
         }
     }
+}
+
+/// The genuine 3-hop chain AS1 → AS2 → AS3 (receiver AS4) plus the key
+/// store — the shared `pvr::bgp::demo_chain` fixture, mirroring the
+/// forged/truncated `sbgp` unit-test fixtures at integration level.
+fn chain_fixture() -> (SignedRoute, KeyStore, Asn) {
+    demo_chain(3, 512, b"detection-matrix chains")
+}
+
+/// The verification cache must never flip a verdict: every
+/// forged/truncated-chain fixture must produce identical results
+/// uncached, through a cold cache, and through a cache warmed by the
+/// *genuine* chain (the adversarial aliasing case — same signed bytes,
+/// different signature).
+#[test]
+fn verify_cache_never_changes_verdicts() {
+    let (genuine, keys, receiver) = chain_fixture();
+
+    let truncated = {
+        // Path-shortening attack: AS3 strips AS2.
+        let mut c = genuine.clone();
+        c.route.path = AsPath::from_slice(&[Asn(3), Asn(1)]);
+        c
+    };
+    let forged_sig = {
+        // Same signed bytes as the genuine origin attestation, bogus
+        // signature — the cache key must distinguish them.
+        let mut c = genuine.clone();
+        c.attestations[0].signature.0[7] ^= 0x40;
+        c
+    };
+    let wrong_prefix = {
+        let mut c = genuine.clone();
+        c.route.prefix = Prefix::parse("192.168.0.0/16").unwrap();
+        c
+    };
+    let fixtures: Vec<(&str, &SignedRoute)> = vec![
+        ("genuine", &genuine),
+        ("truncated", &truncated),
+        ("forged-signature", &forged_sig),
+        ("wrong-prefix", &wrong_prefix),
+    ];
+
+    // Warm the shared cache with the genuine chain first, then replay
+    // every fixture (and the cut-and-paste wrong-receiver case) in
+    // both orders against fresh and warm caches.
+    let warm = VerifyCache::new();
+    assert!(genuine.verify_cached(receiver, &keys, Some(&warm)).is_ok());
+    for (name, chain) in &fixtures {
+        let uncached = chain.verify(receiver, &keys);
+        let cold_cache = VerifyCache::new();
+        let cold = chain.verify_cached(receiver, &keys, Some(&cold_cache));
+        let warmed = chain.verify_cached(receiver, &keys, Some(&warm));
+        assert_eq!(uncached, cold, "{name}: cold cache changed the verdict");
+        assert_eq!(uncached, warmed, "{name}: warm cache changed the verdict");
+        // And replaying through the same cache (now holding this
+        // fixture's own verdicts) still agrees.
+        assert_eq!(uncached, chain.verify_cached(receiver, &keys, Some(&warm)), "{name}: replay");
+    }
+    assert_eq!(genuine.verify(receiver, &keys), Ok(()));
+    assert!(matches!(truncated.verify(receiver, &keys), Err(SbgpError::ChainLength { .. })));
+    assert_eq!(forged_sig.verify(receiver, &keys), Err(SbgpError::BadSignature(Asn(1))));
+    assert!(wrong_prefix.verify(receiver, &keys).is_err());
+    // Cut-and-paste: replaying toward the wrong receiver, with a cache
+    // already holding `true` for every genuine signature.
+    assert!(matches!(
+        genuine.verify_cached(Asn(9), &keys, Some(&warm)),
+        Err(SbgpError::WrongTarget { .. })
+    ));
+    assert!(warm.hits() > 0, "warm cache must actually have been consulted");
 }
 
 #[test]
