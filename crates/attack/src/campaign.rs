@@ -34,7 +34,13 @@ impl CampaignConfig {
     /// modes — every matrix row exercised in seconds.
     pub fn quick(seed: u64) -> CampaignConfig {
         CampaignConfig {
-            internet: InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 },
+            internet: InternetParams {
+                tier1: 2,
+                tier2: 4,
+                stubs: 6,
+                t2_peering_prob: 0.3,
+                ..InternetParams::default()
+            },
             seed,
             placements: 1,
             modes: SecurityMode::ALL.to_vec(),

@@ -20,7 +20,9 @@
 
 use crate::cell::CellContext;
 use crate::metrics::AttackOutcome;
-use pvr_bgp::{AsPath, Attestation, BgpNetwork, BgpUpdate, Malice, Route, SignedRoute};
+use pvr_bgp::{
+    AsPath, Attestation, AttestationChain, BgpNetwork, BgpUpdate, Malice, Route, SignedRoute,
+};
 use pvr_core::Misbehavior;
 
 /// The security posture a campaign cell runs under.
@@ -202,7 +204,10 @@ fn inject_short_path(net: &mut BgpNetwork, ctx: &CellContext, forged_chain: bool
                 inner.signer = ctx.victim;
                 inner.path = AsPath::from_slice(&[ctx.victim]);
                 inner.target = ctx.attacker;
-                SignedRoute { route: route.clone(), attestations: vec![inner, outer] }
+                SignedRoute::with_chain(
+                    route.clone(),
+                    AttestationChain::from_attestations(vec![inner, outer]),
+                )
             }
             _ => SignedRoute::unsigned(route.clone()),
         };
@@ -268,7 +273,7 @@ impl AttackStrategy for TruncatedChain {
                     let Some(chain) = router.received_chain(from, c.victim_prefix) else { return };
                     chain.clone()
                 };
-                let Some(origin_att) = genuine.attestations.first().cloned() else { return };
+                let Some(origin_att) = genuine.chain().origin().cloned() else { return };
                 let Some(identity) = net.router(c.attacker).identity().cloned() else { return };
                 let mut route = Route::originate(c.victim_prefix);
                 route.path = AsPath::from_slice(&[c.attacker, c.victim]);
@@ -278,10 +283,10 @@ impl AttackStrategy for TruncatedChain {
                     }
                     let outer =
                         Attestation::create(&identity, c.victim_prefix, &route.path, neighbor);
-                    let sr = SignedRoute {
-                        route: route.clone(),
-                        attestations: vec![origin_att.clone(), outer],
-                    };
+                    let sr = SignedRoute::with_chain(
+                        route.clone(),
+                        AttestationChain::from_attestations(vec![origin_att.clone(), outer]),
+                    );
                     let update = BgpUpdate { announces: vec![sr], withdraws: vec![] };
                     let (src, dst) = (net.node_of(c.attacker), net.node_of(neighbor));
                     net.sim.inject(src, dst, update);

@@ -1,0 +1,73 @@
+//! E14 — propagation-substrate microbenchmarks: the costs the
+//! structural-sharing refactor targets. Chain prepends and per-neighbor
+//! fan-out clones are the per-hop unit work; the `internet_like`
+//! convergence group measures the end-to-end effect at the default
+//! 56-AS topology (the full ladder lives in harness experiment e14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pvr_bench::e14_params;
+use pvr_bgp::{
+    demo_chain, internet_like, AsPath, Asn, BgpUpdate, InstantiateOptions, Prefix, Route,
+    SignedRoute,
+};
+use pvr_netsim::{Payload, RunLimits};
+use std::hint::black_box;
+
+/// Prepending to an AS path: the one allocation a propagated route
+/// makes. Downstream clones are refcount bumps, benchmarked alongside.
+fn bench_chain_prepend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_path");
+    for hops in [2usize, 8, 32] {
+        let asns: Vec<Asn> = (1..=hops as u32).map(Asn).collect();
+        let path = AsPath::from_slice(&asns);
+        g.bench_with_input(BenchmarkId::new("prepend", hops), &path, |b, p| {
+            b.iter(|| black_box(p.prepend(Asn(9999))));
+        });
+        g.bench_with_input(BenchmarkId::new("clone", hops), &path, |b, p| {
+            b.iter(|| black_box(p.clone()));
+        });
+    }
+    g.finish();
+}
+
+/// Per-neighbor fan-out: what a router pays to hand one selected route
+/// to each neighbor. With shared payloads this is clone-of-`Arc`s; the
+/// signed variant clones a full 5-hop attestation chain too.
+fn bench_fanout_clone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_fanout");
+    let mut route = Route::originate(Prefix::parse("10.1.0.0/16").unwrap());
+    route.path = AsPath::from_slice(&[Asn(1), Asn(2), Asn(3), Asn(4)]);
+    let plain = SignedRoute::unsigned(route);
+    g.bench_function("clone_unsigned_route", |b| {
+        b.iter(|| black_box(plain.clone()));
+    });
+    let (chain, _, _) = demo_chain(5, 512, b"bench fanout");
+    g.bench_function("clone_5hop_chain", |b| {
+        b.iter(|| black_box(chain.clone()));
+    });
+    let update = BgpUpdate { announces: vec![chain], withdraws: vec![] };
+    g.bench_function("wire_size_signed_update", |b| {
+        b.iter(|| black_box(update.wire_size()));
+    });
+    g.finish();
+}
+
+/// Full `internet_like` convergence at the default 56-AS parameters —
+/// the end-to-end number the sharing refactor moves.
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_convergence");
+    g.sample_size(10);
+    let topology = internet_like(e14_params(56), 14);
+    g.bench_function("internet_like_56_plain", |b| {
+        b.iter(|| {
+            let mut net =
+                topology.instantiate(InstantiateOptions { seed: 14, ..Default::default() });
+            net.converge(RunLimits::none());
+            black_box(net.sim.stats().events)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(propagation, bench_chain_prepend, bench_fanout_clone, bench_convergence);
+criterion_main!(propagation);

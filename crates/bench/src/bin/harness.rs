@@ -7,17 +7,33 @@
 //!   cargo run --release -p pvr-bench --bin harness e3 e4       # subset
 //!   cargo run --release -p pvr-bench --bin harness -- --quick  # CI smoke
 //!   cargo run --release -p pvr-bench --bin harness -- --json   # machine-readable
+//!   cargo run --release -p pvr-bench --bin harness -- --scale 5000 e14
+//!
+//! `--scale N` sets the largest AS count the scale experiment (e14)
+//! converges: default 5000, or 500 under `--quick` so CI smoke stays
+//! within budget.
 //!
 //! `--json` replaces the human tables with one JSON document on stdout:
 //! `{schema, quick, experiments: [{id, wall_secs, rows}], total_wall_secs}`
-//! — the format CI archives as the `BENCH_*.json` perf trajectory.
+//! — the format CI archives as the `BENCH_*.json` perf trajectory. The
+//! e14 record additionally carries a `metrics` array with one object
+//! per (scale, mode) cell: `{scale, mode, ases, edges, origins, events,
+//! wall_secs, events_per_sec, peak_rib_entries, bytes_on_wire,
+//! short_circuits}`.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
 
 /// The subset `--quick` runs: the cheapest experiment per subsystem, so
-/// a CI smoke pass exercises the harness end-to-end in seconds.
-const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13"];
+/// a CI smoke pass exercises the harness end-to-end in seconds. E14
+/// rides along at a reduced `--scale` (500 ASes): small enough for CI,
+/// large enough that a propagation regression shows.
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14"];
+
+/// Default largest AS count for e14 (overridable with `--scale`).
+const DEFAULT_SCALE: usize = 5000;
+/// E14 scale under `--quick`.
+const QUICK_SCALE: usize = 500;
 
 /// Minimal JSON string escaping (the tables are ASCII plus `µ`/`×`/`→`;
 /// everything below 0x20 is control-escaped).
@@ -41,10 +57,29 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    // `--scale N`: consume the flag and its value before flag/id checks.
+    let mut scale: Option<usize> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            let v = it.next().and_then(|v| v.parse::<usize>().ok());
+            match v {
+                Some(n) if (56..=60_000).contains(&n) => scale = Some(n),
+                _ => {
+                    eprintln!("error: --scale needs an AS count between 56 and 60000");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let args = rest;
     if let Some(flag) =
         args.iter().find(|a| a.starts_with("--") && *a != "--quick" && *a != "--json")
     {
-        eprintln!("error: unknown flag `{flag}` (flags: --quick, --json)");
+        eprintln!("error: unknown flag `{flag}` (flags: --quick, --json, --scale N)");
         std::process::exit(2);
     }
     let explicit: Vec<&str> =
@@ -54,6 +89,14 @@ fn main() {
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
+    // --scale parameterizes e14 only; silently ignoring it on an
+    // e14-less selection would contradict the strict flag validation
+    // above.
+    if scale.is_some() && !wanted.is_empty() && !wanted.contains(&"e14") {
+        eprintln!("error: --scale only applies to e14, which is not selected");
+        std::process::exit(2);
+    }
+    let scale = scale.unwrap_or(if quick { QUICK_SCALE } else { DEFAULT_SCALE });
 
     if !json {
         println!("PVR reproduction — experiment harness");
@@ -78,14 +121,15 @@ fn main() {
         ("e13", pvr_bench::e13_crypto_perf),
     ];
 
-    let known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();
+    let mut known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();
+    known.push("e14");
     if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
         eprintln!("error: unknown experiment id `{bad}` (known: {})", known.join(", "));
         std::process::exit(2);
     }
 
     let total = std::time::Instant::now();
-    let mut records: Vec<(&str, f64, String)> = Vec::new();
+    let mut records: Vec<(&str, f64, String, Option<Vec<pvr_bench::E14Cell>>)> = Vec::new();
     for (id, run) in runners {
         if !wanted.is_empty() && !wanted.contains(&id) {
             continue;
@@ -94,17 +138,30 @@ fn main() {
         let table = run();
         let wall = t.elapsed().as_secs_f64();
         if json {
-            records.push((id, wall, table));
+            records.push((id, wall, table, None));
         } else {
             println!("{table}");
             println!("[{id} completed in {wall:.2} s]\n{}", "=".repeat(72));
         }
     }
+    // E14 runs last and takes the scale parameter (every other runner
+    // is a plain nullary table generator).
+    if wanted.is_empty() || wanted.contains(&"e14") {
+        let t = std::time::Instant::now();
+        let (table, cells) = pvr_bench::e14_scale(scale);
+        let wall = t.elapsed().as_secs_f64();
+        if json {
+            records.push(("e14", wall, table, Some(cells)));
+        } else {
+            println!("{table}");
+            println!("[e14 completed in {wall:.2} s]\n{}", "=".repeat(72));
+        }
+    }
 
     if json {
         let mut out = String::from("{\"schema\":\"pvr-bench-v1\",");
-        out.push_str(&format!("\"quick\":{quick},\"experiments\":["));
-        for (i, (id, wall, table)) in records.iter().enumerate() {
+        out.push_str(&format!("\"quick\":{quick},\"scale\":{scale},\"experiments\":["));
+        for (i, (id, wall, table, metrics)) in records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -117,7 +174,31 @@ fn main() {
                 out.push_str(&json_escape(line));
                 out.push('"');
             }
-            out.push_str("]}");
+            out.push(']');
+            if let Some(cells) = metrics {
+                out.push_str(",\"metrics\":[");
+                for (k, c) in cells.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"scale\":{},\"mode\":\"{}\",\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{}}}",
+                        c.scale,
+                        c.mode,
+                        c.ases,
+                        c.edges,
+                        c.origins,
+                        c.events,
+                        c.wall_secs,
+                        c.events_per_sec,
+                        c.peak_rib_entries,
+                        c.bytes_on_wire,
+                        c.short_circuits,
+                    ));
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str(&format!("],\"total_wall_secs\":{:.4}}}", total.elapsed().as_secs_f64()));
         println!("{out}");

@@ -46,29 +46,41 @@ impl Candidate {
 
 /// Compares two candidates; `Ordering::Greater` means `a` is preferred.
 pub fn prefer(a: &Candidate, b: &Candidate) -> Ordering {
+    prefer_refs(&a.route, a.learned_from, &b.route, b.learned_from)
+}
+
+/// [`prefer`] over borrowed parts: the RIB's reselection compares
+/// candidates in place (straight out of the Adj-RIB-In) without
+/// materializing owned [`Candidate`]s.
+pub fn prefer_refs(
+    a_route: &Route,
+    a_from: Option<Asn>,
+    b_route: &Route,
+    b_from: Option<Asn>,
+) -> Ordering {
     // 1. Highest LOCAL_PREF.
-    match a.route.local_pref.cmp(&b.route.local_pref) {
+    match a_route.local_pref.cmp(&b_route.local_pref) {
         Ordering::Equal => {}
         ord => return ord,
     }
     // 2. Shortest AS path (fewer hops preferred ⇒ reverse compare).
-    match b.route.path_len().cmp(&a.route.path_len()) {
+    match b_route.path_len().cmp(&a_route.path_len()) {
         Ordering::Equal => {}
         ord => return ord,
     }
     // 3. Lowest origin.
-    match b.route.origin.cmp(&a.route.origin) {
+    match b_route.origin.cmp(&a_route.origin) {
         Ordering::Equal => {}
         ord => return ord,
     }
     // 4. Lowest MED.
-    match b.route.med.cmp(&a.route.med) {
+    match b_route.med.cmp(&a_route.med) {
         Ordering::Equal => {}
         ord => return ord,
     }
     // 5. Local routes beat learned ones; then lowest neighbor ASN.
-    let a_key = a.learned_from.map(|n| n.0).unwrap_or(0);
-    let b_key = b.learned_from.map(|n| n.0).unwrap_or(0);
+    let a_key = a_from.map(|n| n.0).unwrap_or(0);
+    let b_key = b_from.map(|n| n.0).unwrap_or(0);
     b_key.cmp(&a_key)
 }
 

@@ -33,6 +33,7 @@ pub mod rib;
 pub mod route;
 pub mod router;
 pub mod sbgp;
+pub mod sorted;
 pub mod topology;
 pub mod types;
 pub mod workload;
@@ -44,7 +45,7 @@ pub use policy::{PolicyConfig, Role};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib};
 pub use route::{Community, Origin, Route};
 pub use router::{BgpRouter, LocalEvent, Malice, RouterStats, SecurityMode};
-pub use sbgp::{demo_chain, Attestation, SbgpError, SignedRoute, VerifyCache};
+pub use sbgp::{demo_chain, Attestation, AttestationChain, SbgpError, SignedRoute, VerifyCache};
 pub use topology::{
     figure1, internet_like, BgpNetwork, Edge, Figure1Cast, InstantiateOptions, InternetParams,
     OriginTable, Topology,

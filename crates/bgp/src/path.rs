@@ -7,21 +7,31 @@
 //! Internet and orthogonal to the paper's mechanisms).
 
 use crate::types::Asn;
-use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+use pvr_crypto::encoding::{decode_seq, encode_seq, seq_encoded_len, Reader, Wire, WireError};
+use std::sync::Arc;
 
 /// An ordered AS-level path, nearest AS first (as in BGP updates).
+///
+/// Backed by an `Arc<[Asn]>`: cloning a path — which happens on every
+/// per-neighbor export, every Adj-RIB entry, every attestation, and
+/// every traced delivery — is a reference-count bump, never a copy of
+/// the AS sequence. The single allocation happens in [`AsPath::prepend`]
+/// (or [`AsPath::from_slice`]); all downstream clones share it. The
+/// backing storage is immutable, so equality, ordering, and hashing are
+/// observationally identical to the owned-`Vec` representation (pinned
+/// by property tests).
 #[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-pub struct AsPath(Vec<Asn>);
+pub struct AsPath(Arc<[Asn]>);
 
 impl AsPath {
     /// The empty path (a locally originated route).
     pub fn empty() -> AsPath {
-        AsPath(Vec::new())
+        AsPath::default()
     }
 
     /// Builds from a slice, nearest AS first.
     pub fn from_slice(asns: &[Asn]) -> AsPath {
-        AsPath(asns.to_vec())
+        AsPath(Arc::from(asns))
     }
 
     /// Path length in AS hops — the quantity the minimum operator
@@ -51,12 +61,13 @@ impl AsPath {
     }
 
     /// Returns a new path with `asn` prepended (what an AS does when it
-    /// propagates a route).
+    /// propagates a route). This is the one place a propagated path is
+    /// materialized; every subsequent clone shares the result.
     pub fn prepend(&self, asn: Asn) -> AsPath {
         let mut v = Vec::with_capacity(self.0.len() + 1);
         v.push(asn);
         v.extend_from_slice(&self.0);
-        AsPath(v)
+        AsPath(v.into())
     }
 
     /// True if `asn` appears anywhere on the path (BGP loop detection).
@@ -92,7 +103,10 @@ impl Wire for AsPath {
         encode_seq(&self.0, buf);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(AsPath(decode_seq(r)?))
+        Ok(AsPath(decode_seq::<Asn>(r)?.into()))
+    }
+    fn encoded_len(&self) -> usize {
+        seq_encoded_len(&self.0)
     }
 }
 
@@ -162,6 +176,44 @@ mod tests {
         fn prop_wire_round_trip(asns in proptest::collection::vec(any::<u32>(), 0..16)) {
             let p = path(&asns);
             prop_assert_eq!(pvr_crypto::decode_exact::<AsPath>(&p.to_wire()).unwrap(), p);
+            prop_assert_eq!(p.encoded_len(), p.to_wire().len());
+        }
+
+        // The Arc-backed representation must be observationally
+        // identical to the owned-Vec one it replaced: content, clones,
+        // equality/ordering/hashing, and wire bytes all behave as if
+        // the path were a plain `Vec<Asn>`.
+        #[test]
+        fn prop_shared_repr_matches_owned(
+            a in proptest::collection::vec(any::<u32>(), 0..12),
+            b in proptest::collection::vec(any::<u32>(), 0..12),
+            head in any::<u32>(),
+        ) {
+            let pa = path(&a);
+            let pb = path(&b);
+            let va: Vec<Asn> = a.iter().map(|&x| Asn(x)).collect();
+            let vb: Vec<Asn> = b.iter().map(|&x| Asn(x)).collect();
+            // Eq/Ord delegate to content, exactly as Vec's would.
+            prop_assert_eq!(pa == pb, va == vb);
+            prop_assert_eq!(pa.cmp(&pb), va.cmp(&vb));
+            // Hashing is content-based: equal paths hash equal.
+            use std::hash::{BuildHasher, RandomState};
+            let s = RandomState::new();
+            prop_assert_eq!(s.hash_one(&pa) == s.hash_one(&pb), (pa == pb));
+            // Prepend materializes exactly the reference sequence, and
+            // the shared clone is indistinguishable from the original.
+            let q = pa.prepend(Asn(head));
+            let mut reference = vec![Asn(head)];
+            reference.extend_from_slice(&va);
+            prop_assert_eq!(q.asns(), &reference[..]);
+            let shared = q.clone();
+            prop_assert_eq!(&shared, &q);
+            prop_assert_eq!(shared.to_wire(), q.to_wire());
+            // Wire bytes equal the encoding of the underlying sequence.
+            let mut expect = Vec::new();
+            pvr_crypto::encoding::encode_seq(&reference, &mut expect);
+            prop_assert_eq!(q.to_wire(), expect);
+            prop_assert_eq!(pvr_crypto::decode_exact::<AsPath>(&q.to_wire()).unwrap(), q);
         }
     }
 }

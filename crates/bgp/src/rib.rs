@@ -6,15 +6,24 @@
 //! lets PVR's verifier and the experiments compare permitted vs. actual
 //! outputs directly.
 
-use crate::decision::{best, Candidate};
+use crate::decision::{prefer_refs, Candidate};
 use crate::route::Route;
+use crate::sorted::SortedMap;
 use crate::types::{Asn, Prefix};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
 
 /// Routes received from each neighbor, per prefix (post-import-policy).
+///
+/// Storage shape is chosen for the hot path: the outer per-prefix index
+/// is a hash map (hit on every UPDATE, never iterated during event
+/// processing — accessors that expose it sort first), while the inner
+/// per-neighbor candidate set is a tiny sorted vector, because its
+/// ASN-ascending order is what makes the decision process and its
+/// tie-breaking deterministic.
 #[derive(Clone, Debug, Default)]
 pub struct AdjRibIn {
-    routes: BTreeMap<Prefix, BTreeMap<Asn, Route>>,
+    routes: HashMap<Prefix, SortedMap<Asn, Route>>,
 }
 
 impl AdjRibIn {
@@ -32,7 +41,7 @@ impl AdjRibIn {
     /// Removes `neighbor`'s route for `prefix`; returns whether one existed.
     pub fn remove(&mut self, neighbor: Asn, prefix: Prefix) -> bool {
         if let Some(per_neighbor) = self.routes.get_mut(&prefix) {
-            let removed = per_neighbor.remove(&neighbor).is_some();
+            let removed = per_neighbor.remove(neighbor).is_some();
             if per_neighbor.is_empty() {
                 self.routes.remove(&prefix);
             }
@@ -43,31 +52,47 @@ impl AdjRibIn {
     }
 
     /// All candidates for `prefix`, in deterministic (ASN) order.
+    ///
+    /// Clones each route; the decision process itself uses
+    /// [`AdjRibIn::candidate_refs`] and never materializes this vector.
+    /// Kept for tests and external inspection.
     pub fn candidates(&self, prefix: Prefix) -> Vec<Candidate> {
-        self.routes
-            .get(&prefix)
-            .map(|per| per.iter().map(|(&n, r)| Candidate::from_neighbor(r.clone(), n)).collect())
-            .unwrap_or_default()
+        self.candidate_refs(prefix).map(|(n, r)| Candidate::from_neighbor(r.clone(), n)).collect()
+    }
+
+    /// Borrowed candidates for `prefix`, in deterministic (ASN) order.
+    pub fn candidate_refs(&self, prefix: Prefix) -> impl Iterator<Item = (Asn, &Route)> {
+        self.routes.get(&prefix).into_iter().flat_map(|per| per.iter())
     }
 
     /// The route `neighbor` currently advertises for `prefix`, if any.
     pub fn get(&self, neighbor: Asn, prefix: Prefix) -> Option<&Route> {
-        self.routes.get(&prefix)?.get(&neighbor)
+        self.routes.get(&prefix)?.get(neighbor)
     }
 
     /// All (prefix, route) entries held from `neighbor`, in prefix order.
     pub fn from_neighbor(&self, neighbor: Asn) -> Vec<(Prefix, &Route)> {
-        self.routes.iter().filter_map(|(&p, per)| per.get(&neighbor).map(|r| (p, r))).collect()
+        let mut out: Vec<(Prefix, &Route)> =
+            self.routes.iter().filter_map(|(&p, per)| per.get(neighbor).map(|r| (p, r))).collect();
+        out.sort_by_key(|&(p, _)| p);
+        out
     }
 
-    /// All prefixes with at least one route.
+    /// All prefixes with at least one route, in prefix order.
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
-        self.routes.keys().copied()
+        let mut keys: Vec<Prefix> = self.routes.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
     }
 
     /// Total number of (neighbor, prefix) entries.
     pub fn len(&self) -> usize {
-        self.routes.values().map(|m| m.len()).sum()
+        self.routes.values().map(SortedMap::len).sum()
+    }
+
+    /// Number of distinct prefixes with at least one candidate.
+    pub fn prefix_count(&self) -> usize {
+        self.routes.len()
     }
 
     /// True if no routes are stored.
@@ -76,10 +101,42 @@ impl AdjRibIn {
     }
 }
 
+/// Why a reselection is being run — the incremental decision path's
+/// license to skip work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReselectHint {
+    /// Anything may have changed: scan every candidate.
+    Full,
+    /// Only `neighbor`'s Adj-RIB-In entry for the prefix changed
+    /// (inserted, replaced, or removed); every other candidate — the
+    /// local one included — is exactly as the last selection left it.
+    Neighbor(Asn),
+}
+
+/// What a reselection did (statistics for the scale experiment E14).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReselectOutcome {
+    /// Selection unchanged after a full candidate scan.
+    UnchangedScanned,
+    /// Selection unchanged, decided in O(1) from the hint — the new or
+    /// removed route loses to the standing best without a rescan.
+    UnchangedShortCircuit,
+    /// Selection changed.
+    Changed,
+}
+
+impl ReselectOutcome {
+    /// True when the selection changed (the trigger for
+    /// re-advertisement).
+    pub fn changed(self) -> bool {
+        matches!(self, ReselectOutcome::Changed)
+    }
+}
+
 /// The selected best route per prefix, plus locally originated routes.
 #[derive(Clone, Debug, Default)]
 pub struct LocRib {
-    best: BTreeMap<Prefix, Candidate>,
+    best: HashMap<Prefix, Candidate>,
 }
 
 impl LocRib {
@@ -97,21 +154,104 @@ impl LocRib {
         adj_in: &AdjRibIn,
         local: Option<&Candidate>,
     ) -> bool {
-        let mut candidates = adj_in.candidates(prefix);
-        if let Some(l) = local {
-            candidates.push(l.clone());
+        self.reselect_with_hint(prefix, adj_in, local, ReselectHint::Full).changed()
+    }
+
+    /// [`LocRib::reselect`] with an incremental hint.
+    ///
+    /// With [`ReselectHint::Neighbor`], an arrival that *loses* to the
+    /// standing best (or a withdrawal of a non-best route) is decided
+    /// with one comparison and no candidate scan — the common case on a
+    /// converged or converging network, where most announcements are
+    /// longer-path alternatives to an already-selected route. An
+    /// arrival that *beats* the standing best is installed directly:
+    /// every other candidate already lost to the old best, so by
+    /// transitivity of the ranking none of them needs re-examining.
+    ///
+    /// The full scan compares candidates by reference (in Adj-RIB-In
+    /// order, local candidate last, ties resolved toward the later
+    /// candidate exactly like `max_by` over the materialized vector
+    /// used to) and clones a route only when the selection actually
+    /// changes.
+    pub fn reselect_with_hint(
+        &mut self,
+        prefix: Prefix,
+        adj_in: &AdjRibIn,
+        local: Option<&Candidate>,
+        hint: ReselectHint,
+    ) -> ReselectOutcome {
+        if let ReselectHint::Neighbor(n) = hint {
+            if let Some(cur) = self.best.get(&prefix) {
+                // The incremental path applies only when the standing
+                // best is *not* the changed neighbor's route (that case
+                // needs a rescan: its replacement may have weakened).
+                if cur.learned_from != Some(n) {
+                    match adj_in.get(n, prefix) {
+                        None => return ReselectOutcome::UnchangedShortCircuit,
+                        Some(r) => {
+                            match prefer_refs(r, Some(n), &cur.route, cur.learned_from) {
+                                Ordering::Less => {
+                                    return ReselectOutcome::UnchangedShortCircuit;
+                                }
+                                Ordering::Greater => {
+                                    self.best
+                                        .insert(prefix, Candidate::from_neighbor(r.clone(), n));
+                                    return ReselectOutcome::Changed;
+                                }
+                                // A tie against the standing best can
+                                // only involve degenerate neighbor keys;
+                                // resolve it with the full scan's
+                                // deterministic order.
+                                Ordering::Equal => {}
+                            }
+                        }
+                    }
+                }
+            }
         }
-        let new_best = best(&candidates).cloned();
-        let changed = self.best.get(&prefix) != new_best.as_ref();
+
+        // Full scan by reference: later candidates win ties, matching
+        // `Iterator::max_by` over [neighbors ascending, local last].
+        let mut new_best: Option<(&Route, Option<Asn>)> = None;
+        for (n, r) in adj_in.candidate_refs(prefix) {
+            new_best = match new_best {
+                Some((br, bf)) if prefer_refs(r, Some(n), br, bf) == Ordering::Less => {
+                    Some((br, bf))
+                }
+                _ => Some((r, Some(n))),
+            };
+        }
+        if let Some(l) = local {
+            new_best = match new_best {
+                Some((br, bf))
+                    if prefer_refs(&l.route, l.learned_from, br, bf) == Ordering::Less =>
+                {
+                    Some((br, bf))
+                }
+                _ => Some((&l.route, l.learned_from)),
+            };
+        }
         match new_best {
-            Some(b) => {
-                self.best.insert(prefix, b);
+            Some((route, learned_from)) => {
+                let unchanged = self
+                    .best
+                    .get(&prefix)
+                    .is_some_and(|cur| cur.learned_from == learned_from && cur.route == *route);
+                if unchanged {
+                    ReselectOutcome::UnchangedScanned
+                } else {
+                    self.best.insert(prefix, Candidate { route: route.clone(), learned_from });
+                    ReselectOutcome::Changed
+                }
             }
             None => {
-                self.best.remove(&prefix);
+                if self.best.remove(&prefix).is_some() {
+                    ReselectOutcome::Changed
+                } else {
+                    ReselectOutcome::UnchangedScanned
+                }
             }
         }
-        changed
     }
 
     /// The current selection for `prefix`.
@@ -119,9 +259,11 @@ impl LocRib {
         self.best.get(&prefix)
     }
 
-    /// All selected prefixes.
+    /// All selected prefixes, in prefix order.
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
-        self.best.keys().copied()
+        let mut keys: Vec<Prefix> = self.best.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
     }
 
     /// Number of selected routes.
@@ -137,9 +279,12 @@ impl LocRib {
 
 /// What we last advertised to each neighbor (needed to generate
 /// withdrawals and to audit our own promises).
+/// Hash-mapped on both levels: the export path reads and writes one
+/// (neighbor, prefix) cell at a time and never iterates (the
+/// [`AdjRibOut::neighbors`] accessor sorts on the way out).
 #[derive(Clone, Debug, Default)]
 pub struct AdjRibOut {
-    routes: BTreeMap<Asn, BTreeMap<Prefix, Route>>,
+    routes: HashMap<Asn, HashMap<Prefix, Route>>,
 }
 
 impl AdjRibOut {
@@ -169,7 +314,7 @@ impl AdjRibOut {
         self.routes.get(&neighbor)?.get(&prefix)
     }
 
-    /// Neighbors with at least one advertised route.
+    /// Neighbors with at least one advertised route, in ASN order.
     pub fn neighbors(&self) -> BTreeSet<Asn> {
         self.routes.keys().copied().collect()
     }
@@ -253,6 +398,67 @@ mod tests {
         assert!(loc.reselect(prefix(), &adj, Some(&local)));
         assert_eq!(loc.get(prefix()).unwrap().learned_from, None);
         assert_eq!(loc.len(), 1);
+    }
+
+    #[test]
+    fn hinted_reselect_short_circuits_losing_arrivals() {
+        let mut adj = AdjRibIn::new();
+        let mut loc = LocRib::new();
+        adj.insert(Asn(1), route(&[1], 100));
+        assert!(loc.reselect(prefix(), &adj, None));
+
+        // A longer-path arrival from another neighbor: O(1) rejection.
+        adj.insert(Asn(2), route(&[2, 8, 9], 100));
+        let out = loc.reselect_with_hint(prefix(), &adj, None, ReselectHint::Neighbor(Asn(2)));
+        assert_eq!(out, ReselectOutcome::UnchangedShortCircuit);
+        assert_eq!(loc.get(prefix()).unwrap().learned_from, Some(Asn(1)));
+
+        // Withdrawal of the losing route: O(1) no-change.
+        adj.remove(Asn(2), prefix());
+        let out = loc.reselect_with_hint(prefix(), &adj, None, ReselectHint::Neighbor(Asn(2)));
+        assert_eq!(out, ReselectOutcome::UnchangedShortCircuit);
+
+        // A winning arrival installs directly.
+        adj.insert(Asn(3), route(&[3], 200));
+        let out = loc.reselect_with_hint(prefix(), &adj, None, ReselectHint::Neighbor(Asn(3)));
+        assert_eq!(out, ReselectOutcome::Changed);
+        assert_eq!(loc.get(prefix()).unwrap().learned_from, Some(Asn(3)));
+
+        // The best route's own neighbor changing forces a rescan.
+        adj.insert(Asn(3), route(&[3, 7, 8, 9], 100));
+        let out = loc.reselect_with_hint(prefix(), &adj, None, ReselectHint::Neighbor(Asn(3)));
+        assert_eq!(out, ReselectOutcome::Changed);
+        assert_eq!(loc.get(prefix()).unwrap().learned_from, Some(Asn(1)));
+    }
+
+    /// Whatever the hint, the selection must equal what a full scan
+    /// produces — driven through a randomized insert/remove schedule.
+    #[test]
+    fn hinted_reselect_matches_full_scan() {
+        use pvr_crypto::drbg::HmacDrbg;
+        let mut rng = HmacDrbg::new(b"rib hint equivalence");
+        let mut adj = AdjRibIn::new();
+        let mut hinted = LocRib::new();
+        let mut scanned = LocRib::new();
+        let local = Candidate::local(route(&[], 100));
+        // The local candidate's presence is fixed across the schedule:
+        // the Neighbor hint promises only the named neighbor's entry
+        // changed since the last selection.
+        for step in 0..500 {
+            let n = Asn(1 + rng.below(6) as u32);
+            let local_opt = Some(&local);
+            if rng.chance(0.3) {
+                adj.remove(n, prefix());
+            } else {
+                let len = rng.below(5) as usize;
+                let path: Vec<u32> = (0..=len).map(|h| n.0 * 10 + h as u32).collect();
+                adj.insert(n, route(&path, 100 + 10 * rng.below(3) as u32));
+            }
+            let h = hinted.reselect_with_hint(prefix(), &adj, local_opt, ReselectHint::Neighbor(n));
+            let s = scanned.reselect_with_hint(prefix(), &adj, local_opt, ReselectHint::Full);
+            assert_eq!(h.changed(), s.changed(), "step {step}");
+            assert_eq!(hinted.get(prefix()), scanned.get(prefix()), "step {step}");
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use crate::path::AsPath;
 use crate::types::{Asn, Prefix};
-use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+use pvr_crypto::encoding::{decode_seq, encode_seq, seq_encoded_len, Reader, Wire, WireError};
+use std::sync::{Arc, OnceLock};
 
 /// BGP ORIGIN attribute (ranked IGP < EGP < INCOMPLETE).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -37,6 +38,9 @@ impl Wire for Origin {
             _ => Err(WireError::Invalid("origin discriminant")),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 /// A BGP community value `asn:tag`, used by export policies (e.g.
@@ -63,9 +67,16 @@ impl Wire for Community {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Community(u16::decode(r)?, u16::decode(r)?))
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 /// A route to a prefix with its path attributes.
+///
+/// Cloning is O(1)-ish: the path and community set are `Arc`-shared,
+/// so per-neighbor fan-out, RIB entries, and delivery traces bump
+/// reference counts instead of copying attribute bytes.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Route {
     /// Destination prefix.
@@ -78,8 +89,16 @@ pub struct Route {
     pub med: u32,
     /// ORIGIN attribute.
     pub origin: Origin,
-    /// Communities, kept sorted and deduplicated.
-    pub communities: Vec<Community>,
+    /// Communities, kept sorted and deduplicated (shared storage;
+    /// [`Route::with_community`] builds a new set).
+    pub communities: Arc<[Community]>,
+}
+
+/// The shared empty community set (the common case: most routes carry
+/// no communities, and this avoids one allocation per route).
+fn no_communities() -> Arc<[Community]> {
+    static EMPTY: OnceLock<Arc<[Community]>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from([])).clone()
 }
 
 impl Route {
@@ -94,7 +113,7 @@ impl Route {
             local_pref: Self::DEFAULT_LOCAL_PREF,
             med: 0,
             origin: Origin::Igp,
-            communities: Vec::new(),
+            communities: no_communities(),
         }
     }
 
@@ -103,10 +122,14 @@ impl Route {
         self.path.len()
     }
 
-    /// Adds a community (idempotent, keeps order canonical).
+    /// Adds a community (idempotent, keeps order canonical). Builds a
+    /// fresh shared set; existing clones of the route are unaffected.
     pub fn with_community(mut self, c: Community) -> Route {
         if let Err(pos) = self.communities.binary_search(&c) {
-            self.communities.insert(pos, c);
+            let mut v = Vec::with_capacity(self.communities.len() + 1);
+            v.extend_from_slice(&self.communities);
+            v.insert(pos, c);
+            self.communities = v.into();
         }
         self
     }
@@ -152,8 +175,16 @@ impl Wire for Route {
             local_pref: u32::decode(r)?,
             med: u32::decode(r)?,
             origin: Origin::decode(r)?,
-            communities: decode_seq(r)?,
+            communities: decode_seq::<Community>(r)?.into(),
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.prefix.encoded_len()
+            + self.path.encoded_len()
+            + 4 // local_pref
+            + 4 // med
+            + 1 // origin
+            + seq_encoded_len(&self.communities)
     }
 }
 
@@ -190,7 +221,7 @@ mod tests {
             .with_community(Community(65000, 2))
             .with_community(Community(65000, 1))
             .with_community(Community(65000, 2)); // duplicate
-        assert_eq!(r.communities, vec![Community(65000, 1), Community(65000, 2)]);
+        assert_eq!(&r.communities[..], &[Community(65000, 1), Community(65000, 2)]);
         assert!(r.has_community(Community(65000, 1)));
         assert!(!r.has_community(Community(65000, 3)));
     }

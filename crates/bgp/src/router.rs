@@ -7,6 +7,18 @@
 //! loop rejection, S-BGP attestation signing/verification, scheduled
 //! originations/withdrawals (for workloads), per-router statistics.
 //!
+//! ## Propagation cost model (post-E14)
+//!
+//! The hot path is structurally shared end to end: per-neighbor export
+//! no longer copies attribute bytes. The propagated route (path
+//! prepended once) is built a single time per selection change and
+//! cloned per neighbor as reference-count bumps; extending an
+//! attestation chain shares the received chain rather than re-copying
+//! its prefix; and message `wire_size` accounting is arithmetic, never
+//! an encode. Announcements that lose to the standing best route are
+//! rejected in O(1) by the incremental decision path
+//! ([`crate::rib::ReselectHint`]) without rescanning the Adj-RIB-In.
+//!
 //! Documented omissions: no session FSM (no OPEN/KEEPALIVE), no MRAI
 //! batching timer (updates propagate immediately; burst batching is
 //! evaluated separately in experiment E5), no iBGP, no aggregation.
@@ -14,15 +26,16 @@
 use crate::decision::Candidate;
 use crate::messages::BgpUpdate;
 use crate::policy::PolicyConfig;
-use crate::rib::{AdjRibIn, AdjRibOut, LocRib};
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib, ReselectHint, ReselectOutcome};
 use crate::route::Route;
 use crate::sbgp::{SignedRoute, VerifyCache};
+use crate::sorted::SortedMap;
 use crate::topology::OriginTable;
 use crate::types::{Asn, Prefix};
 use pvr_crypto::keys::{Identity, KeyStore};
 use pvr_netsim::{Agent, Context, NodeId, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// A scheduled local action (drives workloads without an extra agent).
@@ -75,6 +88,10 @@ pub struct RouterStats {
     pub verify_cache_hits: u64,
     /// Decision-process runs that changed the best route.
     pub best_changes: u64,
+    /// Decision-process runs resolved in O(1) by the incremental path:
+    /// the arrival lost to the standing best (or withdrew a non-best
+    /// route), so no candidate rescan, no clone, no export ran.
+    pub reselect_short_circuits: u64,
 }
 
 /// Hooks that turn a router into a malicious agent. Used by the
@@ -99,6 +116,12 @@ pub struct BgpRouter {
     security: SecurityMode,
     /// Neighbor AS → simulator node.
     neighbor_nodes: BTreeMap<Asn, NodeId>,
+    /// Reverse lookup for message attribution (built alongside
+    /// `neighbor_nodes`; avoids a per-message linear scan).
+    asn_of_node: HashMap<NodeId, Asn>,
+    /// Neighbors in ascending-ASN order, for allocation-free iteration
+    /// during the per-prefix export loop.
+    neighbor_list: Vec<(Asn, NodeId)>,
     /// Scheduled announce/withdraw actions: (delay, event).
     schedule: Vec<(SimDuration, LocalEvent)>,
     /// Prefixes originated at start.
@@ -131,6 +154,12 @@ pub struct BgpRouter {
     /// reason (attestation or origin failure) — the campaign engine's
     /// detection-latency measurement.
     first_security_reject: Option<SimTime>,
+    /// Reused buffer for the prefixes an UPDATE touched (per-message
+    /// allocation shaved off the hot path).
+    touched_scratch: Vec<Prefix>,
+    /// Reused per-neighbor outgoing-update accumulator (drained by
+    /// `flush`, allocation retained across messages).
+    pending_scratch: SortedMap<NodeId, BgpUpdate>,
     stats: RouterStats,
 }
 
@@ -142,6 +171,8 @@ impl BgpRouter {
             policy,
             security,
             neighbor_nodes: BTreeMap::new(),
+            asn_of_node: HashMap::new(),
+            neighbor_list: Vec::new(),
             schedule: Vec::new(),
             originate_at_start: Vec::new(),
             adj_in: AdjRibIn::new(),
@@ -156,6 +187,8 @@ impl BgpRouter {
             origin_table: None,
             verify_cache: None,
             first_security_reject: None,
+            touched_scratch: Vec::new(),
+            pending_scratch: SortedMap::new(),
             stats: RouterStats::default(),
         }
     }
@@ -200,6 +233,11 @@ impl BgpRouter {
     /// Registers a neighbor and the simulator node it lives at.
     pub fn add_neighbor(&mut self, asn: Asn, node: NodeId) {
         self.neighbor_nodes.insert(asn, node);
+        self.asn_of_node.insert(node, asn);
+        match self.neighbor_list.binary_search_by_key(&asn, |&(a, _)| a) {
+            Ok(i) => self.neighbor_list[i] = (asn, node),
+            Err(i) => self.neighbor_list.insert(i, (asn, node)),
+        }
     }
 
     /// Originates `prefix` when the simulation starts.
@@ -256,9 +294,15 @@ impl BgpRouter {
         self.chains_in.get(&(neighbor, prefix))
     }
 
-    /// All prefixes currently selected in the Loc-RIB.
+    /// All prefixes currently selected in the Loc-RIB, in prefix order.
     pub fn selected_prefixes(&self) -> Vec<Prefix> {
         self.loc_rib.prefixes().collect()
+    }
+
+    /// `(Adj-RIB-In entries, Loc-RIB selections)` — the scale
+    /// experiment E14's RIB-size accounting.
+    pub fn rib_entry_counts(&self) -> (usize, usize) {
+        (self.adj_in.len(), self.loc_rib.len())
     }
 
     fn start_originating(&mut self, prefix: Prefix) {
@@ -269,16 +313,38 @@ impl BgpRouter {
     /// Runs the decision process for `prefix`; on change, advertises or
     /// withdraws toward every neighbor per export policy. Outgoing
     /// updates are merged into `pending` (one UPDATE per neighbor).
-    fn reselect_and_export(&mut self, prefix: Prefix, pending: &mut BTreeMap<NodeId, BgpUpdate>) {
-        let changed = self.loc_rib.reselect(prefix, &self.adj_in, self.local.get(&prefix));
-        if !changed {
-            return;
+    ///
+    /// `hint` feeds the incremental decision path: an arrival that
+    /// loses to the standing best returns after one comparison, with
+    /// no candidate rescan and no export loop.
+    fn reselect_and_export(
+        &mut self,
+        prefix: Prefix,
+        hint: ReselectHint,
+        pending: &mut SortedMap<NodeId, BgpUpdate>,
+    ) {
+        let outcome =
+            self.loc_rib.reselect_with_hint(prefix, &self.adj_in, self.local.get(&prefix), hint);
+        match outcome {
+            ReselectOutcome::UnchangedShortCircuit => {
+                self.stats.reselect_short_circuits += 1;
+                return;
+            }
+            ReselectOutcome::UnchangedScanned => return,
+            ReselectOutcome::Changed => {}
         }
         self.stats.best_changes += 1;
+        // O(1)-ish clone: the candidate's route shares its path and
+        // communities.
         let best = self.loc_rib.get(prefix).cloned();
-        let neighbor_list: Vec<(Asn, NodeId)> =
-            self.neighbor_nodes.iter().map(|(&a, &n)| (a, n)).collect();
-        for (neighbor, node) in neighbor_list {
+        // The propagated route is identical toward every neighbor
+        // (LOCAL_PREF/MED reset, path prepended): build it once, clone
+        // refcounts per neighbor.
+        let out_route = best.as_ref().map(|cand| cand.route.propagated_by(self.asn));
+        for i in 0..self.neighbor_list.len() {
+            // Indexed access keeps the borrow local so the RIB and
+            // policy can be touched inside the loop.
+            let (neighbor, node) = self.neighbor_list[i];
             // A leaking router bypasses export policy entirely (still
             // skipping the neighbor the route came from: re-exporting to
             // the source would only be loop-rejected there).
@@ -291,18 +357,18 @@ impl BgpRouter {
             });
             match exportable {
                 Some(cand) => {
-                    let out_route = cand.route.propagated_by(self.asn);
+                    let out_route = out_route.as_ref().expect("built alongside best").clone();
                     // Skip if identical to what the neighbor already has.
                     if self.adj_out.get(neighbor, prefix) == Some(&out_route) {
                         continue;
                     }
                     let signed = self.sign_for(cand, &out_route, neighbor);
                     self.adj_out.advertise(neighbor, out_route);
-                    pending.entry(node).or_default().announces.push(signed);
+                    pending.get_or_default(node).announces.push(signed);
                 }
                 None => {
                     if self.adj_out.withdraw(neighbor, prefix).is_some() {
-                        pending.entry(node).or_default().withdraws.push(prefix);
+                        pending.get_or_default(node).withdraws.push(prefix);
                     }
                 }
             }
@@ -368,7 +434,12 @@ impl BgpRouter {
             Some(imported) => {
                 self.stats.routes_accepted += 1;
                 self.adj_in.insert(from, imported);
-                self.chains_in.insert((from, prefix), sr);
+                // Chains only matter when this router re-signs
+                // announcements (or feeds a PVR round); plain mode
+                // skips the bookkeeping entirely.
+                if matches!(self.security, SecurityMode::Signed { .. }) {
+                    self.chains_in.insert((from, prefix), sr);
+                }
                 Some(prefix)
             }
             None => {
@@ -385,10 +456,13 @@ impl BgpRouter {
         }
     }
 
-    fn flush(&mut self, ctx: &mut Context<BgpUpdate>, pending: BTreeMap<NodeId, BgpUpdate>) {
+    /// Sends (or MRAI-buffers) the accumulated per-neighbor updates in
+    /// node order, leaving the drained scratch map's allocation behind
+    /// for the next message.
+    fn flush(&mut self, ctx: &mut Context<BgpUpdate>, pending: &mut SortedMap<NodeId, BgpUpdate>) {
         match self.mrai {
             None => {
-                for (node, update) in pending {
+                for (node, update) in pending.drain() {
                     if !update.is_empty() {
                         self.stats.updates_tx += 1;
                         ctx.send(node, update);
@@ -397,7 +471,7 @@ impl BgpRouter {
             }
             Some(interval) => {
                 let mut buffered_any = false;
-                for (node, update) in pending {
+                for (node, update) in pending.drain() {
                     if update.is_empty() {
                         continue;
                     }
@@ -430,23 +504,23 @@ impl Agent<BgpUpdate> for BgpRouter {
             ctx.set_timer(*delay, i as u64);
         }
         let prefixes = std::mem::take(&mut self.originate_at_start);
-        let mut pending = BTreeMap::new();
+        let mut pending = std::mem::take(&mut self.pending_scratch);
         for prefix in prefixes {
             self.start_originating(prefix);
-            self.reselect_and_export(prefix, &mut pending);
+            self.reselect_and_export(prefix, ReselectHint::Full, &mut pending);
         }
-        self.flush(ctx, pending);
+        self.flush(ctx, &mut pending);
+        self.pending_scratch = pending;
     }
 
     fn on_message(&mut self, ctx: &mut Context<BgpUpdate>, from_node: NodeId, msg: BgpUpdate) {
         self.stats.updates_rx += 1;
         // Identify the sending AS from the node id.
-        let from = match self.neighbor_nodes.iter().find(|(_, &n)| n == from_node).map(|(&a, _)| a)
-        {
-            Some(a) => a,
+        let from = match self.asn_of_node.get(&from_node) {
+            Some(&a) => a,
             None => return, // not a configured neighbor: ignore
         };
-        let mut touched = Vec::new();
+        let mut touched = std::mem::take(&mut self.touched_scratch);
         for prefix in msg.withdraws {
             if self.adj_in.remove(from, prefix) {
                 self.chains_in.remove(&(from, prefix));
@@ -459,13 +533,18 @@ impl Agent<BgpUpdate> for BgpRouter {
                 touched.push(p);
             }
         }
-        let mut pending = BTreeMap::new();
+        let mut pending = std::mem::take(&mut self.pending_scratch);
         touched.sort();
         touched.dedup();
-        for prefix in touched {
-            self.reselect_and_export(prefix, &mut pending);
+        // Every change in this message came from `from`'s session, so
+        // the incremental decision path applies to each prefix.
+        for &prefix in &touched {
+            self.reselect_and_export(prefix, ReselectHint::Neighbor(from), &mut pending);
         }
-        self.flush(ctx, pending);
+        touched.clear();
+        self.touched_scratch = touched;
+        self.flush(ctx, &mut pending);
+        self.pending_scratch = pending;
     }
 
     fn on_timer(&mut self, ctx: &mut Context<BgpUpdate>, timer: u64) {
@@ -487,9 +566,12 @@ impl Agent<BgpUpdate> for BgpRouter {
                 p
             }
         };
-        let mut pending = BTreeMap::new();
-        self.reselect_and_export(prefix, &mut pending);
-        self.flush(ctx, pending);
+        let mut pending = std::mem::take(&mut self.pending_scratch);
+        // A local origination/withdrawal changed the local candidate,
+        // which the Neighbor hint cannot cover.
+        self.reselect_and_export(prefix, ReselectHint::Full, &mut pending);
+        self.flush(ctx, &mut pending);
+        self.pending_scratch = pending;
     }
 
     fn as_any(&self) -> &dyn Any {

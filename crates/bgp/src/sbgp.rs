@@ -19,13 +19,13 @@
 use crate::path::AsPath;
 use crate::route::Route;
 use crate::types::{Asn, Prefix};
-use pvr_crypto::encoding::{decode_seq, encode_seq, Reader, Wire, WireError};
+use pvr_crypto::encoding::{decode_seq, Reader, Wire, WireError};
 use pvr_crypto::keys::{Identity, KeyStore};
 use pvr_crypto::rsa::RsaSignature;
 use pvr_crypto::sha256::sha256_concat;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One hop's signature over (prefix, path-so-far, intended receiver).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -101,6 +101,135 @@ impl Wire for Attestation {
             signature: RsaSignature::decode(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.prefix.encoded_len()
+            + self.path.encoded_len()
+            + 4 // target
+            + 4 // signer
+            + self.signature.encoded_len()
+    }
+}
+
+/// A persistent (structurally shared) attestation chain.
+///
+/// Propagating a signed route appends exactly one attestation to the
+/// chain it arrived with, so chains across a network form a tree of
+/// shared prefixes. The pre-E14 representation (`Vec<Attestation>`)
+/// deep-copied the whole prefix — path slices and signature bytes — at
+/// every hop and for every per-neighbor clone. This cons list shares
+/// the parent instead: [`AttestationChain::push`] allocates one node,
+/// and every clone anywhere downstream is a reference-count bump.
+///
+/// The newest attestation (last hop's) is the list head; origin-first
+/// order — the canonical wire and verification order — is recovered by
+/// collecting references, which chains are short enough (path length)
+/// to make free compared to one RSA verify.
+#[derive(Clone, Default)]
+pub struct AttestationChain(Option<Arc<ChainNode>>);
+
+#[derive(Debug)]
+struct ChainNode {
+    att: Attestation,
+    parent: Option<Arc<ChainNode>>,
+    /// Number of attestations up to and including this node.
+    len: u32,
+}
+
+impl AttestationChain {
+    /// The empty chain (an unsigned route).
+    pub fn empty() -> AttestationChain {
+        AttestationChain(None)
+    }
+
+    /// Builds a chain from origin-first attestations (wire order). Used
+    /// by decoding, tests, and attack strategies that forge chains
+    /// explicitly.
+    pub fn from_attestations(atts: Vec<Attestation>) -> AttestationChain {
+        let mut chain = AttestationChain::empty();
+        for att in atts {
+            chain = chain.push(att);
+        }
+        chain
+    }
+
+    /// A new chain extending `self` with `att` (the newest hop's
+    /// attestation). `self` is shared, never copied.
+    pub fn push(&self, att: Attestation) -> AttestationChain {
+        let len = self.len() as u32 + 1;
+        AttestationChain(Some(Arc::new(ChainNode { att, parent: self.0.clone(), len })))
+    }
+
+    /// Number of attestations.
+    pub fn len(&self) -> usize {
+        self.0.as_ref().map_or(0, |n| n.len as usize)
+    }
+
+    /// True when the chain holds no attestations.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The most recent attestation (the last signer's), if any.
+    pub fn newest(&self) -> Option<&Attestation> {
+        self.0.as_deref().map(|n| &n.att)
+    }
+
+    /// The origin AS's attestation (the oldest), if any.
+    pub fn origin(&self) -> Option<&Attestation> {
+        let mut node = self.0.as_deref()?;
+        while let Some(parent) = node.parent.as_deref() {
+            node = parent;
+        }
+        Some(&node.att)
+    }
+
+    /// Iterates newest-first (list order; O(1) per step).
+    pub fn iter_newest_first(&self) -> impl Iterator<Item = &Attestation> {
+        std::iter::successors(self.0.as_deref(), |n| n.parent.as_deref()).map(|n| &n.att)
+    }
+
+    /// References to all attestations in canonical origin-first order.
+    pub fn to_refs(&self) -> Vec<&Attestation> {
+        let mut refs: Vec<&Attestation> = self.iter_newest_first().collect();
+        refs.reverse();
+        refs
+    }
+
+    /// Clones all attestations in canonical origin-first order.
+    pub fn to_vec(&self) -> Vec<Attestation> {
+        self.to_refs().into_iter().cloned().collect()
+    }
+}
+
+impl PartialEq for AttestationChain {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut a = self.0.as_deref();
+        let mut b = other.0.as_deref();
+        while let (Some(x), Some(y)) = (a, b) {
+            // Shared suffixes compare in O(1); a chain equals itself or
+            // a clone without walking.
+            if std::ptr::eq(x, y) {
+                return true;
+            }
+            if x.att != y.att {
+                return false;
+            }
+            a = x.parent.as_deref();
+            b = y.parent.as_deref();
+        }
+        true
+    }
+}
+
+impl Eq for AttestationChain {}
+
+impl std::fmt::Debug for AttestationChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.to_refs()).finish()
+    }
 }
 
 /// A network-wide RSA-verification memo for attestation signatures.
@@ -166,25 +295,45 @@ impl VerifyCache {
 }
 
 /// A route bundled with its attestation chain (origin's attestation
-/// first). An empty chain means the route is unsigned (plain BGP mode).
+/// first on the wire). An empty chain means the route is unsigned
+/// (plain BGP mode).
+///
+/// The chain is a shared persistent list: cloning a `SignedRoute` — as
+/// per-neighbor fan-out, RIB storage, and delivery tracing all do —
+/// never copies attestation bytes, and [`SignedRoute::extend`] shares
+/// the received chain rather than re-copying its prefix. Forged or
+/// hand-built chains are constructed explicitly via
+/// [`AttestationChain::from_attestations`] and
+/// [`SignedRoute::with_chain`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SignedRoute {
     /// The route as announced.
     pub route: Route,
-    /// Attestations, origin first; length equals the path length when
-    /// signed, zero when unsigned.
-    pub attestations: Vec<Attestation>,
+    /// Attestation chain; length equals the path length when signed,
+    /// zero when unsigned.
+    chain: AttestationChain,
 }
 
 impl SignedRoute {
     /// Wraps a route without signatures (plain BGP).
     pub fn unsigned(route: Route) -> SignedRoute {
-        SignedRoute { route, attestations: Vec::new() }
+        SignedRoute { route, chain: AttestationChain::empty() }
+    }
+
+    /// Bundles a route with an explicitly built chain (decoders, tests,
+    /// and attack strategies forging or splicing chains).
+    pub fn with_chain(route: Route, chain: AttestationChain) -> SignedRoute {
+        SignedRoute { route, chain }
+    }
+
+    /// The attestation chain.
+    pub fn chain(&self) -> &AttestationChain {
+        &self.chain
     }
 
     /// True if the route carries an attestation chain.
     pub fn is_signed(&self) -> bool {
-        !self.attestations.is_empty()
+        !self.chain.is_empty()
     }
 
     /// Originates a signed route: `identity`'s AS announces its own
@@ -196,13 +345,14 @@ impl SignedRoute {
             "origination path must be [self]"
         );
         let att = Attestation::create(identity, route.prefix, &route.path, target);
-        SignedRoute { route, attestations: vec![att] }
+        SignedRoute { route, chain: AttestationChain::empty().push(att) }
     }
 
     /// Extends a received signed route for re-announcement: `identity`'s
     /// AS prepends itself (already done in `route`) and signs toward
     /// `target`. `route.path` must start with the signer and continue
-    /// with the received chain's path.
+    /// with the received chain's path. The received chain is shared,
+    /// not copied.
     pub fn extend(
         received: &SignedRoute,
         identity: &Identity,
@@ -211,9 +361,7 @@ impl SignedRoute {
     ) -> SignedRoute {
         debug_assert_eq!(route.path.first_as(), Some(Asn(identity.id() as u32)));
         let att = Attestation::create(identity, route.prefix, &route.path, target);
-        let mut attestations = received.attestations.clone();
-        attestations.push(att);
-        SignedRoute { route, attestations }
+        SignedRoute { route, chain: received.chain.push(att) }
     }
 
     /// Verifies the whole chain for an announcement delivered to
@@ -245,16 +393,15 @@ impl SignedRoute {
         if self.route.path.has_loop() {
             return Err(SbgpError::PathLoop);
         }
-        if self.attestations.len() != path.len() {
-            return Err(SbgpError::ChainLength {
-                expected: path.len(),
-                got: self.attestations.len(),
-            });
+        if self.chain.len() != path.len() {
+            return Err(SbgpError::ChainLength { expected: path.len(), got: self.chain.len() });
         }
         let m = path.len();
-        // One signing-payload buffer for the whole chain.
+        // One signing-payload buffer for the whole chain; the ref
+        // collection restores origin-first order so error precedence
+        // matches the pre-sharing implementation exactly.
         let mut buf = Vec::with_capacity(64);
-        for (j, att) in self.attestations.iter().enumerate() {
+        for (j, att) in self.chain.to_refs().into_iter().enumerate() {
             // Attestation j (origin first) was made by path[m-1-j].
             let signer_idx = m - 1 - j;
             let expected_signer = path[signer_idx];
@@ -293,10 +440,22 @@ impl SignedRoute {
 impl Wire for SignedRoute {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.route.encode(buf);
-        encode_seq(&self.attestations, buf);
+        let refs = self.chain.to_refs();
+        (refs.len() as u32).encode(buf);
+        for att in refs {
+            att.encode(buf);
+        }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(SignedRoute { route: Route::decode(r)?, attestations: decode_seq(r)? })
+        Ok(SignedRoute {
+            route: Route::decode(r)?,
+            chain: AttestationChain::from_attestations(decode_seq(r)?),
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.route.encoded_len()
+            + 4
+            + self.chain.iter_newest_first().map(Wire::encoded_len).sum::<usize>()
     }
 }
 
@@ -473,8 +632,10 @@ mod tests {
     #[test]
     fn tampered_signature_rejected() {
         let (ids, keys) = setup();
-        let mut sr = two_hop_chain(&ids);
-        sr.attestations[0].signature.0[5] ^= 1;
+        let sr = two_hop_chain(&ids);
+        let mut atts = sr.chain().to_vec();
+        atts[0].signature.0[5] ^= 1;
+        let sr = SignedRoute::with_chain(sr.route, AttestationChain::from_attestations(atts));
         assert_eq!(sr.verify(Asn(3), &keys), Err(SbgpError::BadSignature(Asn(1))));
     }
 
@@ -483,7 +644,8 @@ mod tests {
         let (ids, keys) = setup();
         let mut sr = two_hop_chain(&ids);
         sr.route.path = AsPath::from_slice(&[Asn(2), Asn(1), Asn(2)]);
-        sr.attestations.push(sr.attestations[1].clone());
+        let repeat = sr.chain().newest().unwrap().clone();
+        sr = SignedRoute::with_chain(sr.route.clone(), sr.chain().push(repeat));
         assert_eq!(sr.verify(Asn(3), &keys), Err(SbgpError::PathLoop));
     }
 
@@ -545,8 +707,10 @@ mod tests {
         let sr = two_hop_chain(&ids);
         let cache = VerifyCache::new();
         assert!(sr.verify_cached(Asn(3), &keys, Some(&cache)).is_ok());
-        let mut forged = sr.clone();
-        forged.attestations[0].signature.0[5] ^= 1;
+        let mut atts = sr.chain().to_vec();
+        atts[0].signature.0[5] ^= 1;
+        let forged =
+            SignedRoute::with_chain(sr.route.clone(), AttestationChain::from_attestations(atts));
         assert_eq!(
             forged.verify_cached(Asn(3), &keys, Some(&cache)),
             Err(SbgpError::BadSignature(Asn(1)))
@@ -561,6 +725,83 @@ mod tests {
         assert!(cache.hits() >= 1);
     }
 
+    /// The persistent chain must be observationally identical to the
+    /// owned `Vec<Attestation>` it replaced: construction by `push` or
+    /// `from_attestations`, accessors, equality, wire round-trips, and
+    /// encoded length all behave as if the chain were the vector.
+    /// Attestations here carry dummy signatures — representation
+    /// equivalence is independent of signature validity.
+    /// Derives an attestation deterministically from one seed (the
+    /// vendored proptest shim has no tuple strategies). Signatures are
+    /// dummies — representation equivalence does not depend on
+    /// signature validity.
+    fn dummy_attestations(seeds: &[u64]) -> Vec<Attestation> {
+        seeds
+            .iter()
+            .map(|&seed| Attestation {
+                prefix: Prefix::parse("10.0.0.0/8").unwrap(),
+                path: AsPath::from_slice(&[Asn(1 + (seed % 97) as u32)]),
+                target: Asn(1 + ((seed >> 8) % 97) as u32),
+                signer: Asn(1 + (seed % 97) as u32),
+                signature: pvr_crypto::rsa::RsaSignature(
+                    (0..4 + (seed % 28) as u8).map(|i| i ^ (seed >> 16) as u8).collect(),
+                ),
+            })
+            .collect()
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn chain_matches_owned_vec_semantics(
+            seeds in proptest::collection::vec(any::<u64>(), 0..6),
+        ) {
+            let atts = dummy_attestations(&seeds);
+            // from_attestations == repeated push.
+            let chain = AttestationChain::from_attestations(atts.clone());
+            let mut pushed = AttestationChain::empty();
+            for a in &atts {
+                pushed = pushed.push(a.clone());
+            }
+            prop_assert_eq!(&chain, &pushed);
+            // Accessors mirror the vector.
+            prop_assert_eq!(chain.len(), atts.len());
+            prop_assert_eq!(chain.is_empty(), atts.is_empty());
+            prop_assert_eq!(chain.origin(), atts.first());
+            prop_assert_eq!(chain.newest(), atts.last());
+            prop_assert_eq!(chain.to_vec(), atts.clone());
+            let newest_first: Vec<Attestation> =
+                chain.iter_newest_first().cloned().collect();
+            let mut rev = atts.clone();
+            rev.reverse();
+            prop_assert_eq!(newest_first, rev);
+            // Clones share structure but compare equal; an extended
+            // clone diverges without disturbing the parent.
+            let shared = chain.clone();
+            prop_assert_eq!(&shared, &chain);
+            if let Some(first) = atts.first() {
+                let longer = chain.push(first.clone());
+                prop_assert_eq!(longer.len(), chain.len() + 1);
+                prop_assert_ne!(&longer, &chain);
+                prop_assert_eq!(chain.to_vec(), atts.clone());
+            }
+            // Wire bytes equal the origin-first sequence encoding, and
+            // the arithmetic length matches (SignedRoute carries the
+            // chain on the wire).
+            let sr = SignedRoute::with_chain(
+                Route::originate(Prefix::parse("10.0.0.0/8").unwrap()),
+                chain.clone(),
+            );
+            let mut expect = sr.route.to_wire();
+            pvr_crypto::encoding::encode_seq(&atts, &mut expect);
+            prop_assert_eq!(sr.to_wire(), expect);
+            prop_assert_eq!(sr.encoded_len(), sr.to_wire().len());
+            let back: SignedRoute = pvr_crypto::decode_exact(&sr.to_wire()).unwrap();
+            prop_assert_eq!(back, sr);
+        }
+    }
+
     #[test]
     fn three_hop_chain() {
         let (ids, keys) = setup();
@@ -569,7 +810,7 @@ mod tests {
         let r3 = sr.route.clone().propagated_by(Asn(3));
         let sr3 = SignedRoute::extend(&sr, &ids[2], r3, Asn(4));
         assert!(sr3.verify(Asn(4), &keys).is_ok());
-        assert_eq!(sr3.attestations.len(), 3);
+        assert_eq!(sr3.chain().len(), 3);
         // And the intermediate receiver can no longer be claimed.
         assert!(sr3.verify(Asn(3), &keys).is_err());
     }

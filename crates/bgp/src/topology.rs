@@ -478,33 +478,85 @@ pub struct Figure1Cast {
 }
 
 /// Parameters for [`internet_like`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy)]
 pub struct InternetParams {
     /// Number of tier-1 (clique) ASes.
     pub tier1: usize,
     /// Number of tier-2 ASes.
     pub tier2: usize,
-    /// Number of stub ASes.
+    /// Number of stub ASes (at most 65 536: the /24 numbering scheme).
     pub stubs: usize,
     /// Probability of tier-2 ↔ tier-2 peering.
     pub t2_peering_prob: f64,
+    /// Maximum tier-1 providers per tier-2 AS (each draws 1..=max,
+    /// clamped to the tier-1 count). The pre-E14 constant was 3.
+    pub t2_max_providers: usize,
+    /// Maximum tier-2 providers per stub. The pre-E14 constant was 2.
+    pub stub_max_providers: usize,
+    /// How many stubs originate a /24 (the first `n` by index; the rest
+    /// are silent multihomed leaves). Workload knob for the scale
+    /// experiment E14: propagation cost grows with ASes × origins, so
+    /// internet-scale topologies cap origins to keep RIBs bounded.
+    /// Defaults to `usize::MAX` (every stub originates, the pre-E14
+    /// behavior).
+    pub originating_stubs: usize,
 }
 
 impl Default for InternetParams {
     fn default() -> Self {
-        InternetParams { tier1: 4, tier2: 12, stubs: 40, t2_peering_prob: 0.2 }
+        InternetParams {
+            tier1: 4,
+            tier2: 12,
+            stubs: 40,
+            t2_peering_prob: 0.2,
+            t2_max_providers: 3,
+            stub_max_providers: 2,
+            originating_stubs: usize::MAX,
+        }
+    }
+}
+
+impl std::fmt::Debug for InternetParams {
+    /// Prints the size/shape fields always, and the E14 fan-out and
+    /// origination knobs only when they differ from the defaults — so
+    /// experiment headers that predate those knobs (E12's matrix
+    /// banner) render byte-identically.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("InternetParams");
+        d.field("tier1", &self.tier1)
+            .field("tier2", &self.tier2)
+            .field("stubs", &self.stubs)
+            .field("t2_peering_prob", &self.t2_peering_prob);
+        let defaults = InternetParams::default();
+        if self.t2_max_providers != defaults.t2_max_providers {
+            d.field("t2_max_providers", &self.t2_max_providers);
+        }
+        if self.stub_max_providers != defaults.stub_max_providers {
+            d.field("stub_max_providers", &self.stub_max_providers);
+        }
+        if self.originating_stubs != defaults.originating_stubs {
+            d.field("originating_stubs", &self.originating_stubs);
+        }
+        d.finish()
     }
 }
 
 /// Generates an Internet-like topology: a tier-1 peering clique, tier-2
 /// ASes multihomed to tier-1 providers with some lateral peering, and
-/// stub ASes multihomed to tier-2 providers. Each stub originates one
-/// /24. Deterministic in `seed`.
+/// stub ASes multihomed to tier-2 providers. The first
+/// `originating_stubs` stubs originate one /24 each. Deterministic in
+/// `seed`; with the fan-out knobs at their defaults, the generated
+/// topology is identical to the pre-E14 generator's for any seed.
 pub fn internet_like(params: InternetParams, seed: u64) -> Topology {
+    assert!(params.stubs <= 65_536, "stub /24 numbering supports at most 65 536 stubs");
+    assert!(params.t2_max_providers >= 1 && params.stub_max_providers >= 1);
     let mut rng = HmacDrbg::from_u64_labeled(seed, "internet-topology");
     let mut t = Topology::new();
     let t1: Vec<Asn> = (0..params.tier1).map(|i| Asn(10 + i as u32)).collect();
     let t2: Vec<Asn> = (0..params.tier2).map(|i| Asn(100 + i as u32)).collect();
+    // Stub ASNs start at 1000; tier-2 ASNs (100+) stay clear of them
+    // as long as tier2 ≤ 900, which `as_count` scales never exceed.
+    assert!(params.tier2 <= 900, "tier-2 ASN range would collide with stub ASNs");
     let stubs: Vec<Asn> = (0..params.stubs).map(|i| Asn(1000 + i as u32)).collect();
 
     // Tier-1 full-mesh peering.
@@ -513,9 +565,10 @@ pub fn internet_like(params: InternetParams, seed: u64) -> Topology {
             t.peering(t1[i], t1[j]);
         }
     }
-    // Tier-2: 1–3 tier-1 providers each; lateral peering by coin flip.
+    // Tier-2: multihomed to tier-1 providers; lateral peering by coin
+    // flip.
     for &x in &t2 {
-        let nprov = 1 + rng.below(3.min(t1.len() as u64));
+        let nprov = 1 + rng.below((params.t2_max_providers as u64).min(t1.len() as u64));
         let mut provs = t1.clone();
         rng.shuffle(&mut provs);
         for &p in provs.iter().take(nprov as usize) {
@@ -529,19 +582,22 @@ pub fn internet_like(params: InternetParams, seed: u64) -> Topology {
             }
         }
     }
-    // Stubs: 1–2 tier-2 providers; one /24 each.
+    // Stubs: multihomed to tier-2 providers; one /24 each while the
+    // origination budget lasts.
     for (i, &s) in stubs.iter().enumerate() {
-        let nprov = 1 + rng.below(2.min(t2.len() as u64));
+        let nprov = 1 + rng.below((params.stub_max_providers as u64).min(t2.len() as u64));
         let mut provs = t2.clone();
         rng.shuffle(&mut provs);
         for &p in provs.iter().take(nprov as usize) {
             t.provider_customer(p, s);
         }
-        let prefix = Prefix::new(
-            (10u32 << 24) | (((i as u32 >> 8) & 0xff) << 16) | ((i as u32 & 0xff) << 8),
-            24,
-        );
-        t.originate(s, prefix);
+        if i < params.originating_stubs {
+            let prefix = Prefix::new(
+                (10u32 << 24) | (((i as u32 >> 8) & 0xff) << 16) | ((i as u32 & 0xff) << 8),
+                24,
+            );
+            t.originate(s, prefix);
+        }
     }
     t
 }
@@ -614,7 +670,13 @@ mod tests {
 
     #[test]
     fn internet_like_converges() {
-        let params = InternetParams { tier1: 3, tier2: 5, stubs: 8, t2_peering_prob: 0.3 };
+        let params = InternetParams {
+            tier1: 3,
+            tier2: 5,
+            stubs: 8,
+            t2_peering_prob: 0.3,
+            ..InternetParams::default()
+        };
         let t = internet_like(params, 7);
         let mut net = t.instantiate(InstantiateOptions::default());
         assert_eq!(net.converge(RunLimits::none()), StopReason::Quiescent);

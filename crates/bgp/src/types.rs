@@ -33,6 +33,9 @@ impl Wire for Asn {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(Asn(u32::decode(r)?))
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 /// An IPv4 CIDR prefix.
@@ -132,6 +135,9 @@ impl Wire for Prefix {
             return Err(WireError::Invalid("prefix length > 32"));
         }
         Ok(Prefix::new(addr, len))
+    }
+    fn encoded_len(&self) -> usize {
+        5
     }
 }
 

@@ -310,7 +310,8 @@ impl Adversary {
                     let mut inner = top.clone();
                     inner.signer = n;
                     inner.path = fake.path.clone(); // wrong path too
-                    d.exported = Some(SignedRoute { route: fake, attestations: vec![inner, top] });
+                    let chain = pvr_bgp::AttestationChain::from_attestations(vec![inner, top]);
+                    d.exported = Some(SignedRoute::with_chain(fake, chain));
                 }
                 d
             }
@@ -435,7 +436,7 @@ mod tests {
         let sr = d.exported.unwrap();
         assert!(sr.verify(bed.b, &bed.keys).is_err(), "chain must be forged");
         // But A's own top attestation is valid.
-        let top = sr.attestations.last().unwrap();
+        let top = sr.chain().newest().unwrap();
         assert!(top.verify(&bed.keys).is_ok());
     }
 }

@@ -234,7 +234,7 @@ impl<'a> Auditor<'a> {
             }
             Evidence::FabricatedExport { exported, receiver } => {
                 // A's own attestation must be valid…
-                let top = match exported.attestations.last() {
+                let top = match exported.chain().newest() {
                     Some(t) => t,
                     None => return Verdict::Rejected("no attestations at all"),
                 };
@@ -313,10 +313,8 @@ impl<'a> Auditor<'a> {
         }
         // Only the accused's own (top) attestation is needed: its
         // signature alone proves A announced this path to this receiver.
-        let top = exported
-            .attestations
-            .last()
-            .ok_or(Verdict::Rejected("export carries no attestation"))?;
+        let top =
+            exported.chain().newest().ok_or(Verdict::Rejected("export carries no attestation"))?;
         if top.signer != accused
             || top.target != receiver
             || top.path.asns() != exported.route.path.asns()

@@ -78,7 +78,7 @@ impl UnequalExportsEvidence {
             if sr.route.path.first_as() != Some(accused) {
                 return Verdict::Rejected("export does not start at the accused");
             }
-            let Some(top) = sr.attestations.last() else {
+            let Some(top) = sr.chain().newest() else {
                 return Verdict::Rejected("export carries no attestation");
             };
             if top.signer != accused

@@ -303,7 +303,7 @@ pub fn verify_as_receiver_existential(
 /// True if the route's top attestation is a valid signature by `a`
 /// targeting `receiver` over the route's own path.
 fn top_attestation_by(sr: &SignedRoute, a: Asn, receiver: Asn) -> bool {
-    match sr.attestations.last() {
+    match sr.chain().newest() {
         Some(top) => {
             top.signer == a
                 && top.target == receiver

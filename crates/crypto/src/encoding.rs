@@ -86,6 +86,20 @@ pub trait Wire: Sized {
         self.encode(&mut buf);
         buf
     }
+
+    /// Exact length of [`Wire::encode`]'s output, in bytes.
+    ///
+    /// The default encodes into a scratch vector; types on hot
+    /// accounting paths (simulator `wire_size`, disclosure overhead)
+    /// override it with pure arithmetic so that *measuring* a payload
+    /// never costs an allocation plus a full encode. Implementations
+    /// must keep the invariant `encoded_len() == to_wire().len()`
+    /// (pinned by tests wherever an override exists).
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
 }
 
 /// Decodes a value and requires the input to be fully consumed.
@@ -110,6 +124,9 @@ macro_rules! impl_wire_uint {
                 arr.copy_from_slice(bytes);
                 Ok(<$t>::from_be_bytes(arr))
             }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
         }
     )*};
 }
@@ -127,6 +144,9 @@ impl Wire for bool {
             _ => Err(WireError::Invalid("bool must be 0 or 1")),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for Vec<u8> {
@@ -137,6 +157,9 @@ impl Wire for Vec<u8> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = u32::decode(r)? as usize;
         Ok(r.take(len)?.to_vec())
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -149,6 +172,9 @@ impl Wire for String {
         let len = u32::decode(r)? as usize;
         let bytes = r.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("non-UTF-8 string"))
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -169,6 +195,12 @@ impl<T: Wire> Wire for Option<T> {
             _ => Err(WireError::Invalid("Option discriminant")),
         }
     }
+    fn encoded_len(&self) -> usize {
+        match self {
+            None => 1,
+            Some(v) => 1 + v.encoded_len(),
+        }
+    }
 }
 
 // Blanket Vec<T> would conflict with Vec<u8>; provide explicit helpers.
@@ -179,6 +211,11 @@ pub fn encode_seq<T: Wire>(items: &[T], buf: &mut Vec<u8>) {
     for it in items {
         it.encode(buf);
     }
+}
+
+/// Exact byte length [`encode_seq`] would produce for `items`.
+pub fn seq_encoded_len<T: Wire>(items: &[T]) -> usize {
+    4 + items.iter().map(Wire::encoded_len).sum::<usize>()
 }
 
 /// Decodes a vector of `Wire` values with a `u32` count prefix.
@@ -202,6 +239,9 @@ impl Wire for crate::sha256::Digest {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(crate::sha256::Digest(r.take_array()?))
     }
+    fn encoded_len(&self) -> usize {
+        32
+    }
 }
 
 impl Wire for crate::rsa::RsaSignature {
@@ -210,6 +250,9 @@ impl Wire for crate::rsa::RsaSignature {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(crate::rsa::RsaSignature(Vec::<u8>::decode(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
     }
 }
 

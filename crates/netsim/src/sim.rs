@@ -16,14 +16,20 @@ use crate::link::LinkConfig;
 use crate::time::{SimDuration, SimTime};
 use pvr_crypto::drbg::HmacDrbg;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Index of a node within the simulator.
 pub type NodeId = usize;
 
 /// Payloads must expose their serialized size for overhead accounting
-/// (experiments E5/E8 report bytes on the wire).
+/// (experiments E5/E8/E14 report bytes on the wire).
+///
+/// Contract for internet-scale runs: both required operations sit on
+/// the per-message hot path, so `Clone` should be O(1)-ish (share large
+/// attribute data behind `Arc`s, as `pvr-bgp`'s routes and attestation
+/// chains do) and `wire_size` should be arithmetic — computed from the
+/// payload's shape, never by encoding it. The simulator calls
+/// `wire_size` on every send and `clone` on every traced delivery.
 pub trait Payload: Clone + 'static {
     /// Serialized size in bytes.
     fn wire_size(&self) -> usize;
@@ -92,7 +98,9 @@ impl<'a, P> Context<'a, P> {
     }
 }
 
-/// One delivered message, as recorded by the trace.
+/// One delivered message, as recorded by the trace. Payloads are cloned
+/// into the trace — cheap by the [`Payload`] contract, so tracing an
+/// internet-scale run no longer copies attribute bytes per delivery.
 #[derive(Clone, Debug)]
 pub struct Delivery<P> {
     /// Delivery time.
@@ -125,31 +133,60 @@ pub struct SimStats {
     pub injected: u64,
 }
 
-struct QueuedEvent<P> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<P>,
-}
-
 enum EventKind<P> {
     Deliver { src: NodeId, dst: NodeId, msg: P },
     Timer { node: NodeId, timer: u64 },
 }
 
-impl<P> PartialEq for QueuedEvent<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// The pending-event queue: a time-bucketed calendar.
+///
+/// Event ordering is `(time, insertion order)` — exactly the old
+/// binary-heap-with-sequence-numbers contract — but discrete-event
+/// routing workloads concentrate events on a small set of delivery
+/// times (link latencies are quantized), so a FIFO per distinct time
+/// beats a heap: push and pop are O(log #distinct-times) map walks
+/// plus an O(1) deque operation, with none of the heap's per-level
+/// payload moves. Emptied buckets are recycled to keep the queue
+/// allocation-free in steady state.
+struct EventQueue<P> {
+    buckets: BTreeMap<SimTime, VecDeque<EventKind<P>>>,
+    len: usize,
+    /// Spare deques from drained buckets, reused for new times.
+    spares: Vec<VecDeque<EventKind<P>>>,
 }
-impl<P> Eq for QueuedEvent<P> {}
-impl<P> PartialOrd for QueuedEvent<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl<P> EventQueue<P> {
+    fn new() -> EventQueue<P> {
+        EventQueue { buckets: BTreeMap::new(), len: 0, spares: Vec::new() }
     }
-}
-impl<P> Ord for QueuedEvent<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    fn push(&mut self, time: SimTime, kind: EventKind<P>) {
+        let bucket =
+            self.buckets.entry(time).or_insert_with(|| self.spares.pop().unwrap_or_default());
+        bucket.push_back(kind);
+        self.len += 1;
+    }
+
+    /// Earliest pending event time.
+    fn peek_time(&self) -> Option<SimTime> {
+        self.buckets.keys().next().copied()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, EventKind<P>)> {
+        let mut entry = self.buckets.first_entry()?;
+        let time = *entry.key();
+        let kind = entry.get_mut().pop_front().expect("buckets are never left empty");
+        self.len -= 1;
+        if entry.get().is_empty() {
+            let mut spare = entry.remove();
+            // Cap the pool: a handful of deques covers the distinct
+            // latencies in flight.
+            if self.spares.len() < 8 {
+                spare.clear();
+                self.spares.push(spare);
+            }
+        }
+        Some((time, kind))
     }
 }
 
@@ -158,13 +195,14 @@ pub struct Simulator<P: Payload> {
     nodes: Vec<Box<dyn Agent<P>>>,
     links: HashMap<(NodeId, NodeId), LinkConfig>,
     default_link: LinkConfig,
-    queue: BinaryHeap<Reverse<QueuedEvent<P>>>,
-    seq: u64,
+    queue: EventQueue<P>,
     now: SimTime,
     rng: HmacDrbg,
     stats: SimStats,
     trace: Option<Vec<Delivery<P>>>,
     started: bool,
+    /// Recycled buffer for agent actions (see `dispatch`).
+    action_scratch: Vec<Action<P>>,
 }
 
 impl<P: Payload> Simulator<P> {
@@ -175,13 +213,13 @@ impl<P: Payload> Simulator<P> {
             nodes: Vec::new(),
             links: HashMap::new(),
             default_link: LinkConfig::default(),
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: HmacDrbg::from_u64_labeled(seed, "netsim"),
             stats: SimStats::default(),
             trace: None,
             started: false,
+            action_scratch: Vec::new(),
         }
     }
 
@@ -264,8 +302,7 @@ impl<P: Payload> Simulator<P> {
     }
 
     fn schedule(&mut self, time: SimTime, kind: EventKind<P>) {
-        self.queue.push(Reverse(QueuedEvent { time, seq: self.seq, kind }));
-        self.seq += 1;
+        self.queue.push(time, kind);
     }
 
     fn schedule_send(&mut self, src: NodeId, dst: NodeId, msg: P) {
@@ -286,8 +323,8 @@ impl<P: Payload> Simulator<P> {
         self.schedule(at, EventKind::Deliver { src, dst, msg });
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P>>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action<P>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => self.schedule_send(node, to, msg),
                 Action::SetTimer { delay, timer } => {
@@ -304,12 +341,15 @@ impl<P: Payload> Simulator<P> {
     {
         let mut agent =
             std::mem::replace(&mut self.nodes[node], Box::new(InertAgent) as Box<dyn Agent<P>>);
-        let mut ctx =
-            Context { now: self.now, self_id: node, rng: &mut self.rng, actions: Vec::new() };
+        // The action buffer is recycled across dispatches (one event =
+        // one callback, millions of events per convergence run).
+        let actions = std::mem::take(&mut self.action_scratch);
+        let mut ctx = Context { now: self.now, self_id: node, rng: &mut self.rng, actions };
         f(agent.as_mut(), &mut ctx);
-        let actions = ctx.actions;
+        let mut actions = ctx.actions;
         self.nodes[node] = agent;
-        self.apply_actions(node, actions);
+        self.apply_actions(node, &mut actions);
+        self.action_scratch = actions;
     }
 
     fn start_if_needed(&mut self) {
@@ -325,14 +365,14 @@ impl<P: Payload> Simulator<P> {
     /// Processes a single event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
-        let Reverse(ev) = match self.queue.pop() {
+        let (time, kind) = match self.queue.pop() {
             Some(e) => e,
             None => return false,
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.stats.events += 1;
-        match ev.kind {
+        match kind {
             EventKind::Deliver { src, dst, msg } => {
                 self.stats.delivered += 1;
                 if let Some(trace) = &mut self.trace {
@@ -358,11 +398,9 @@ impl<P: Payload> Simulator<P> {
                     return StopReason::EventLimit;
                 }
             }
-            if let Some(Reverse(head)) = self.queue.peek() {
-                if let Some(deadline) = limits.deadline {
-                    if head.time > deadline {
-                        return StopReason::Deadline;
-                    }
+            if let (Some(head), Some(deadline)) = (self.queue.peek_time(), limits.deadline) {
+                if head > deadline {
+                    return StopReason::Deadline;
                 }
             }
             if !self.step() {

@@ -44,7 +44,13 @@ fn main() {
     // Zoom in: mount the leak by hand and print the gossip evidence.
     println!("\n--- the route leak, up close ---\n");
     let topology = pvr::bgp::internet_like(
-        pvr::bgp::InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 },
+        pvr::bgp::InternetParams {
+            tier1: 2,
+            tier2: 4,
+            stubs: 6,
+            t2_peering_prob: 0.3,
+            ..pvr::bgp::InternetParams::default()
+        },
         12,
     );
     let attacker = placement.attacker;

@@ -19,7 +19,13 @@ use std::collections::BTreeMap;
 fn main() {
     println!("=== PVR on an Internet-like topology ===\n");
 
-    let params = InternetParams { tier1: 4, tier2: 10, stubs: 30, t2_peering_prob: 0.25 };
+    let params = InternetParams {
+        tier1: 4,
+        tier2: 10,
+        stubs: 30,
+        t2_peering_prob: 0.25,
+        ..InternetParams::default()
+    };
     let topology = internet_like(params, 7);
     println!(
         "topology: {} ASes, {} relationship edges",

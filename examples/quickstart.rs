@@ -17,7 +17,7 @@ fn main() {
     println!("cast: A = {}, B = {}, providers = {:?}", bed.a, bed.b, bed.ns);
     for &n in &bed.ns {
         let sr = bed.input_of(n);
-        println!("  {n} advertises {} (attested, {} signatures)", sr.route, sr.attestations.len());
+        println!("  {n} advertises {} (attested, {} signatures)", sr.route, sr.chain().len());
     }
 
     // --- Honest round -------------------------------------------------

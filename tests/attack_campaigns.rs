@@ -98,7 +98,13 @@ fn parallel_sweep_is_bit_deterministic() {
 fn leak_audit_is_silent_on_honest_networks() {
     // Accuracy for the gossip audit: a converged valley-free network
     // must produce zero leak evidence against any AS.
-    let params = InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 };
+    let params = InternetParams {
+        tier1: 2,
+        tier2: 4,
+        stubs: 6,
+        t2_peering_prob: 0.3,
+        ..InternetParams::default()
+    };
     let topology = internet_like(params, 5);
     let mut net = topology.instantiate(InstantiateOptions::default());
     net.converge(RunLimits::none());

@@ -91,7 +91,13 @@ fn figure1_topology_feeds_pvr_round() {
 fn internet_like_rib_passes_pvr() {
     // Same pipeline on an Internet-like topology: every multi-provider
     // (prefix, AS) pair we can find must produce a clean PVR round.
-    let params = InternetParams { tier1: 3, tier2: 6, stubs: 10, t2_peering_prob: 0.3 };
+    let params = InternetParams {
+        tier1: 3,
+        tier2: 6,
+        stubs: 10,
+        t2_peering_prob: 0.3,
+        ..InternetParams::default()
+    };
     let topology = internet_like(params, 17);
     let seed = 17;
     let mut net = topology.instantiate(InstantiateOptions {

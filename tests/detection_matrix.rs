@@ -77,9 +77,12 @@ fn verify_cache_never_changes_verdicts() {
     let forged_sig = {
         // Same signed bytes as the genuine origin attestation, bogus
         // signature — the cache key must distinguish them.
-        let mut c = genuine.clone();
-        c.attestations[0].signature.0[7] ^= 0x40;
-        c
+        let mut atts = genuine.chain().to_vec();
+        atts[0].signature.0[7] ^= 0x40;
+        pvr::bgp::SignedRoute::with_chain(
+            genuine.route.clone(),
+            pvr::bgp::AttestationChain::from_attestations(atts),
+        )
     };
     let wrong_prefix = {
         let mut c = genuine.clone();

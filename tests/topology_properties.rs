@@ -58,7 +58,7 @@ proptest! {
         tier2 in 2usize..6,
         stubs in 2usize..9,
     ) {
-        let params = InternetParams { tier1, tier2, stubs, t2_peering_prob: 0.25 };
+        let params = InternetParams { tier1, tier2, stubs, t2_peering_prob: 0.25, ..InternetParams::default() };
         let t = internet_like(params, seed);
 
         // Every declared AS class is present.
@@ -99,7 +99,7 @@ proptest! {
 
     #[test]
     fn internet_like_routes_are_valley_free(seed in 0u64..10_000) {
-        let params = InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3 };
+        let params = InternetParams { tier1: 2, tier2: 4, stubs: 6, t2_peering_prob: 0.3, ..InternetParams::default() };
         let t = internet_like(params, seed);
         let roles = role_map(&t);
         let mut net = t.instantiate(InstantiateOptions::default());
