@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Normalize a pvr-bench-v1 JSON document for determinism diffing.
+
+The determinism gate runs the e14 scale experiment once per shard count
+and asserts the outputs are byte-for-byte identical after stripping the
+fields that are *allowed* to differ: wall-clock timings (machine noise)
+and the shard count itself (the run's parameter, not its result). Every
+other e14 metric — AS/edge/origin counts, event totals, peak RIB size,
+bytes on the wire, O(1) short-circuits — must survive unchanged, or the
+sharded engine has diverged from the serial one.
+
+Usage: normalize_e14.py BENCH.json > normalized.json
+"""
+
+import json
+import sys
+
+
+def normalize(doc):
+    assert doc.get("schema") == "pvr-bench-v1", f"unexpected schema {doc.get('schema')!r}"
+    e14 = next((e for e in doc.get("experiments", []) if e.get("id") == "e14"), None)
+    assert e14 is not None, "no e14 record in document"
+    cells = e14.get("metrics")
+    assert cells, "e14 record carries no metrics array"
+    out = []
+    for cell in cells:
+        kept = {
+            k: v
+            for k, v in sorted(cell.items())
+            if k not in ("shards", "wall_secs", "events_per_sec")
+        }
+        out.append(kept)
+    # Sort by (scale, mode) so cell emission order can never mask or
+    # fake a divergence.
+    out.sort(key=lambda c: (c["scale"], c["mode"]))
+    return out
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as fh:
+        doc = json.load(fh)
+    json.dump(normalize(doc), sys.stdout, indent=1, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

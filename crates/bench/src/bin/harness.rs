@@ -8,18 +8,26 @@
 //!   cargo run --release -p pvr-bench --bin harness -- --quick  # CI smoke
 //!   cargo run --release -p pvr-bench --bin harness -- --json   # machine-readable
 //!   cargo run --release -p pvr-bench --bin harness -- --scale 5000 e14
+//!   cargo run --release -p pvr-bench --bin harness -- --shards 1,4 e14
 //!
 //! `--scale N` sets the largest AS count the scale experiment (e14)
 //! converges: default 5000, or 500 under `--quick` so CI smoke stays
 //! within budget.
 //!
+//! `--shards LIST` (comma-separated, e.g. `--shards 1,2,4`) selects the
+//! engine(s) e14 runs on: 1 is the serial engine, >1 the sharded
+//! engine with that many worker calendars. Defaults to `1`, or `1,2`
+//! under `--quick` so CI smoke covers both engines. Deterministic e14
+//! fields are identical at every shard count; the CI determinism job
+//! diffs them.
+//!
 //! `--json` replaces the human tables with one JSON document on stdout:
 //! `{schema, quick, experiments: [{id, wall_secs, rows}], total_wall_secs}`
 //! — the format CI archives as the `BENCH_*.json` perf trajectory. The
 //! e14 record additionally carries a `metrics` array with one object
-//! per (scale, mode) cell: `{scale, mode, ases, edges, origins, events,
-//! wall_secs, events_per_sec, peak_rib_entries, bytes_on_wire,
-//! short_circuits}`.
+//! per (scale, shards, mode) cell: `{scale, mode, shards, ases, edges,
+//! origins, events, wall_secs, events_per_sec, peak_rib_entries,
+//! bytes_on_wire, short_circuits}`.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
@@ -34,6 +42,9 @@ const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14"];
 const DEFAULT_SCALE: usize = 5000;
 /// E14 scale under `--quick`.
 const QUICK_SCALE: usize = 500;
+/// E14 shard counts under `--quick`: serial plus one sharded run, so CI
+/// smoke exercises both engines.
+const QUICK_SHARDS: &[usize] = &[1, 2];
 
 /// Minimal JSON string escaping (the tables are ASCII plus `µ`/`×`/`→`;
 /// everything below 0x20 is control-escaped).
@@ -57,17 +68,35 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    // `--scale N`: consume the flag and its value before flag/id checks.
+    // `--scale N` / `--shards LIST`: consume each flag and its value
+    // before flag/id checks.
     let mut scale: Option<usize> = None;
+    let mut shards: Option<Vec<usize>> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--scale" {
             let v = it.next().and_then(|v| v.parse::<usize>().ok());
             match v {
-                Some(n) if (56..=60_000).contains(&n) => scale = Some(n),
+                Some(n) if (56..=90_000).contains(&n) => scale = Some(n),
                 _ => {
-                    eprintln!("error: --scale needs an AS count between 56 and 60000");
+                    eprintln!("error: --scale needs an AS count between 56 and 90000");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--shards" {
+            let parsed: Option<Vec<usize>> = it
+                .next()
+                .map(|v| v.split(',').map(|p| p.trim().parse::<usize>()).collect::<Result<_, _>>())
+                .and_then(Result::ok);
+            match parsed {
+                Some(list) if !list.is_empty() && list.iter().all(|&n| (1..=64).contains(&n)) => {
+                    shards = Some(list);
+                }
+                _ => {
+                    eprintln!(
+                        "error: --shards needs a comma-separated list of counts between 1 and 64"
+                    );
                     std::process::exit(2);
                 }
             }
@@ -79,7 +108,9 @@ fn main() {
     if let Some(flag) =
         args.iter().find(|a| a.starts_with("--") && *a != "--quick" && *a != "--json")
     {
-        eprintln!("error: unknown flag `{flag}` (flags: --quick, --json, --scale N)");
+        eprintln!(
+            "error: unknown flag `{flag}` (flags: --quick, --json, --scale N, --shards LIST)"
+        );
         std::process::exit(2);
     }
     let explicit: Vec<&str> =
@@ -89,14 +120,19 @@ fn main() {
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
-    // --scale parameterizes e14 only; silently ignoring it on an
-    // e14-less selection would contradict the strict flag validation
+    // --scale/--shards parameterize e14 only; silently ignoring them on
+    // an e14-less selection would contradict the strict flag validation
     // above.
     if scale.is_some() && !wanted.is_empty() && !wanted.contains(&"e14") {
         eprintln!("error: --scale only applies to e14, which is not selected");
         std::process::exit(2);
     }
+    if shards.is_some() && !wanted.is_empty() && !wanted.contains(&"e14") {
+        eprintln!("error: --shards only applies to e14, which is not selected");
+        std::process::exit(2);
+    }
     let scale = scale.unwrap_or(if quick { QUICK_SCALE } else { DEFAULT_SCALE });
+    let shards = shards.unwrap_or_else(|| if quick { QUICK_SHARDS.to_vec() } else { vec![1] });
 
     if !json {
         println!("PVR reproduction — experiment harness");
@@ -148,7 +184,7 @@ fn main() {
     // is a plain nullary table generator).
     if wanted.is_empty() || wanted.contains(&"e14") {
         let t = std::time::Instant::now();
-        let (table, cells) = pvr_bench::e14_scale(scale);
+        let (table, cells) = pvr_bench::e14_scale(scale, &shards);
         let wall = t.elapsed().as_secs_f64();
         if json {
             records.push(("e14", wall, table, Some(cells)));
@@ -182,9 +218,10 @@ fn main() {
                         out.push(',');
                     }
                     out.push_str(&format!(
-                        "{{\"scale\":{},\"mode\":\"{}\",\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{}}}",
+                        "{{\"scale\":{},\"mode\":\"{}\",\"shards\":{},\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{}}}",
                         c.scale,
                         c.mode,
+                        c.shards,
                         c.ases,
                         c.edges,
                         c.origins,

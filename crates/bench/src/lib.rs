@@ -842,13 +842,18 @@ pub fn e13_crypto_perf() -> String {
     out
 }
 
-/// One measured cell of E14: a (scale, security-mode) convergence run.
+/// One measured cell of E14: a (scale, shard-count, security-mode)
+/// convergence run.
 #[derive(Clone, Debug)]
 pub struct E14Cell {
     /// Requested AS-count scale.
     pub scale: usize,
     /// Security mode label (`plain` / `signed` / `pvr`).
     pub mode: &'static str,
+    /// Shard count the run used (1 = the serial engine). Every
+    /// deterministic field in this cell is identical across shard
+    /// counts — the CI determinism gate diffs exactly that.
+    pub shards: usize,
     /// Actual AS count of the generated topology.
     pub ases: usize,
     /// Relationship edges.
@@ -876,7 +881,10 @@ pub struct E14Cell {
 /// is the stock [`InternetParams::default`] with every stub
 /// originating; larger scales grow the tier-2 layer with the AS count
 /// and cap originations at 256 so RIB growth measures propagation, not
-/// workload size.
+/// workload size. Internet scale (>20 000 ASes) tightens the cap to 64:
+/// RIB state grows with ASes × origins, and 80k × 256 would spend the
+/// run's memory on workload rather than topology. Scales at or below
+/// 20 000 are untouched, so the existing ladder's numbers are stable.
 pub fn e14_params(ases: usize) -> InternetParams {
     if ases <= 56 {
         return InternetParams::default();
@@ -890,21 +898,76 @@ pub fn e14_params(ases: usize) -> InternetParams {
         tier2,
         stubs: ases - tier1 - tier2,
         t2_peering_prob: 0.2,
-        originating_stubs: 256,
+        originating_stubs: if ases > 20_000 { 64 } else { 256 },
         ..InternetParams::default()
+    }
+}
+
+/// A converged network on either engine — the dispatch E14 uses so one
+/// measurement loop covers serial (`shards == 1`) and sharded runs.
+enum E14Net {
+    Serial(pvr_bgp::BgpNetwork),
+    Sharded(pvr_bgp::ShardedBgpNetwork),
+}
+
+impl E14Net {
+    fn build(topology: &pvr_bgp::Topology, options: InstantiateOptions, shards: usize) -> E14Net {
+        if shards <= 1 {
+            E14Net::Serial(topology.instantiate(options))
+        } else {
+            E14Net::Sharded(topology.instantiate_sharded(options, shards))
+        }
+    }
+
+    fn install_origin_table(&mut self, table: std::sync::Arc<pvr_bgp::OriginTable>) {
+        match self {
+            E14Net::Serial(n) => n.install_origin_table(table),
+            E14Net::Sharded(n) => n.install_origin_table(table),
+        }
+    }
+
+    fn converge(&mut self, limits: RunLimits) -> pvr_netsim::StopReason {
+        match self {
+            E14Net::Serial(n) => n.converge(limits),
+            E14Net::Sharded(n) => n.converge(limits),
+        }
+    }
+
+    fn sim_stats(&self) -> pvr_netsim::SimStats {
+        match self {
+            E14Net::Serial(n) => n.sim.stats().clone(),
+            E14Net::Sharded(n) => n.sim.stats().clone(),
+        }
+    }
+
+    fn ases(&self) -> Vec<Asn> {
+        match self {
+            E14Net::Serial(n) => n.ases().collect(),
+            E14Net::Sharded(n) => n.ases().collect(),
+        }
+    }
+
+    fn router(&self, asn: Asn) -> &pvr_bgp::BgpRouter {
+        match self {
+            E14Net::Serial(n) => n.router(asn),
+            E14Net::Sharded(n) => n.router(asn),
+        }
     }
 }
 
 /// E14 — internet-scale route propagation: converged `internet_like`
 /// runs at a ladder of AS counts (56 → 1 000 → `max_scale`) under
-/// `Plain`/`Signed`/`Pvr`, reporting topology size, convergence events,
-/// events/sec, peak RIB entries, bytes on the wire, and the incremental
-/// decision path's short-circuit count. Everything except the timing
-/// columns is deterministic. The `Signed` and `Pvr` substrates are
-/// identical on the import path (PVR adds post-hoc audits, not
-/// import-time crypto), so each scale converges two substrates and the
-/// pvr row reuses the signed measurement, exactly as E13 does.
-pub fn e14_scale(max_scale: usize) -> (String, Vec<E14Cell>) {
+/// `Plain`/`Signed`/`Pvr`, at each requested shard count (1 = the
+/// serial engine, >1 = the sharded engine), reporting topology size,
+/// convergence events, events/sec, peak RIB entries, bytes on the wire,
+/// and the incremental decision path's short-circuit count. Everything
+/// except the timing columns is deterministic *and identical across
+/// shard counts* — the property the CI determinism gate enforces. The
+/// `Signed` and `Pvr` substrates are identical on the import path (PVR
+/// adds post-hoc audits, not import-time crypto), so each (scale,
+/// shards) converges two substrates and the pvr row reuses the signed
+/// measurement, exactly as E13 does.
+pub fn e14_scale(max_scale: usize, shard_counts: &[usize]) -> (String, Vec<E14Cell>) {
     use pvr_bgp::BgpRouter;
 
     let mut scales: Vec<usize> = [56usize, 1000, max_scale]
@@ -914,19 +977,27 @@ pub fn e14_scale(max_scale: usize) -> (String, Vec<E14Cell>) {
         .into_iter()
         .collect();
     scales.sort_unstable();
+    let mut shard_counts: Vec<usize> =
+        if shard_counts.is_empty() { vec![1] } else { shard_counts.to_vec() };
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
 
     let mut out = String::new();
     let mut cells = Vec::new();
     writeln!(out, "E14: internet-scale route propagation (max scale {max_scale})").unwrap();
-    writeln!(out, "(scales >56 originate one /24 from each of the first min(stubs,256) stubs;")
+    writeln!(out, "(scales >56 originate one /24 from each of the first min(stubs,256) stubs,")
         .unwrap();
-    writeln!(out, " signed rows use RSA-512 attestations + ROV; pvr shares the signed").unwrap();
-    writeln!(out, " substrate — its import path is identical, audits are post-hoc)").unwrap();
+    writeln!(out, " capped at 64 past 20k ASes; signed rows use RSA-512 attestations + ROV;")
+        .unwrap();
+    writeln!(out, " pvr shares the signed substrate — its import path is identical, audits")
+        .unwrap();
+    writeln!(out, " are post-hoc; shards=1 is the serial engine, >1 the sharded engine)").unwrap();
     writeln!(
         out,
-        "{:>6} {:<7} {:>6} {:>7} {:>8} {:>10} {:>10} {:>10} {:>14} {:>11}",
+        "{:>6} {:<7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>10} {:>14} {:>11}",
         "scale",
         "mode",
+        "shards",
         "ases",
         "edges",
         "origins",
@@ -937,91 +1008,114 @@ pub fn e14_scale(max_scale: usize) -> (String, Vec<E14Cell>) {
         "O(1) skips"
     )
     .unwrap();
-    for scale in scales {
+    // (scale, shards) → signed wall-clock, for the speedup footer.
+    let mut signed_walls: Vec<(usize, usize, f64)> = Vec::new();
+    for &scale in &scales {
         let params = e14_params(scale);
         let topology = internet_like(params, 14);
         let origins: usize = topology.ases().map(|a| topology.originated_by(a).len()).sum();
-        let mut signed_cell: Option<E14Cell> = None;
-        for (mode, signed) in [("plain", false), ("signed", true)] {
-            let mut net = topology.instantiate(InstantiateOptions {
-                seed: 14,
-                signed,
-                key_bits: 512,
-                ..Default::default()
-            });
-            if signed {
-                net.install_origin_table(std::sync::Arc::new(topology.origin_table()));
+        for &shards in &shard_counts {
+            let mut signed_cell: Option<E14Cell> = None;
+            for (mode, signed) in [("plain", false), ("signed", true)] {
+                let mut net = E14Net::build(
+                    &topology,
+                    InstantiateOptions { seed: 14, signed, key_bits: 512, ..Default::default() },
+                    shards,
+                );
+                if signed {
+                    net.install_origin_table(std::sync::Arc::new(topology.origin_table()));
+                }
+                let t = Instant::now();
+                let stop = net.converge(RunLimits::none());
+                let wall = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    stop,
+                    pvr_netsim::StopReason::Quiescent,
+                    "e14 scale {scale} {mode} shards {shards}"
+                );
+                let stats = net.sim_stats();
+                let mut rib = 0u64;
+                let mut shorts = 0u64;
+                for asn in net.ases() {
+                    let r: &BgpRouter = net.router(asn);
+                    let (adj_in, loc) = r.rib_entry_counts();
+                    rib += (adj_in + loc) as u64;
+                    shorts += r.stats().reselect_short_circuits;
+                }
+                let cell = E14Cell {
+                    scale,
+                    mode,
+                    shards,
+                    ases: topology.as_count(),
+                    edges: topology.edge_count(),
+                    origins,
+                    events: stats.events,
+                    wall_secs: wall,
+                    events_per_sec: stats.events as f64 / wall.max(1e-9),
+                    peak_rib_entries: rib,
+                    bytes_on_wire: stats.bytes_sent,
+                    short_circuits: shorts,
+                };
+                write_e14_row(&mut out, &cell);
+                if signed {
+                    signed_walls.push((scale, shards, wall));
+                    signed_cell = Some(cell.clone());
+                }
+                cells.push(cell);
             }
-            let t = Instant::now();
-            let stop = net.converge(RunLimits::none());
-            let wall = t.elapsed().as_secs_f64();
-            assert_eq!(stop, pvr_netsim::StopReason::Quiescent, "e14 scale {scale} {mode}");
-            let stats = net.sim.stats().clone();
-            let mut rib = 0u64;
-            let mut shorts = 0u64;
-            for asn in net.ases().collect::<Vec<_>>() {
-                let r: &BgpRouter = net.router(asn);
-                let (adj_in, loc) = r.rib_entry_counts();
-                rib += (adj_in + loc) as u64;
-                shorts += r.stats().reselect_short_circuits;
-            }
-            let cell = E14Cell {
-                scale,
-                mode,
-                ases: topology.as_count(),
-                edges: topology.edge_count(),
-                origins,
-                events: stats.events,
-                wall_secs: wall,
-                events_per_sec: stats.events as f64 / wall.max(1e-9),
-                peak_rib_entries: rib,
-                bytes_on_wire: stats.bytes_sent,
-                short_circuits: shorts,
-            };
-            writeln!(
-                out,
-                "{:>6} {:<7} {:>6} {:>7} {:>8} {:>10} {:>10.0} {:>10} {:>14} {:>11}",
-                cell.scale,
-                cell.mode,
-                cell.ases,
-                cell.edges,
-                cell.origins,
-                cell.events,
-                cell.events_per_sec,
-                cell.peak_rib_entries,
-                cell.bytes_on_wire,
-                cell.short_circuits
-            )
-            .unwrap();
-            if signed {
-                signed_cell = Some(cell.clone());
-            }
-            cells.push(cell);
+            let pvr = E14Cell { mode: "pvr", ..signed_cell.expect("signed cell measured") };
+            write_e14_row(&mut out, &pvr);
+            cells.push(pvr);
         }
-        let pvr = E14Cell { mode: "pvr", ..signed_cell.expect("signed cell measured") };
-        writeln!(
-            out,
-            "{:>6} {:<7} {:>6} {:>7} {:>8} {:>10} {:>10.0} {:>10} {:>14} {:>11}",
-            pvr.scale,
-            pvr.mode,
-            pvr.ases,
-            pvr.edges,
-            pvr.origins,
-            pvr.events,
-            pvr.events_per_sec,
-            pvr.peak_rib_entries,
-            pvr.bytes_on_wire,
-            pvr.short_circuits
-        )
-        .unwrap();
-        cells.push(pvr);
     }
-    writeln!(out, "(expected: events/peak-RIB/bytes identical across modes at each scale —")
+    writeln!(out, "(expected: events/peak-RIB/bytes identical across modes and shard counts")
         .unwrap();
-    writeln!(out, " signatures change bytes only; plain events/s far above signed, which is")
+    writeln!(out, " at each scale — signatures change bytes only, sharding changes timing")
         .unwrap();
-    writeln!(out, " RSA-bound — see E13; short-circuits cover a third of decision runs)").unwrap();
+    writeln!(out, " only; plain events/s far above signed, which is RSA-bound — see E13;").unwrap();
+    writeln!(out, " short-circuits cover a third of decision runs)").unwrap();
+    // Speedup footer: only rendered when several shard counts ran in
+    // this invocation (the CI determinism gate runs one count per
+    // invocation, so its normalized output never contains this block).
+    if shard_counts.len() > 1 {
+        for &scale in &scales {
+            let serial =
+                signed_walls.iter().find(|&&(s, sh, _)| s == scale && sh == shard_counts[0]);
+            if let Some(&(_, base_shards, base_wall)) = serial {
+                for &(s, sh, wall) in &signed_walls {
+                    if s == scale && sh != base_shards {
+                        writeln!(
+                            out,
+                            "speedup scale {s} signed: {sh} shards vs {base_shards}: {:.2}x",
+                            base_wall / wall.max(1e-9)
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+    }
     (out, cells)
+}
+
+/// Renders one E14 table row.
+fn write_e14_row(out: &mut String, c: &E14Cell) {
+    writeln!(
+        out,
+        "{:>6} {:<7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10.0} {:>10} {:>14} {:>11}",
+        c.scale,
+        c.mode,
+        c.shards,
+        c.ases,
+        c.edges,
+        c.origins,
+        c.events,
+        c.events_per_sec,
+        c.peak_rib_entries,
+        c.bytes_on_wire,
+        c.short_circuits
+    )
+    .unwrap();
 }
 
 /// Sanity used by tests: E1 claims must hold programmatically.

@@ -14,6 +14,8 @@
 //!   PVR's condition 1 ("sign all the routing announcements", §3.2);
 //! * [`router`] — the speaker as a simulator agent;
 //! * [`topology`] — Figure 1 scenario and Internet-like generators;
+//! * [`partition`] — deterministic AS → shard assignment for the
+//!   sharded engine;
 //! * [`workload`] — flaps, bursts, churn.
 //!
 //! ## Implemented / omitted (smoltcp-style expectations)
@@ -27,6 +29,7 @@
 
 pub mod decision;
 pub mod messages;
+pub mod partition;
 pub mod path;
 pub mod policy;
 pub mod rib;
@@ -40,6 +43,7 @@ pub mod workload;
 
 pub use decision::{best, prefer, Candidate};
 pub use messages::BgpUpdate;
+pub use partition::{cut_edges, partition_by_degree};
 pub use path::AsPath;
 pub use policy::{PolicyConfig, Role};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib};
@@ -48,6 +52,6 @@ pub use router::{BgpRouter, LocalEvent, Malice, RouterStats, SecurityMode};
 pub use sbgp::{demo_chain, Attestation, AttestationChain, SbgpError, SignedRoute, VerifyCache};
 pub use topology::{
     figure1, internet_like, BgpNetwork, Edge, Figure1Cast, InstantiateOptions, InternetParams,
-    OriginTable, Topology,
+    OriginTable, ShardedBgpNetwork, Topology,
 };
 pub use types::{Asn, Prefix};

@@ -94,6 +94,35 @@ pub struct RouterStats {
     pub reselect_short_circuits: u64,
 }
 
+impl RouterStats {
+    /// Accumulates `other` into `self`, field by field. Addition is
+    /// commutative, so network-wide totals built with this are
+    /// independent of router iteration order and shard layout.
+    pub fn add(&mut self, other: &RouterStats) {
+        self.updates_rx += other.updates_rx;
+        self.updates_tx += other.updates_tx;
+        self.routes_accepted += other.routes_accepted;
+        self.routes_rejected += other.routes_rejected;
+        self.attestation_failures += other.attestation_failures;
+        self.origin_failures += other.origin_failures;
+        self.verify_calls += other.verify_calls;
+        self.verify_cache_hits += other.verify_cache_hits;
+        self.best_changes += other.best_changes;
+        self.reselect_short_circuits += other.reselect_short_circuits;
+    }
+
+    /// A copy with the cache-locality-dependent counter cleared.
+    /// `verify_cache_hits` is the one statistic that legitimately
+    /// depends on cache scope (a per-shard cache sees fewer reuse
+    /// opportunities than a network-wide one, so sharded hits ≤ serial
+    /// hits); every other counter — including `verify_calls` — must be
+    /// identical between the serial and sharded engines, which the
+    /// determinism tests assert on this projection.
+    pub fn shard_invariant(&self) -> RouterStats {
+        RouterStats { verify_cache_hits: 0, ..self.clone() }
+    }
+}
+
 /// Hooks that turn a router into a malicious agent. Used by the
 /// `pvr-attack` campaign engine; every flag defaults to honest
 /// behaviour.
@@ -402,8 +431,11 @@ impl BgpRouter {
             let before = cache.map(|c| (c.calls(), c.hits()));
             let verdict = sr.verify_cached(self.asn, keys, cache);
             if let (Some(cache), Some((calls, hits))) = (cache, before) {
-                // The simulation is single-threaded, so the deltas are
-                // exactly this router's share of the shared counters.
+                // Only one thread ever dispatches into a given cache's
+                // routers (the whole network serially, or one shard of
+                // it under the sharded engine's per-shard caches), so
+                // the deltas are exactly this router's share of the
+                // shared counters — no cross-shard double-counting.
                 self.stats.verify_calls += cache.calls() - calls;
                 self.stats.verify_cache_hits += cache.hits() - hits;
             }

@@ -7,16 +7,23 @@
 //! for the scale experiment E8.
 
 use crate::messages::BgpUpdate;
+use crate::partition::partition_by_degree;
 use crate::policy::{PolicyConfig, Role};
 use crate::route::Community;
-use crate::router::{BgpRouter, LocalEvent, SecurityMode};
+use crate::router::{BgpRouter, LocalEvent, RouterStats, SecurityMode};
 use crate::sbgp::VerifyCache;
 use crate::types::{Asn, Prefix};
 use pvr_crypto::drbg::HmacDrbg;
 use pvr_crypto::keys::{Identity, KeyStore};
-use pvr_netsim::{LinkConfig, NodeId, RunLimits, SimDuration, Simulator, StopReason};
+use pvr_netsim::{
+    LinkConfig, NodeId, RunLimits, ShardedSimulator, SimDuration, Simulator, StopReason,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Key material generated for signed mode: the shared verifying store
+/// plus each AS's private identity.
+type SignedKeys = (Arc<KeyStore>, BTreeMap<Asn, Identity>);
 
 /// An AS-to-AS business relationship edge.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -216,6 +223,64 @@ impl Topology {
         out
     }
 
+    /// Generates per-AS RSA identities for signed mode — always from
+    /// the single `"bgp-identities"` DRBG stream in ascending-ASN
+    /// order, so both engines (and every shard count) derive identical
+    /// keys for the same seed.
+    fn generate_identities(&self, options: InstantiateOptions) -> Option<SignedKeys> {
+        if !options.signed {
+            return None;
+        }
+        let mut rng = HmacDrbg::from_u64_labeled(options.seed, "bgp-identities");
+        let mut ks = KeyStore::new();
+        let mut ids = BTreeMap::new();
+        for &asn in &self.ases {
+            let id = Identity::generate(asn.principal(), options.key_bits, &mut rng);
+            ks.register_identity(&id);
+            ids.insert(asn, id);
+        }
+        Some((Arc::new(ks), ids))
+    }
+
+    /// Builds `asn`'s router (policy, security mode, MRAI, originations,
+    /// scheduled events) — everything except neighbor wiring and
+    /// verify-cache installation, which depend on the engine.
+    fn build_router(
+        &self,
+        asn: Asn,
+        keystore: &Option<SignedKeys>,
+        options: InstantiateOptions,
+    ) -> BgpRouter {
+        let mut policy = PolicyConfig::new();
+        for (neighbor, role) in self.neighbor_roles(asn) {
+            policy.set_role(neighbor, role);
+        }
+        for &(local, neighbor, region) in &self.region_tags {
+            if local == asn {
+                policy.set_region_tag(neighbor, region);
+            }
+        }
+        let security = match keystore {
+            Some((ks, ids)) => {
+                SecurityMode::Signed { identity: Box::new(ids[&asn].clone()), keys: Arc::clone(ks) }
+            }
+            None => SecurityMode::Plain,
+        };
+        let mut router = BgpRouter::new(asn, policy, security);
+        if let Some(interval) = options.mrai {
+            router.set_mrai(interval);
+        }
+        for p in self.originations.get(&asn).into_iter().flatten() {
+            router.originate(*p);
+        }
+        for (s_asn, delay, event) in &self.schedules {
+            if *s_asn == asn {
+                router.schedule_event(*delay, event.clone());
+            }
+        }
+        router
+    }
+
     /// Instantiates the topology into a simulator.
     ///
     /// `options` controls link behaviour, signing, and key size. Returns
@@ -225,19 +290,7 @@ impl Topology {
         sim.set_default_link(options.link);
 
         // Key material (signed mode only).
-        let keystore = if options.signed {
-            let mut rng = HmacDrbg::from_u64_labeled(options.seed, "bgp-identities");
-            let mut ks = KeyStore::new();
-            let mut ids = BTreeMap::new();
-            for &asn in &self.ases {
-                let id = Identity::generate(asn.principal(), options.key_bits, &mut rng);
-                ks.register_identity(&id);
-                ids.insert(asn, id);
-            }
-            Some((Arc::new(ks), ids))
-        } else {
-            None
-        };
+        let keystore = self.generate_identities(options);
 
         // One attestation-verification memo for the whole network: a
         // chain already checked upstream is not re-verified limb by
@@ -247,36 +300,9 @@ impl Topology {
         // First pass: create routers so node ids are known.
         let mut node_of = BTreeMap::new();
         for &asn in &self.ases {
-            let mut policy = PolicyConfig::new();
-            for (neighbor, role) in self.neighbor_roles(asn) {
-                policy.set_role(neighbor, role);
-            }
-            for &(local, neighbor, region) in &self.region_tags {
-                if local == asn {
-                    policy.set_region_tag(neighbor, region);
-                }
-            }
-            let security = match &keystore {
-                Some((ks, ids)) => SecurityMode::Signed {
-                    identity: Box::new(ids[&asn].clone()),
-                    keys: Arc::clone(ks),
-                },
-                None => SecurityMode::Plain,
-            };
-            let mut router = BgpRouter::new(asn, policy, security);
+            let mut router = self.build_router(asn, &keystore, options);
             if let Some(cache) = &verify_cache {
                 router.set_verify_cache(Arc::clone(cache));
-            }
-            if let Some(interval) = options.mrai {
-                router.set_mrai(interval);
-            }
-            for p in self.originations.get(&asn).into_iter().flatten() {
-                router.originate(*p);
-            }
-            for (s_asn, delay, event) in &self.schedules {
-                if *s_asn == asn {
-                    router.schedule_event(*delay, event.clone());
-                }
             }
             let node = sim.add_node(Box::new(router));
             node_of.insert(asn, node);
@@ -293,6 +319,64 @@ impl Topology {
         }
 
         BgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks), verify_cache }
+    }
+
+    /// Instantiates the topology into the sharded engine, partitioning
+    /// the AS graph across `shards` worker calendars (see
+    /// [`crate::partition`]). Node ids, key material, and all
+    /// deterministic run outputs are identical to
+    /// [`Topology::instantiate`]'s for the same options — at any shard
+    /// count.
+    ///
+    /// Signed mode installs one [`VerifyCache`] *per shard* rather than
+    /// the serial engine's network-wide memo: a shard's routers only
+    /// ever run on that shard's worker thread, so per-router counter
+    /// attribution stays exact with no cross-shard contention. The
+    /// trade is reuse scope — sharded cache hits can only be fewer than
+    /// serial hits, never different verdicts.
+    pub fn instantiate_sharded(
+        &self,
+        options: InstantiateOptions,
+        shards: usize,
+    ) -> ShardedBgpNetwork {
+        let shards = shards.max(1);
+        let mut sim: ShardedSimulator<BgpUpdate> = ShardedSimulator::new(options.seed, shards);
+        sim.set_default_link(options.link);
+        if options.signed {
+            // RSA verification dominates per-event cost in signed mode;
+            // even small windows amortize a thread spawn.
+            sim.set_spawn_threshold(4);
+        }
+
+        let keystore = self.generate_identities(options);
+        let verify_caches: Vec<Arc<VerifyCache>> = if keystore.is_some() {
+            (0..shards).map(|_| Arc::new(VerifyCache::new())).collect()
+        } else {
+            Vec::new()
+        };
+
+        let assignment = partition_by_degree(self, shards);
+        let mut node_of = BTreeMap::new();
+        for &asn in &self.ases {
+            let mut router = self.build_router(asn, &keystore, options);
+            let shard = assignment[&asn];
+            if let Some(cache) = verify_caches.get(shard) {
+                router.set_verify_cache(Arc::clone(cache));
+            }
+            let node = sim.add_node_to_shard(Box::new(router), shard);
+            node_of.insert(asn, node);
+        }
+
+        for &asn in &self.ases {
+            let node = node_of[&asn];
+            let neighbors = self.neighbor_roles(asn);
+            let router = sim.node_mut::<BgpRouter>(node).expect("router downcast");
+            for (neighbor, _) in neighbors {
+                router.add_neighbor(neighbor, node_of[&neighbor]);
+            }
+        }
+
+        ShardedBgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks), verify_caches }
     }
 }
 
@@ -421,6 +505,85 @@ impl BgpNetwork {
     pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
         self.node_of.keys().copied()
     }
+
+    /// Network-wide router-counter totals. Built by commutative
+    /// addition, so the result is independent of iteration order.
+    pub fn router_totals(&self) -> RouterStats {
+        let mut total = RouterStats::default();
+        for asn in self.ases() {
+            total.add(self.router(asn).stats());
+        }
+        total
+    }
+}
+
+/// An instantiated network running on the sharded engine: the parallel
+/// counterpart of [`BgpNetwork`], with the same accessor surface.
+pub struct ShardedBgpNetwork {
+    /// The underlying sharded simulator.
+    pub sim: ShardedSimulator<BgpUpdate>,
+    node_of: BTreeMap<Asn, NodeId>,
+    keystore: Option<Arc<KeyStore>>,
+    verify_caches: Vec<Arc<VerifyCache>>,
+}
+
+impl ShardedBgpNetwork {
+    /// Runs the network to quiescence (or the given limits).
+    pub fn converge(&mut self, limits: RunLimits) -> StopReason {
+        self.sim.run(limits)
+    }
+
+    /// The simulator node hosting `asn`.
+    pub fn node_of(&self, asn: Asn) -> NodeId {
+        self.node_of[&asn]
+    }
+
+    /// Read access to `asn`'s router.
+    pub fn router(&self, asn: Asn) -> &BgpRouter {
+        self.sim.node::<BgpRouter>(self.node_of[&asn]).expect("router downcast")
+    }
+
+    /// Mutable access to `asn`'s router.
+    pub fn router_mut(&mut self, asn: Asn) -> &mut BgpRouter {
+        let node = self.node_of[&asn];
+        self.sim.node_mut::<BgpRouter>(node).expect("router downcast")
+    }
+
+    /// The shared key store in signed mode.
+    pub fn keystore(&self) -> Option<&Arc<KeyStore>> {
+        self.keystore.as_ref()
+    }
+
+    /// The per-shard attestation-verification caches in signed mode
+    /// (empty in plain mode), indexed by shard.
+    pub fn verify_caches(&self) -> &[Arc<VerifyCache>] {
+        &self.verify_caches
+    }
+
+    /// Installs an origin-authorization table on every router. Call
+    /// before running: the check applies to announcements received
+    /// afterwards.
+    pub fn install_origin_table(&mut self, table: Arc<OriginTable>) {
+        let ases: Vec<Asn> = self.node_of.keys().copied().collect();
+        for asn in ases {
+            self.router_mut(asn).set_origin_table(Arc::clone(&table));
+        }
+    }
+
+    /// All ASes in the network.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.node_of.keys().copied()
+    }
+
+    /// Network-wide router-counter totals; see
+    /// [`BgpNetwork::router_totals`].
+    pub fn router_totals(&self) -> RouterStats {
+        let mut total = RouterStats::default();
+        for asn in self.ases() {
+            total.add(self.router(asn).stats());
+        }
+        total
+    }
 }
 
 /// The Figure 1 scenario: "Network A is connected to neighbors
@@ -484,7 +647,8 @@ pub struct InternetParams {
     pub tier1: usize,
     /// Number of tier-2 ASes.
     pub tier2: usize,
-    /// Number of stub ASes (at most 65 536: the /24 numbering scheme).
+    /// Number of stub ASes (at most 65 536 may *originate*, the /24
+    /// numbering scheme's limit; silent stubs are unbounded).
     pub stubs: usize,
     /// Probability of tier-2 ↔ tier-2 peering.
     pub t2_peering_prob: f64,
@@ -548,7 +712,13 @@ impl std::fmt::Debug for InternetParams {
 /// `seed`; with the fan-out knobs at their defaults, the generated
 /// topology is identical to the pre-E14 generator's for any seed.
 pub fn internet_like(params: InternetParams, seed: u64) -> Topology {
-    assert!(params.stubs <= 65_536, "stub /24 numbering supports at most 65 536 stubs");
+    // Only *originating* stubs consume the /24 numbering space; silent
+    // multihomed leaves are unconstrained, which is what lets the 80k-AS
+    // scale ladder exist (80k stubs, a capped origination budget).
+    assert!(
+        params.stubs.min(params.originating_stubs) <= 65_536,
+        "stub /24 numbering supports at most 65 536 originating stubs"
+    );
     assert!(params.t2_max_providers >= 1 && params.stub_max_providers >= 1);
     let mut rng = HmacDrbg::from_u64_labeled(seed, "internet-topology");
     let mut t = Topology::new();
@@ -686,6 +856,42 @@ mod tests {
         for t1 in [Asn(10), Asn(11), Asn(12)] {
             for &p in &stub_prefixes {
                 assert!(net.router(t1).best_route(p).is_some(), "{t1} missing {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_instantiation_matches_serial() {
+        let params = InternetParams {
+            tier1: 3,
+            tier2: 5,
+            stubs: 12,
+            t2_peering_prob: 0.3,
+            ..InternetParams::default()
+        };
+        let t = internet_like(params, 21);
+        let options = InstantiateOptions { seed: 21, ..Default::default() };
+
+        let mut serial = t.instantiate(options);
+        assert_eq!(serial.converge(RunLimits::none()), StopReason::Quiescent);
+
+        for shards in [1, 2, 3, 5] {
+            let mut sharded = t.instantiate_sharded(options, shards);
+            // Node ids must be assigned identically regardless of shard
+            // placement.
+            for asn in t.ases() {
+                assert_eq!(serial.node_of(asn), sharded.node_of(asn));
+            }
+            assert_eq!(sharded.converge(RunLimits::none()), StopReason::Quiescent);
+            assert_eq!(serial.sim.stats(), sharded.sim.stats(), "{shards} shards");
+            assert_eq!(serial.sim.now(), sharded.sim.now(), "{shards} shards");
+            assert_eq!(serial.router_totals(), sharded.router_totals(), "{shards} shards");
+            for asn in t.ases() {
+                assert_eq!(
+                    serial.router(asn).stats(),
+                    sharded.router(asn).stats(),
+                    "{asn} at {shards} shards"
+                );
             }
         }
     }

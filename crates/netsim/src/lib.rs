@@ -12,10 +12,12 @@
 //! under test: identical seeds reproduce identical traces, bit for bit.
 
 pub mod link;
+pub mod shard;
 pub mod sim;
 pub mod time;
 
 pub use link::LinkConfig;
+pub use shard::ShardedSimulator;
 pub use sim::{
     Agent, Context, Delivery, NodeId, Payload, RunLimits, SimStats, Simulator, StopReason,
 };

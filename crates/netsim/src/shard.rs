@@ -1,0 +1,690 @@
+//! Sharded discrete-event engine: parallel dispatch, serial order.
+//!
+//! [`ShardedSimulator`] partitions the node set across shards, each with
+//! its own time-bucketed calendar (the same `EventQueue` the serial
+//! engine uses), and runs the
+//! simulation in lockstep *time windows*: all events scheduled for the
+//! earliest pending timestamp are dispatched in parallel (one worker per
+//! shard under `std::thread::scope`), then a serial exchange phase
+//! routes every action the agents produced — including boundary-crossing
+//! messages — back into the calendars in exactly the order the serial
+//! [`Simulator`](crate::Simulator) would have produced.
+//!
+//! # Why the output is byte-identical to the serial engine
+//!
+//! The serial engine's behaviour is a fold over events ordered by
+//! `(time, sequence-number)`, where sequence numbers are assigned in
+//! scheduling order and the link DRBG is consumed on the send path in
+//! that same order. The sharded engine reproduces that fold exactly:
+//!
+//! * **Within a window** all events share one timestamp and target
+//!   disjoint agents (each node lives on exactly one shard), so their
+//!   dispatch order across shards cannot affect agent state. Per shard,
+//!   events are drained in FIFO (= global sequence) order.
+//! * **Actions** are buffered during dispatch tagged with
+//!   `(cause-sequence, action-index)`. The exchange phase merges all
+//!   shard outboxes sorted by that key — which is precisely the order
+//!   the serial engine applies actions in (it finishes each event's
+//!   actions before popping the next event at the same time).
+//! * **Randomness**: link jitter and loss draw from one coordinator
+//!   DRBG seeded identically to the serial engine's (label `"netsim"`),
+//!   and the exchange phase consumes it in the serial order above — so
+//!   even lossy, jittered runs are bit-reproducible across shard
+//!   counts. Per-shard DRBGs (labels `"netsim-shard-{k}"`) back
+//!   [`Context::rng`] during parallel dispatch; agents that draw from
+//!   their context rng (none of the BGP routers do) trade cross-engine
+//!   identity for cross-run determinism at a fixed shard count.
+//! * **Same-time cascades** (zero-latency sends landing in the current
+//!   window) are appended to the window's buckets with fresh sequence
+//!   numbers and drained by re-running the window until it empties,
+//!   matching the serial engine's FIFO append semantics.
+//!
+//! The only observable divergence is [`RunLimits::max_events`], which
+//! the sharded engine checks at window granularity rather than per
+//! event (convergence workloads run with deadlines or no limits).
+
+use crate::link::LinkConfig;
+use crate::sim::{Action, Agent, Context, Delivery, EventKind, EventQueue, NodeId, Payload};
+use crate::sim::{RunLimits, SimStats, StopReason};
+use crate::time::SimTime;
+use pvr_crypto::drbg::HmacDrbg;
+use std::collections::HashMap;
+
+/// One buffered agent action awaiting the exchange phase:
+/// `(cause-sequence, action-index, acting node, action)`.
+type OutboxEntry<P> = (u64, u32, NodeId, Action<P>);
+
+/// A node partition with its own calendar, DRBG, and counters.
+struct Shard<P: Payload> {
+    nodes: Vec<Box<dyn Agent<P> + Send>>,
+    /// Global node id per local index (ascending).
+    node_ids: Vec<NodeId>,
+    /// Global node id → local index.
+    local_of: HashMap<NodeId, usize>,
+    queue: EventQueue<(u64, EventKind<P>)>,
+    /// Shard-local DRBG backing `Context::rng` during parallel dispatch.
+    rng: HmacDrbg,
+    /// Actions produced this window, sorted by construction.
+    outbox: Vec<OutboxEntry<P>>,
+    /// Traced deliveries tagged with their global sequence number.
+    trace: Vec<(u64, Delivery<P>)>,
+    events: u64,
+    delivered: u64,
+    timers_fired: u64,
+    action_scratch: Vec<Action<P>>,
+}
+
+impl<P: Payload> Shard<P> {
+    fn new(seed: u64, index: usize) -> Shard<P> {
+        Shard {
+            nodes: Vec::new(),
+            node_ids: Vec::new(),
+            local_of: HashMap::new(),
+            queue: EventQueue::new(),
+            rng: HmacDrbg::from_u64_labeled(seed, &format!("netsim-shard-{index}")),
+            outbox: Vec::new(),
+            trace: Vec::new(),
+            events: 0,
+            delivered: 0,
+            timers_fired: 0,
+            action_scratch: Vec::new(),
+        }
+    }
+
+    /// Runs one agent callback, buffering its actions into the outbox
+    /// keyed by `cause` (the triggering event's global sequence number,
+    /// or the node id during start-up).
+    fn dispatch_local<F>(&mut self, local: usize, cause: u64, now: SimTime, f: F)
+    where
+        F: FnOnce(&mut dyn Agent<P>, &mut Context<P>),
+    {
+        let Shard { nodes, node_ids, rng, outbox, action_scratch, .. } = self;
+        let id = node_ids[local];
+        let mut ctx = Context::renew(now, id, rng, std::mem::take(action_scratch));
+        f(nodes[local].as_mut(), &mut ctx);
+        let mut actions = ctx.into_actions();
+        for (idx, action) in actions.drain(..).enumerate() {
+            outbox.push((cause, idx as u32, id, action));
+        }
+        *action_scratch = actions;
+    }
+
+    /// Dispatches `on_start` for every local node (ascending global id).
+    fn run_starts(&mut self, now: SimTime) {
+        for local in 0..self.nodes.len() {
+            let cause = self.node_ids[local] as u64;
+            self.dispatch_local(local, cause, now, |agent, ctx| agent.on_start(ctx));
+        }
+    }
+
+    /// Drains and dispatches every event scheduled exactly at `time`.
+    fn run_bucket(&mut self, time: SimTime, trace: bool) {
+        while let Some((seq, kind)) = self.queue.pop_at(time) {
+            self.events += 1;
+            match kind {
+                EventKind::Deliver { src, dst, msg } => {
+                    self.delivered += 1;
+                    if trace {
+                        self.trace.push((seq, Delivery { time, src, dst, msg: msg.clone() }));
+                    }
+                    let local = self.local_of[&dst];
+                    self.dispatch_local(local, seq, time, |agent, ctx| {
+                        agent.on_message(ctx, src, msg)
+                    });
+                }
+                EventKind::Timer { node, timer } => {
+                    self.timers_fired += 1;
+                    let local = self.local_of[&node];
+                    self.dispatch_local(local, seq, time, |agent, ctx| agent.on_timer(ctx, timer));
+                }
+            }
+        }
+    }
+}
+
+/// Drop-in parallel counterpart of [`Simulator`](crate::Simulator):
+/// same seed ⇒ same stats, same trace, same final agent state, at any
+/// shard count. See the module docs for the ordering argument.
+pub struct ShardedSimulator<P: Payload + Send> {
+    shards: Vec<Shard<P>>,
+    /// Shard index per global node id.
+    node_shard: Vec<u32>,
+    links: HashMap<(NodeId, NodeId), LinkConfig>,
+    default_link: LinkConfig,
+    now: SimTime,
+    /// Coordinator DRBG — seeded exactly like the serial engine's and
+    /// consumed only in the serial exchange phase.
+    rng: HmacDrbg,
+    /// Next global event sequence number.
+    next_seq: u64,
+    stats: SimStats,
+    trace_enabled: bool,
+    started: bool,
+    /// Minimum events in a window before worker threads are spawned;
+    /// smaller windows dispatch inline (identical output either way).
+    spawn_threshold: usize,
+    /// Recycled merge buffer for the exchange phase.
+    merged: Vec<OutboxEntry<P>>,
+}
+
+impl<P: Payload + Send> ShardedSimulator<P> {
+    /// Creates a sharded simulator. `shards` is clamped to at least 1;
+    /// all randomness derives from `seed` exactly as in the serial
+    /// engine, so outputs are comparable across engines and shard
+    /// counts.
+    pub fn new(seed: u64, shards: usize) -> ShardedSimulator<P> {
+        let shards = shards.max(1);
+        ShardedSimulator {
+            shards: (0..shards).map(|k| Shard::new(seed, k)).collect(),
+            node_shard: Vec::new(),
+            links: HashMap::new(),
+            default_link: LinkConfig::default(),
+            now: SimTime::ZERO,
+            rng: HmacDrbg::from_u64_labeled(seed, "netsim"),
+            next_seq: 0,
+            stats: SimStats::default(),
+            trace_enabled: false,
+            started: false,
+            spawn_threshold: 16,
+            merged: Vec::new(),
+        }
+    }
+
+    /// Adds a node on an explicit shard, returning its global id.
+    pub fn add_node_to_shard(&mut self, agent: Box<dyn Agent<P> + Send>, shard: usize) -> NodeId {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        let id = self.node_shard.len();
+        self.node_shard.push(shard as u32);
+        let s = &mut self.shards[shard];
+        let local = s.nodes.len();
+        s.nodes.push(agent);
+        s.node_ids.push(id);
+        s.local_of.insert(id, local);
+        id
+    }
+
+    /// Adds a node round-robin across shards, returning its global id.
+    pub fn add_node(&mut self, agent: Box<dyn Agent<P> + Send>) -> NodeId {
+        let shard = self.node_shard.len() % self.shards.len();
+        self.add_node_to_shard(agent, shard)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_shard.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a node lives on.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.node_shard[node] as usize
+    }
+
+    /// Sets the link configuration used when no per-pair config exists.
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        self.default_link = cfg;
+    }
+
+    /// Configures the directed link `src → dst`.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        self.links.insert((src, dst), cfg);
+    }
+
+    /// Configures both directions between `a` and `b`.
+    pub fn set_link_bidi(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.set_link(a, b, cfg);
+        self.set_link(b, a, cfg);
+    }
+
+    /// Takes a directed link down (partition).
+    pub fn set_link_down(&mut self, src: NodeId, dst: NodeId, down: bool) {
+        let mut cfg = self.link_config(src, dst);
+        cfg.down = down;
+        self.links.insert((src, dst), cfg);
+    }
+
+    fn link_config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.links.get(&(src, dst)).copied().unwrap_or(self.default_link)
+    }
+
+    /// Tunes the inline/parallel cutover: windows with fewer events than
+    /// this are dispatched on the coordinator thread. Lower it when per
+    /// event work is heavy (e.g. RSA verification), raise it for cheap
+    /// payloads. Has no effect on outputs.
+    pub fn set_spawn_threshold(&mut self, events: usize) {
+        self.spawn_threshold = events;
+    }
+
+    /// Enables trace recording (for audits and debugging).
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// The recorded deliveries in serial processing order — identical
+    /// to the serial engine's [`Simulator::trace`](crate::Simulator::trace).
+    pub fn trace_sorted(&self) -> Option<Vec<Delivery<P>>> {
+        if !self.trace_enabled {
+            return None;
+        }
+        let mut all: Vec<(u64, Delivery<P>)> =
+            self.shards.iter().flat_map(|s| s.trace.iter().cloned()).collect();
+        all.sort_by_key(|&(seq, ref d)| (d.time, seq));
+        Some(all.into_iter().map(|(_, d)| d).collect())
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Injects a message from outside the simulation; delivered after
+    /// link latency, exactly like the serial engine's `inject`.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: P) {
+        self.stats.injected += 1;
+        self.schedule_send(src, dst, msg);
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let shard = &self.shards[*self.node_shard.get(id)? as usize];
+        shard.nodes[shard.local_of[&id]].as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let shard = &mut self.shards[*self.node_shard.get(id)? as usize];
+        let local = shard.local_of[&id];
+        shard.nodes[local].as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Schedules a send on the coordinator: consumes the link DRBG and
+    /// assigns the global sequence number. Must only be called from the
+    /// serial exchange phase (or before the run starts) to preserve the
+    /// serial consumption order.
+    fn schedule_send(&mut self, src: NodeId, dst: NodeId, msg: P) {
+        assert!(dst < self.node_shard.len(), "send to unknown node {dst}");
+        let cfg = self.link_config(src, dst);
+        self.stats.sent += 1;
+        self.stats.bytes_sent += msg.wire_size() as u64;
+        if cfg.down || (cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob)) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if cfg.jitter.as_micros() > 0 {
+            crate::time::SimDuration::from_micros(self.rng.below(cfg.jitter.as_micros() + 1))
+        } else {
+            crate::time::SimDuration::ZERO
+        };
+        let at = self.now + cfg.latency + jitter;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shard = self.node_shard[dst] as usize;
+        self.shards[shard].queue.push(at, (seq, EventKind::Deliver { src, dst, msg }));
+    }
+
+    /// Serial exchange: merges every shard's outbox into the order the
+    /// serial engine applies actions in — `(cause-sequence,
+    /// action-index)` — then routes each action to its destination
+    /// calendar, consuming the coordinator DRBG along the way.
+    fn exchange(&mut self) {
+        let mut merged = std::mem::take(&mut self.merged);
+        for shard in &mut self.shards {
+            merged.append(&mut shard.outbox);
+        }
+        merged.sort_unstable_by_key(|&(cause, idx, _, _)| (cause, idx));
+        for (_, _, src, action) in merged.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.schedule_send(src, to, msg),
+                Action::SetTimer { delay, timer } => {
+                    let at = self.now + delay;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let shard = self.node_shard[src] as usize;
+                    self.shards[shard].queue.push(at, (seq, EventKind::Timer { node: src, timer }));
+                }
+            }
+        }
+        self.merged = merged;
+    }
+
+    /// Folds per-shard counters into the aggregate stats (summation is
+    /// order-independent, so this cannot depend on shard layout).
+    fn drain_shard_counters(&mut self) {
+        let mut events = 0;
+        let mut delivered = 0;
+        let mut timers = 0;
+        for shard in &mut self.shards {
+            events += std::mem::take(&mut shard.events);
+            delivered += std::mem::take(&mut shard.delivered);
+            timers += std::mem::take(&mut shard.timers_fired);
+        }
+        self.stats.events += events;
+        self.stats.delivered += delivered;
+        self.stats.timers_fired += timers;
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Start-up is a synthetic window at t=0: causes are node ids, so
+        // the exchange sorts actions by (node, action-index) — the order
+        // the serial engine applies them in.
+        let now = self.now;
+        for shard in &mut self.shards {
+            shard.run_starts(now);
+        }
+        self.exchange();
+    }
+
+    /// Dispatches every event in the window at `time`, spawning one
+    /// worker per non-empty shard when the window is large enough to
+    /// amortize thread start-up.
+    fn run_window(&mut self, time: SimTime) {
+        let trace = self.trace_enabled;
+        let active = self.shards.iter().filter(|s| s.queue.peek_time() == Some(time)).count();
+        let pending: usize = self.shards.iter().map(|s| s.queue.len_at(time)).sum();
+        if active <= 1 || pending < self.spawn_threshold {
+            for shard in &mut self.shards {
+                shard.run_bucket(time, trace);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    if shard.queue.peek_time() == Some(time) {
+                        scope.spawn(move || shard.run_bucket(time, trace));
+                    }
+                }
+            });
+        }
+        self.exchange();
+        self.drain_shard_counters();
+    }
+
+    /// Runs until every calendar drains or a bound is hit. Returns the
+    /// reason the run stopped — with outputs identical to the serial
+    /// engine's [`run`](crate::Simulator::run) (modulo the `max_events`
+    /// granularity noted in the module docs).
+    pub fn run(&mut self, limits: RunLimits) -> StopReason {
+        self.start_if_needed();
+        loop {
+            if let Some(max) = limits.max_events {
+                if self.stats.events >= max {
+                    return StopReason::EventLimit;
+                }
+            }
+            let head = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
+            let time = match head {
+                Some(t) => t,
+                None => return StopReason::Quiescent,
+            };
+            if let Some(deadline) = limits.deadline {
+                if time > deadline {
+                    return StopReason::Deadline;
+                }
+            }
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.run_window(time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::time::SimDuration;
+    use std::any::Any;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Token(u32);
+
+    impl Payload for Token {
+        fn wire_size(&self) -> usize {
+            4
+        }
+    }
+
+    #[derive(Clone)]
+    struct PingPong {
+        peer: NodeId,
+        received: Vec<u32>,
+        kick_off: bool,
+    }
+
+    impl Agent<Token> for PingPong {
+        fn on_start(&mut self, ctx: &mut Context<Token>) {
+            if self.kick_off {
+                ctx.send(self.peer, Token(8));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Token>, _from: NodeId, msg: Token) {
+            self.received.push(msg.0);
+            if msg.0 > 0 {
+                ctx.send(self.peer, Token(msg.0 - 1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// `(now, stats, trace as (time, src, dst, token))`.
+    type Fingerprint = (SimTime, SimStats, Vec<(SimTime, NodeId, NodeId, u32)>);
+
+    fn fingerprint_serial(sim: &Simulator<Token>) -> Fingerprint {
+        (
+            sim.now(),
+            sim.stats().clone(),
+            sim.trace().unwrap().iter().map(|d| (d.time, d.src, d.dst, d.msg.0)).collect(),
+        )
+    }
+
+    fn fingerprint_sharded(sim: &ShardedSimulator<Token>) -> Fingerprint {
+        (
+            sim.now(),
+            sim.stats().clone(),
+            sim.trace_sorted().unwrap().iter().map(|d| (d.time, d.src, d.dst, d.msg.0)).collect(),
+        )
+    }
+
+    /// Builds the same 4-node ring in both engines and checks that the
+    /// run outputs are identical, including under jitter and loss
+    /// (which exercise the DRBG consumption order).
+    fn assert_ring_equivalence(link: LinkConfig, shards: usize, seed: u64) {
+        let mk_agents = || {
+            (0..4)
+                .map(|i| PingPong { peer: (i + 1) % 4, received: vec![], kick_off: i == 0 })
+                .collect::<Vec<_>>()
+        };
+
+        let mut serial: Simulator<Token> = Simulator::new(seed);
+        for a in mk_agents() {
+            serial.add_node(Box::new(a));
+        }
+        serial.set_default_link(link);
+        serial.enable_trace();
+        serial.run(RunLimits::none());
+
+        let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(seed, shards);
+        sharded.set_spawn_threshold(1); // force the threaded path
+        for a in mk_agents() {
+            sharded.add_node(Box::new(a));
+        }
+        sharded.set_default_link(link);
+        sharded.enable_trace();
+        sharded.run(RunLimits::none());
+
+        assert_eq!(fingerprint_serial(&serial), fingerprint_sharded(&sharded));
+        for id in 0..4 {
+            let s: &PingPong = serial.node(id).unwrap();
+            let p: &PingPong = sharded.node(id).unwrap();
+            assert_eq!(s.received, p.received, "node {id} state diverged");
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_clean_links() {
+        for shards in 1..=4 {
+            assert_ring_equivalence(LinkConfig::default(), shards, 1);
+        }
+    }
+
+    #[test]
+    fn matches_serial_under_jitter() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(1))
+            .jittered(SimDuration::from_micros(700));
+        for shards in 1..=4 {
+            assert_ring_equivalence(link, shards, 7);
+        }
+    }
+
+    #[test]
+    fn matches_serial_under_loss_and_jitter() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(2))
+            .jittered(SimDuration::from_micros(300))
+            .lossy(0.3);
+        for shards in 1..=4 {
+            for seed in [3, 11, 42] {
+                assert_ring_equivalence(link, shards, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_with_zero_latency_cascades() {
+        // Zero-latency sends land in the current window and must be
+        // processed in the same FIFO order as the serial engine.
+        assert_ring_equivalence(LinkConfig::with_latency(SimDuration::ZERO), 2, 5);
+    }
+
+    struct TimerAgent {
+        fired: Vec<u64>,
+        peer: NodeId,
+    }
+
+    impl Agent<Token> for TimerAgent {
+        fn on_start(&mut self, ctx: &mut Context<Token>) {
+            ctx.set_timer(SimDuration::from_millis(5), 42);
+            ctx.set_timer(SimDuration::from_millis(1), 7);
+        }
+        fn on_message(&mut self, _: &mut Context<Token>, _: NodeId, _: Token) {}
+        fn on_timer(&mut self, ctx: &mut Context<Token>, timer: u64) {
+            self.fired.push(timer);
+            if timer == 7 {
+                ctx.send(self.peer, Token(1));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timers_match_serial() {
+        let mut serial: Simulator<Token> = Simulator::new(9);
+        serial.add_node(Box::new(TimerAgent { fired: vec![], peer: 1 }));
+        serial.add_node(Box::new(TimerAgent { fired: vec![], peer: 0 }));
+        serial.run(RunLimits::none());
+
+        let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(9, 2);
+        sharded.add_node(Box::new(TimerAgent { fired: vec![], peer: 1 }));
+        sharded.add_node(Box::new(TimerAgent { fired: vec![], peer: 0 }));
+        sharded.run(RunLimits::none());
+
+        assert_eq!(serial.stats(), sharded.stats());
+        for id in 0..2 {
+            let s: &TimerAgent = serial.node(id).unwrap();
+            let p: &TimerAgent = sharded.node(id).unwrap();
+            assert_eq!(s.fired, p.fired);
+        }
+    }
+
+    #[test]
+    fn deadline_and_resume_match_serial() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(10));
+        let mk = || PingPong { peer: 1, received: vec![], kick_off: true };
+        let mk2 = || PingPong { peer: 0, received: vec![], kick_off: false };
+
+        let mut serial: Simulator<Token> = Simulator::new(5);
+        serial.add_node(Box::new(mk()));
+        serial.add_node(Box::new(mk2()));
+        serial.set_default_link(link);
+        let r1 = serial.run(RunLimits::until(SimTime(25_000)));
+
+        let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(5, 2);
+        sharded.add_node(Box::new(mk()));
+        sharded.add_node(Box::new(mk2()));
+        sharded.set_default_link(link);
+        let r2 = sharded.run(RunLimits::until(SimTime(25_000)));
+
+        assert_eq!(r1, StopReason::Deadline);
+        assert_eq!(r2, StopReason::Deadline);
+        assert_eq!(serial.now(), sharded.now());
+        assert_eq!(serial.stats(), sharded.stats());
+
+        assert_eq!(serial.run(RunLimits::none()), StopReason::Quiescent);
+        assert_eq!(sharded.run(RunLimits::none()), StopReason::Quiescent);
+        assert_eq!(serial.stats(), sharded.stats());
+        assert_eq!(serial.now(), sharded.now());
+    }
+
+    #[test]
+    fn injection_matches_serial() {
+        let mut serial: Simulator<Token> = Simulator::new(2);
+        serial.add_node(Box::new(PingPong { peer: 1, received: vec![], kick_off: false }));
+        serial.add_node(Box::new(PingPong { peer: 0, received: vec![], kick_off: false }));
+        serial.inject(0, 1, Token(3));
+        serial.run(RunLimits::none());
+
+        let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(2, 2);
+        sharded.add_node(Box::new(PingPong { peer: 1, received: vec![], kick_off: false }));
+        sharded.add_node(Box::new(PingPong { peer: 0, received: vec![], kick_off: false }));
+        sharded.inject(0, 1, Token(3));
+        sharded.run(RunLimits::none());
+
+        assert_eq!(serial.stats(), sharded.stats());
+        assert_eq!(serial.stats().injected, 1);
+    }
+
+    #[test]
+    fn explicit_shard_placement() {
+        let mut sim: ShardedSimulator<Token> = ShardedSimulator::new(1, 3);
+        let a = sim
+            .add_node_to_shard(Box::new(PingPong { peer: 1, received: vec![], kick_off: true }), 2);
+        let b = sim.add_node_to_shard(
+            Box::new(PingPong { peer: 0, received: vec![], kick_off: false }),
+            0,
+        );
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(sim.shard_of(a), 2);
+        assert_eq!(sim.shard_of(b), 0);
+        sim.run(RunLimits::none());
+        assert_eq!(sim.stats().delivered, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn send_to_unknown_node_panics() {
+        let mut sim: ShardedSimulator<Token> = ShardedSimulator::new(1, 2);
+        sim.add_node(Box::new(PingPong { peer: 1, received: vec![], kick_off: false }));
+        sim.inject(0, 99, Token(0));
+    }
+}

@@ -65,12 +65,30 @@ pub struct Context<'a, P> {
     actions: Vec<Action<P>>,
 }
 
-enum Action<P> {
+pub(crate) enum Action<P> {
     Send { to: NodeId, msg: P },
     SetTimer { delay: SimDuration, timer: u64 },
 }
 
 impl<'a, P> Context<'a, P> {
+    /// Builds a callback context over a recycled action buffer. Shared
+    /// between the serial engine and the sharded engine so both apply
+    /// identical semantics to agent callbacks.
+    pub(crate) fn renew(
+        now: SimTime,
+        self_id: NodeId,
+        rng: &'a mut HmacDrbg,
+        actions: Vec<Action<P>>,
+    ) -> Context<'a, P> {
+        Context { now, self_id, rng, actions }
+    }
+
+    /// Consumes the context, returning the buffered actions in the
+    /// order the agent issued them.
+    pub(crate) fn into_actions(self) -> Vec<Action<P>> {
+        self.actions
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -133,7 +151,7 @@ pub struct SimStats {
     pub injected: u64,
 }
 
-enum EventKind<P> {
+pub(crate) enum EventKind<P> {
     Deliver { src: NodeId, dst: NodeId, msg: P },
     Timer { node: NodeId, timer: u64 },
 }
@@ -148,34 +166,38 @@ enum EventKind<P> {
 /// plus an O(1) deque operation, with none of the heap's per-level
 /// payload moves. Emptied buckets are recycled to keep the queue
 /// allocation-free in steady state.
-struct EventQueue<P> {
-    buckets: BTreeMap<SimTime, VecDeque<EventKind<P>>>,
+///
+/// Generic over the queued item: the serial engine stores bare
+/// [`EventKind`]s, the sharded engine stores `(global-seq, EventKind)`
+/// pairs so cross-shard merges can reconstruct total order.
+pub(crate) struct EventQueue<E> {
+    buckets: BTreeMap<SimTime, VecDeque<E>>,
     len: usize,
     /// Spare deques from drained buckets, reused for new times.
-    spares: Vec<VecDeque<EventKind<P>>>,
+    spares: Vec<VecDeque<E>>,
 }
 
-impl<P> EventQueue<P> {
-    fn new() -> EventQueue<P> {
+impl<E> EventQueue<E> {
+    pub(crate) fn new() -> EventQueue<E> {
         EventQueue { buckets: BTreeMap::new(), len: 0, spares: Vec::new() }
     }
 
-    fn push(&mut self, time: SimTime, kind: EventKind<P>) {
+    pub(crate) fn push(&mut self, time: SimTime, item: E) {
         let bucket =
             self.buckets.entry(time).or_insert_with(|| self.spares.pop().unwrap_or_default());
-        bucket.push_back(kind);
+        bucket.push_back(item);
         self.len += 1;
     }
 
     /// Earliest pending event time.
-    fn peek_time(&self) -> Option<SimTime> {
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
         self.buckets.keys().next().copied()
     }
 
-    fn pop(&mut self) -> Option<(SimTime, EventKind<P>)> {
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
         let mut entry = self.buckets.first_entry()?;
         let time = *entry.key();
-        let kind = entry.get_mut().pop_front().expect("buckets are never left empty");
+        let item = entry.get_mut().pop_front().expect("buckets are never left empty");
         self.len -= 1;
         if entry.get().is_empty() {
             let mut spare = entry.remove();
@@ -186,7 +208,21 @@ impl<P> EventQueue<P> {
                 self.spares.push(spare);
             }
         }
-        Some((time, kind))
+        Some((time, item))
+    }
+
+    /// Number of items scheduled exactly at `time`.
+    pub(crate) fn len_at(&self, time: SimTime) -> usize {
+        self.buckets.get(&time).map_or(0, VecDeque::len)
+    }
+
+    /// Pops the next item only if it is scheduled exactly at `time` —
+    /// the window-draining primitive of the sharded engine.
+    pub(crate) fn pop_at(&mut self, time: SimTime) -> Option<E> {
+        if self.peek_time()? != time {
+            return None;
+        }
+        self.pop().map(|(_, item)| item)
     }
 }
 
@@ -195,7 +231,7 @@ pub struct Simulator<P: Payload> {
     nodes: Vec<Box<dyn Agent<P>>>,
     links: HashMap<(NodeId, NodeId), LinkConfig>,
     default_link: LinkConfig,
-    queue: EventQueue<P>,
+    queue: EventQueue<EventKind<P>>,
     now: SimTime,
     rng: HmacDrbg,
     stats: SimStats,
