@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
 """Normalize a pvr-bench-v1 JSON document for determinism diffing.
 
-The determinism gate runs the e14 scale experiment once per shard count
-and asserts the outputs are byte-for-byte identical after stripping the
-fields that are *allowed* to differ: wall-clock timings (machine noise)
-and the shard count itself (the run's parameter, not its result). Every
-other e14 metric — AS/edge/origin counts, event totals, peak RIB size,
-bytes on the wire, O(1) short-circuits — must survive unchanged, or the
+The determinism gate runs the scale experiments (e14, and e15 when
+selected) once per shard count and asserts the outputs are
+byte-for-byte identical after stripping the fields that are *allowed*
+to differ:
+
+- wall-clock timings (machine noise) and the shard count itself (the
+  run's parameter, not its result);
+- everything derived from `verify_cache_hits` — the workspace-wide
+  carve-out: the sharded engine's per-shard verification caches see
+  fewer hits than the serial engine's network-wide cache, by design.
+
+Every other metric — e14's AS/edge/origin counts, event totals, peak
+RIB size, bytes on the wire, O(1) short-circuits; e15's metrics series
+and convergence-timeline windows — must survive unchanged, or the
 sharded engine has diverged from the serial one.
 
 Usage: normalize_e14.py BENCH.json > normalized.json
@@ -16,10 +24,11 @@ import json
 import sys
 
 
-def normalize(doc):
-    assert doc.get("schema") == "pvr-bench-v1", f"unexpected schema {doc.get('schema')!r}"
-    e14 = next((e for e in doc.get("experiments", []) if e.get("id") == "e14"), None)
-    assert e14 is not None, "no e14 record in document"
+def is_hit_series(name):
+    return "verify_cache_hit" in name
+
+
+def normalize_e14(e14):
     cells = e14.get("metrics")
     assert cells, "e14 record carries no metrics array"
     out = []
@@ -33,6 +42,31 @@ def normalize(doc):
     # Sort by (scale, mode) so cell emission order can never mask or
     # fake a divergence.
     out.sort(key=lambda c: (c["scale"], c["mode"]))
+    return out
+
+
+def normalize_e15(e15):
+    series = e15.get("metrics")
+    assert series, "e15 record carries no metrics array"
+    windows = e15.get("timeline")
+    assert windows is not None, "e15 record carries no timeline array"
+    kept_series = [s for s in series if not is_hit_series(s["name"])]
+    kept_windows = [
+        {k: v for k, v in sorted(w.items()) if k != "verify_cache_hits"}
+        for w in windows
+    ]
+    return {"metrics": kept_series, "timeline": kept_windows}
+
+
+def normalize(doc):
+    assert doc.get("schema") == "pvr-bench-v1", f"unexpected schema {doc.get('schema')!r}"
+    experiments = doc.get("experiments", [])
+    e14 = next((e for e in experiments if e.get("id") == "e14"), None)
+    assert e14 is not None, "no e14 record in document"
+    out = {"e14": normalize_e14(e14)}
+    e15 = next((e for e in experiments if e.get("id") == "e15"), None)
+    if e15 is not None:
+        out["e15"] = normalize_e15(e15)
     return out
 
 

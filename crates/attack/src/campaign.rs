@@ -12,6 +12,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// Bucket bounds for the detection-latency histogram, sim-time
+/// microseconds. The default 10 ms link latency puts in-band
+/// detections between one hop (~10 ms) and a few propagation rounds,
+/// so the ladder spans 1 ms to 1 s.
+pub const DETECTION_LATENCY_BUCKETS_US: &[u64] =
+    &[1_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000];
+
 /// Campaign-wide configuration.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -276,6 +283,28 @@ impl CampaignReport {
         self.cells.iter().filter(|c| c.mode == mode).fold((0, 0), |(calls, hits), cell| {
             (calls + cell.outcome.verify_calls, hits + cell.outcome.verify_cache_hits)
         })
+    }
+
+    /// Exports per-strategy detection-latency histograms into
+    /// `registry`: every in-band detection (`detection_time` is
+    /// `Some`) lands one observation, in sim-time microseconds, in the
+    /// `pvr_attack_detection_latency_us` histogram labelled
+    /// `strategy`/`security_mode`. Post-hoc audits and PVR round
+    /// verdicts carry no in-band time and add nothing.
+    pub fn export_detection_latency(&self, registry: &mut pvr_obs::MetricsRegistry) {
+        for cell in &self.cells {
+            let Some(t) = cell.outcome.detection_time else { continue };
+            let labels: pvr_obs::LabelSet = vec![
+                ("strategy", cell.strategy.clone()),
+                ("security_mode", cell.mode.label().to_string()),
+            ];
+            let id = registry.histogram(
+                "pvr_attack_detection_latency_us",
+                &labels,
+                DETECTION_LATENCY_BUCKETS_US,
+            );
+            registry.observe(id, t.as_micros());
+        }
     }
 
     /// The detection/impact matrix: one row per strategy, one column

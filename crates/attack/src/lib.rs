@@ -43,7 +43,9 @@ pub mod metrics;
 pub mod strategy;
 pub mod sweep;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, CellResult, Placement};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, CellResult, Placement, DETECTION_LATENCY_BUCKETS_US,
+};
 pub use cell::CellContext;
 pub use gossip::{leak_gossip_audit, LeakEvidence};
 pub use metrics::AttackOutcome;

@@ -9,17 +9,25 @@
 //!   cargo run --release -p pvr-bench --bin harness -- --json   # machine-readable
 //!   cargo run --release -p pvr-bench --bin harness -- --scale 5000 e14
 //!   cargo run --release -p pvr-bench --bin harness -- --shards 1,4 e14
+//!   cargo run --release -p pvr-bench --bin harness -- --metrics-out m.prom e15
 //!
-//! `--scale N` sets the largest AS count the scale experiment (e14)
-//! converges: default 5000, or 500 under `--quick` so CI smoke stays
-//! within budget.
+//! `--scale N` sets the largest AS count the scale experiments (e14,
+//! e15) converge: default 5000, or 500 under `--quick` so CI smoke
+//! stays within budget. E15 additionally caps its ladder at 1000 ASes
+//! — its per-router journals and timelines are meant for operator
+//! inspection, not internet-scale stress.
 //!
 //! `--shards LIST` (comma-separated, e.g. `--shards 1,2,4`) selects the
-//! engine(s) e14 runs on: 1 is the serial engine, >1 the sharded
-//! engine with that many worker calendars. Defaults to `1`, or `1,2`
-//! under `--quick` so CI smoke covers both engines. Deterministic e14
-//! fields are identical at every shard count; the CI determinism job
-//! diffs them.
+//! engine(s) e14 and e15 run on: 1 is the serial engine, >1 the
+//! sharded engine with that many worker calendars. Defaults to `1`, or
+//! `1,2` under `--quick` so CI smoke covers both engines.
+//! Deterministic e14/e15 fields are identical at every shard count;
+//! the CI determinism job diffs them.
+//!
+//! `--metrics-out FILE` writes e15's Prometheus text exposition to
+//! FILE; `--trace-out FILE` writes its JSONL event trace. Both require
+//! e15 to be selected and their directory to exist (checked up front,
+//! before any experiment runs).
 //!
 //! `--json` replaces the human tables with one JSON document on stdout:
 //! `{schema, quick, experiments: [{id, wall_secs, rows}], total_wall_secs}`
@@ -27,24 +35,46 @@
 //! e14 record additionally carries a `metrics` array with one object
 //! per (scale, shards, mode) cell: `{scale, mode, shards, ases, edges,
 //! origins, events, wall_secs, events_per_sec, peak_rib_entries,
-//! bytes_on_wire, short_circuits}`.
+//! bytes_on_wire, short_circuits}`. The e15 record carries a `metrics`
+//! array (the pvr-obs JSON exposition of the merged snapshot) and a
+//! `timeline` array (the signed run's convergence-timeline windows);
+//! `ci/normalize_e14.py` strips the `verify_cache_hit*` series/fields
+//! — the engine-local carve-out — and diffs the rest across shard
+//! counts.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
 
 /// The subset `--quick` runs: the cheapest experiment per subsystem, so
 /// a CI smoke pass exercises the harness end-to-end in seconds. E14
-/// rides along at a reduced `--scale` (500 ASes): small enough for CI,
-/// large enough that a propagation regression shows.
-const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14"];
+/// and e15 ride along at a reduced `--scale` (500 ASes): small enough
+/// for CI, large enough that a propagation regression shows.
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15"];
 
 /// Default largest AS count for e14 (overridable with `--scale`).
 const DEFAULT_SCALE: usize = 5000;
-/// E14 scale under `--quick`.
+/// E14/e15 scale under `--quick`.
 const QUICK_SCALE: usize = 500;
-/// E14 shard counts under `--quick`: serial plus one sharded run, so CI
-/// smoke exercises both engines.
+/// E15 never converges past this many ASes regardless of `--scale`:
+/// its journals and timelines are operator-inspection artifacts, not a
+/// stress test (e14 covers internet scale).
+const E15_MAX_SCALE: usize = 1000;
+/// E14/e15 shard counts under `--quick`: serial plus one sharded run,
+/// so CI smoke exercises both engines.
 const QUICK_SHARDS: &[usize] = &[1, 2];
+
+/// Validates an output-file flag up front: the file's directory must
+/// exist before any experiment burns CPU.
+fn validate_out_path(flag: &str, path: &str) {
+    let parent = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    if !parent.is_dir() {
+        eprintln!("error: {flag} directory `{}` does not exist", parent.display());
+        std::process::exit(2);
+    }
+}
 
 /// Minimal JSON string escaping (the tables are ASCII plus `µ`/`×`/`→`;
 /// everything below 0x20 is control-escaped).
@@ -72,10 +102,23 @@ fn main() {
     // before flag/id checks.
     let mut scale: Option<usize> = None;
     let mut shards: Option<Vec<usize>> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--scale" {
+        if a == "--metrics-out" || a == "--trace-out" {
+            let Some(path) = it.next().filter(|p| !p.starts_with("--") && !p.is_empty()) else {
+                eprintln!("error: {a} needs a file path");
+                std::process::exit(2);
+            };
+            validate_out_path(a, path);
+            if a == "--metrics-out" {
+                metrics_out = Some(path.clone());
+            } else {
+                trace_out = Some(path.clone());
+            }
+        } else if a == "--scale" {
             let v = it.next().and_then(|v| v.parse::<usize>().ok());
             match v {
                 Some(n) if (56..=90_000).contains(&n) => scale = Some(n),
@@ -109,7 +152,8 @@ fn main() {
         args.iter().find(|a| a.starts_with("--") && *a != "--quick" && *a != "--json")
     {
         eprintln!(
-            "error: unknown flag `{flag}` (flags: --quick, --json, --scale N, --shards LIST)"
+            "error: unknown flag `{flag}` (flags: --quick, --json, --scale N, --shards LIST, \
+             --metrics-out FILE, --trace-out FILE)"
         );
         std::process::exit(2);
     }
@@ -120,15 +164,24 @@ fn main() {
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
-    // --scale/--shards parameterize e14 only; silently ignoring them on
-    // an e14-less selection would contradict the strict flag validation
-    // above.
-    if scale.is_some() && !wanted.is_empty() && !wanted.contains(&"e14") {
-        eprintln!("error: --scale only applies to e14, which is not selected");
+    // --scale/--shards parameterize e14/e15 only and --metrics-out/
+    // --trace-out are e15 artifacts; silently ignoring them on a
+    // selection without those experiments would contradict the strict
+    // flag validation above.
+    let scale_exp = |w: &[&str]| w.is_empty() || w.contains(&"e14") || w.contains(&"e15");
+    if scale.is_some() && !scale_exp(&wanted) {
+        eprintln!("error: --scale only applies to e14/e15, neither of which is selected");
         std::process::exit(2);
     }
-    if shards.is_some() && !wanted.is_empty() && !wanted.contains(&"e14") {
-        eprintln!("error: --shards only applies to e14, which is not selected");
+    if shards.is_some() && !scale_exp(&wanted) {
+        eprintln!("error: --shards only applies to e14/e15, neither of which is selected");
+        std::process::exit(2);
+    }
+    if (metrics_out.is_some() || trace_out.is_some())
+        && !wanted.is_empty()
+        && !wanted.contains(&"e15")
+    {
+        eprintln!("error: --metrics-out/--trace-out need e15, which is not selected");
         std::process::exit(2);
     }
     let scale = scale.unwrap_or(if quick { QUICK_SCALE } else { DEFAULT_SCALE });
@@ -159,13 +212,17 @@ fn main() {
 
     let mut known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();
     known.push("e14");
+    known.push("e15");
     if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
         eprintln!("error: unknown experiment id `{bad}` (known: {})", known.join(", "));
         std::process::exit(2);
     }
 
     let total = std::time::Instant::now();
-    let mut records: Vec<(&str, f64, String, Option<Vec<pvr_bench::E14Cell>>)> = Vec::new();
+    // (id, wall, table, extra): `extra` is a pre-rendered JSON fragment
+    // appended inside the record's object — e14's per-cell metrics,
+    // e15's metrics/timeline sections, empty for everything else.
+    let mut records: Vec<(&str, f64, String, String)> = Vec::new();
     for (id, run) in runners {
         if !wanted.is_empty() && !wanted.contains(&id) {
             continue;
@@ -174,30 +231,79 @@ fn main() {
         let table = run();
         let wall = t.elapsed().as_secs_f64();
         if json {
-            records.push((id, wall, table, None));
+            records.push((id, wall, table, String::new()));
         } else {
             println!("{table}");
             println!("[{id} completed in {wall:.2} s]\n{}", "=".repeat(72));
         }
     }
-    // E14 runs last and takes the scale parameter (every other runner
-    // is a plain nullary table generator).
+    // E14 and e15 run last and take the scale/shards parameters (every
+    // other runner is a plain nullary table generator).
     if wanted.is_empty() || wanted.contains(&"e14") {
         let t = std::time::Instant::now();
         let (table, cells) = pvr_bench::e14_scale(scale, &shards);
         let wall = t.elapsed().as_secs_f64();
         if json {
-            records.push(("e14", wall, table, Some(cells)));
+            let mut extra = String::from(",\"metrics\":[");
+            for (k, c) in cells.iter().enumerate() {
+                if k > 0 {
+                    extra.push(',');
+                }
+                extra.push_str(&format!(
+                    "{{\"scale\":{},\"mode\":\"{}\",\"shards\":{},\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{}}}",
+                    c.scale,
+                    c.mode,
+                    c.shards,
+                    c.ases,
+                    c.edges,
+                    c.origins,
+                    c.events,
+                    c.wall_secs,
+                    c.events_per_sec,
+                    c.peak_rib_entries,
+                    c.bytes_on_wire,
+                    c.short_circuits,
+                ));
+            }
+            extra.push(']');
+            records.push(("e14", wall, table, extra));
         } else {
             println!("{table}");
             println!("[e14 completed in {wall:.2} s]\n{}", "=".repeat(72));
+        }
+    }
+    if wanted.is_empty() || wanted.contains(&"e15") {
+        let t = std::time::Instant::now();
+        let (table, artifacts) = pvr_bench::e15_observability(scale.min(E15_MAX_SCALE), &shards);
+        let wall = t.elapsed().as_secs_f64();
+        if let Some(path) = &metrics_out {
+            if let Err(e) = std::fs::write(path, &artifacts.prometheus) {
+                eprintln!("error: writing --metrics-out `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+        if let Some(path) = &trace_out {
+            if let Err(e) = std::fs::write(path, &artifacts.trace_jsonl) {
+                eprintln!("error: writing --trace-out `{path}`: {e}");
+                std::process::exit(2);
+            }
+        }
+        if json {
+            let extra = format!(
+                ",\"metrics\":{},\"timeline\":{}",
+                artifacts.metrics_json, artifacts.timeline_json
+            );
+            records.push(("e15", wall, table, extra));
+        } else {
+            println!("{table}");
+            println!("[e15 completed in {wall:.2} s]\n{}", "=".repeat(72));
         }
     }
 
     if json {
         let mut out = String::from("{\"schema\":\"pvr-bench-v1\",");
         out.push_str(&format!("\"quick\":{quick},\"scale\":{scale},\"experiments\":["));
-        for (i, (id, wall, table, metrics)) in records.iter().enumerate() {
+        for (i, (id, wall, table, extra)) in records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -211,30 +317,7 @@ fn main() {
                 out.push('"');
             }
             out.push(']');
-            if let Some(cells) = metrics {
-                out.push_str(",\"metrics\":[");
-                for (k, c) in cells.iter().enumerate() {
-                    if k > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&format!(
-                        "{{\"scale\":{},\"mode\":\"{}\",\"shards\":{},\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{}}}",
-                        c.scale,
-                        c.mode,
-                        c.shards,
-                        c.ases,
-                        c.edges,
-                        c.origins,
-                        c.events,
-                        c.wall_secs,
-                        c.events_per_sec,
-                        c.peak_rib_entries,
-                        c.bytes_on_wire,
-                        c.short_circuits,
-                    ));
-                }
-                out.push(']');
-            }
+            out.push_str(extra);
             out.push('}');
         }
         out.push_str(&format!("],\"total_wall_secs\":{:.4}}}", total.elapsed().as_secs_f64()));

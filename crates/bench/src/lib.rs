@@ -953,6 +953,27 @@ impl E14Net {
             E14Net::Sharded(n) => n.router(asn),
         }
     }
+
+    fn metrics_snapshot(&self, security_mode: &str) -> pvr_obs::Snapshot {
+        match self {
+            E14Net::Serial(n) => n.metrics_snapshot(security_mode),
+            E14Net::Sharded(n) => n.metrics_snapshot(security_mode),
+        }
+    }
+
+    fn convergence_timeline(&self) -> Option<pvr_obs::ConvergenceTimeline> {
+        match self {
+            E14Net::Serial(n) => n.convergence_timeline(),
+            E14Net::Sharded(n) => n.convergence_timeline(),
+        }
+    }
+
+    fn trace_jsonl(&self) -> String {
+        match self {
+            E14Net::Serial(n) => n.trace_jsonl(),
+            E14Net::Sharded(n) => n.trace_jsonl(),
+        }
+    }
 }
 
 /// E14 — internet-scale route propagation: converged `internet_like`
@@ -1116,6 +1137,212 @@ fn write_e14_row(out: &mut String, c: &E14Cell) {
         c.short_circuits
     )
     .unwrap();
+}
+
+/// E15's timeline window width, sim-time milliseconds: half the
+/// default 10 ms link latency, so propagation rounds land in distinct
+/// windows.
+const E15_WINDOW_MS: u64 = 5;
+/// E15's per-router event-journal ring capacity (most recent events).
+const E15_JOURNAL_CAP: usize = 64;
+
+/// Everything E15 produces beyond the human table: the merged metrics
+/// snapshot in both expositions, the signed-run convergence timeline
+/// as JSON, and the forensic JSONL trace. The harness embeds the JSON
+/// pieces in the `pvr-bench-v1` document and writes the Prometheus and
+/// trace artifacts behind `--metrics-out`/`--trace-out`.
+#[derive(Clone, Debug)]
+pub struct E15Artifacts {
+    /// pvr-obs compact-JSON exposition (a JSON array) of the merged
+    /// snapshot. Deterministic and engine-independent modulo the
+    /// `verify_cache_hit*` series.
+    pub metrics_json: String,
+    /// The signed-substrate convergence timeline at the largest scale,
+    /// as a JSON array of windows (`verify_cache_hits` is the
+    /// engine-local field).
+    pub timeline_json: String,
+    /// Prometheus text exposition of the same snapshot.
+    pub prometheus: String,
+    /// Per-router event journals merged into one JSONL trace.
+    /// Byte-identical across engines: journals record verify *calls*,
+    /// never cache hits.
+    pub trace_jsonl: String,
+}
+
+/// E15 — the observability layer end-to-end: converges the
+/// `internet_like` ladder (56 → `max_scale` ASes) under
+/// `plain`/`signed` with the telemetry layer on (`pvr` shares the
+/// signed substrate, as in E13/E14), prints per-run telemetry
+/// summaries and the largest scale's convergence-timeline tables, runs
+/// the quick attack campaign to populate the per-strategy
+/// detection-latency histograms, and returns the merged artifacts.
+/// Every printed number is sim-time-derived and deterministic; across
+/// shard counts everything is identical except the verify-cache hit
+/// columns/series (the workspace-wide carve-out).
+pub fn e15_observability(max_scale: usize, shard_counts: &[usize]) -> (String, E15Artifacts) {
+    use pvr_attack::{Campaign, CampaignConfig};
+    use pvr_netsim::SimDuration;
+
+    let scales: Vec<usize> = [56usize, max_scale]
+        .into_iter()
+        .filter(|&s| s <= max_scale)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut shard_counts: Vec<usize> =
+        if shard_counts.is_empty() { vec![1] } else { shard_counts.to_vec() };
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let largest = *scales.last().expect("at least one scale");
+    let first_shards = shard_counts[0];
+
+    let mut out = String::new();
+    writeln!(out, "E15: deterministic telemetry — timelines and metrics (max scale {max_scale})")
+        .unwrap();
+    writeln!(out, "(every timestamp is simulator virtual time, {E15_WINDOW_MS} ms windows; the")
+        .unwrap();
+    writeln!(out, " verify-cache hit columns/series are the engine-local carve-out, all other")
+        .unwrap();
+    writeln!(out, " telemetry is identical at every shard count; pvr shares the signed").unwrap();
+    writeln!(out, " substrate — import-path telemetry is the signed run's)").unwrap();
+    writeln!(
+        out,
+        "{:>6} {:<7} {:>6} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "scale", "mode", "shards", "windows", "events", "rib-churn", "verifies", "trace-lines"
+    )
+    .unwrap();
+
+    let mut combined = pvr_obs::Snapshot::default();
+    let mut sel_timeline: Option<pvr_obs::ConvergenceTimeline> = None;
+    let mut sel_trace = String::new();
+    let mut timeline_tables: Vec<(&'static str, String)> = Vec::new();
+    // (scale, signed-run snapshot/timeline at the base shard count) for
+    // the cross-engine footer.
+    let mut base_telemetry: Vec<(usize, pvr_obs::Snapshot, pvr_obs::ConvergenceTimeline)> =
+        Vec::new();
+    let mut engine_checks: Vec<String> = Vec::new();
+    let hit_series = |name: &str| name.contains("verify_cache_hit");
+    for &scale in &scales {
+        let params = e14_params(scale);
+        let topology = internet_like(params, 14);
+        for &shards in &shard_counts {
+            for (mode, signed) in [("plain", false), ("signed", true)] {
+                let mut net = E14Net::build(
+                    &topology,
+                    InstantiateOptions {
+                        seed: 14,
+                        signed,
+                        key_bits: 512,
+                        timeline_window: Some(SimDuration::from_millis(E15_WINDOW_MS)),
+                        journal_capacity: E15_JOURNAL_CAP,
+                        ..Default::default()
+                    },
+                    shards,
+                );
+                if signed {
+                    net.install_origin_table(std::sync::Arc::new(topology.origin_table()));
+                }
+                let stop = net.converge(RunLimits::none());
+                assert_eq!(
+                    stop,
+                    pvr_netsim::StopReason::Quiescent,
+                    "e15 scale {scale} {mode} shards {shards}"
+                );
+                let timeline = net.convergence_timeline().expect("timeline enabled");
+                let snap = net.metrics_snapshot(mode);
+                let trace = net.trace_jsonl();
+                let events: u64 = timeline.windows.iter().map(|w| w.events).sum();
+                let churn: u64 = timeline.windows.iter().map(|w| w.rib_churn).sum();
+                let verifies: u64 = timeline.windows.iter().map(|w| w.verify_calls).sum();
+                writeln!(
+                    out,
+                    "{:>6} {:<7} {:>6} {:>8} {:>10} {:>10} {:>10} {:>12}",
+                    scale,
+                    mode,
+                    shards,
+                    timeline.windows.len(),
+                    events,
+                    churn,
+                    verifies,
+                    trace.lines().count()
+                )
+                .unwrap();
+                if signed {
+                    if shards == first_shards {
+                        base_telemetry.push((scale, snap.clone(), timeline.clone()));
+                    } else if let Some((_, base_snap, base_tl)) =
+                        base_telemetry.iter().find(|(s, _, _)| *s == scale)
+                    {
+                        let same = snap.without(hit_series) == base_snap.without(hit_series)
+                            && timeline.zero_cache_hits() == base_tl.zero_cache_hits();
+                        engine_checks.push(format!(
+                            "scale {scale} signed: shards {shards} telemetry == shards \
+                             {first_shards} (modulo cache-hit carve-out): {same}"
+                        ));
+                    }
+                }
+                if scale == largest && shards == first_shards {
+                    timeline_tables.push((mode, timeline.render_table()));
+                    combined.merge(&snap);
+                    if signed {
+                        // The pvr row shares the signed substrate: same
+                        // counters, re-labelled.
+                        combined.merge(&net.metrics_snapshot("pvr"));
+                        sel_timeline = Some(timeline);
+                        sel_trace = trace;
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-strategy detection latency, read straight off the campaign's
+    // histogram export (sim-time microseconds).
+    let report = Campaign::new(CampaignConfig::quick(15)).run();
+    let mut detect_reg = pvr_obs::MetricsRegistry::new();
+    report.export_detection_latency(&mut detect_reg);
+    let detect_snap = detect_reg.snapshot();
+    writeln!(out, "\nin-band detection latency (sim-time, from the seed-15 quick campaign):")
+        .unwrap();
+    for s in &detect_snap.series {
+        if let pvr_obs::Value::Histogram(h) = &s.value {
+            let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            writeln!(
+                out,
+                "  {} {{{}}}: n={}, mean={} µs",
+                s.name,
+                labels.join(","),
+                h.count(),
+                h.sum() / h.count().max(1)
+            )
+            .unwrap();
+        }
+    }
+    combined.merge(&detect_snap);
+
+    for (mode, table) in &timeline_tables {
+        writeln!(out, "\nconvergence timeline — scale {largest}, {mode}, shards {first_shards}:")
+            .unwrap();
+        out.push_str(table);
+    }
+    for line in &engine_checks {
+        writeln!(out, "{line}").unwrap();
+    }
+    writeln!(out, "(expected: signed runs verify on import so their verifies column is busy")
+        .unwrap();
+    writeln!(out, " while plain stays 0; churn concentrates in the first propagation rounds;")
+        .unwrap();
+    writeln!(out, " detection latency ≈ one 10 ms hop — the first honest neighbor rejects)")
+        .unwrap();
+
+    let timeline = sel_timeline.expect("signed run selected");
+    let artifacts = E15Artifacts {
+        metrics_json: pvr_obs::expo::to_json(&combined),
+        timeline_json: timeline.to_json(),
+        prometheus: pvr_obs::expo::to_prometheus(&combined),
+        trace_jsonl: sel_trace,
+    };
+    (out, artifacts)
 }
 
 /// Sanity used by tests: E1 claims must hold programmatically.

@@ -62,55 +62,46 @@ pub enum SecurityMode {
     },
 }
 
-/// Per-router counters (inputs to experiment E8's overhead table and
-/// E12's detection columns).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct RouterStats {
-    /// UPDATE messages received.
-    pub updates_rx: u64,
-    /// UPDATE messages sent.
-    pub updates_tx: u64,
-    /// Routes accepted into Adj-RIB-In.
-    pub routes_accepted: u64,
-    /// Routes rejected by import policy (incl. loops).
-    pub routes_rejected: u64,
-    /// Announcements dropped due to attestation failures.
-    pub attestation_failures: u64,
-    /// Announcements dropped because the origin AS is not authorized
-    /// for the prefix (RPKI-style check, see [`OriginTable`]).
-    pub origin_failures: u64,
-    /// Attestation-signature checks this router requested (signed
-    /// mode with the network-wide cache installed; one per attestation
-    /// of each received chain).
-    pub verify_calls: u64,
-    /// How many of those were answered by the network-wide
-    /// [`VerifyCache`] without running RSA.
-    pub verify_cache_hits: u64,
-    /// Decision-process runs that changed the best route.
-    pub best_changes: u64,
-    /// Decision-process runs resolved in O(1) by the incremental path:
-    /// the arrival lost to the standing best (or withdrew a non-best
-    /// route), so no candidate rescan, no clone, no export ran.
-    pub reselect_short_circuits: u64,
+pvr_obs::metric_struct! {
+    /// Per-router counters (inputs to experiment E8's overhead table and
+    /// E12's detection columns).
+    ///
+    /// Declared through [`pvr_obs::metric_struct!`], which also derives
+    /// the commutative `add` fold (network-wide totals independent of
+    /// router iteration order and shard layout) and the registry export
+    /// (counters named `pvr_router_<field>_total`) from the same field
+    /// list — the struct and the metrics registry cannot drift apart.
+    pub struct RouterStats, prefix = "pvr_router" {
+        /// UPDATE messages received.
+        pub updates_rx: u64,
+        /// UPDATE messages sent.
+        pub updates_tx: u64,
+        /// Routes accepted into Adj-RIB-In.
+        pub routes_accepted: u64,
+        /// Routes rejected by import policy (incl. loops).
+        pub routes_rejected: u64,
+        /// Announcements dropped due to attestation failures.
+        pub attestation_failures: u64,
+        /// Announcements dropped because the origin AS is not authorized
+        /// for the prefix (RPKI-style check, see [`OriginTable`]).
+        pub origin_failures: u64,
+        /// Attestation-signature checks this router requested (signed
+        /// mode with the network-wide cache installed; one per attestation
+        /// of each received chain).
+        pub verify_calls: u64,
+        /// How many of those were answered by the network-wide
+        /// [`VerifyCache`] without running RSA.
+        pub verify_cache_hits: u64,
+        /// Decision-process runs that changed the best route.
+        pub best_changes: u64,
+        /// Decision-process runs resolved in O(1) by the incremental path:
+        /// the arrival lost to the standing best (or withdrew a non-best
+        /// route), so no candidate rescan, no clone, no export ran.
+        pub reselect_short_circuits: u64,
+    }
 }
 
 impl RouterStats {
-    /// Accumulates `other` into `self`, field by field. Addition is
-    /// commutative, so network-wide totals built with this are
-    /// independent of router iteration order and shard layout.
-    pub fn add(&mut self, other: &RouterStats) {
-        self.updates_rx += other.updates_rx;
-        self.updates_tx += other.updates_tx;
-        self.routes_accepted += other.routes_accepted;
-        self.routes_rejected += other.routes_rejected;
-        self.attestation_failures += other.attestation_failures;
-        self.origin_failures += other.origin_failures;
-        self.verify_calls += other.verify_calls;
-        self.verify_cache_hits += other.verify_cache_hits;
-        self.best_changes += other.best_changes;
-        self.reselect_short_circuits += other.reselect_short_circuits;
-    }
-
     /// A copy with the cache-locality-dependent counter cleared.
     /// `verify_cache_hits` is the one statistic that legitimately
     /// depends on cache scope (a per-shard cache sees fewer reuse
@@ -190,6 +181,13 @@ pub struct BgpRouter {
     /// `flush`, allocation retained across messages).
     pending_scratch: SortedMap<NodeId, BgpUpdate>,
     stats: RouterStats,
+    /// Per-router convergence-timeline recorder (RIB churn and verify
+    /// traffic per sim-time window); `None` unless observability was
+    /// enabled at instantiation. Stamped exclusively with the
+    /// simulator's virtual clock (the sim-time-only tracing rule).
+    obs_timeline: Option<pvr_obs::TimelineRecorder>,
+    /// Ring-buffered sim-time event journal (capacity 0 = disabled).
+    journal: pvr_obs::EventJournal,
 }
 
 impl BgpRouter {
@@ -219,7 +217,64 @@ impl BgpRouter {
             touched_scratch: Vec::new(),
             pending_scratch: SortedMap::new(),
             stats: RouterStats::default(),
+            obs_timeline: None,
+            journal: pvr_obs::EventJournal::new(0),
         }
+    }
+
+    /// Enables the per-router convergence-timeline recorder with
+    /// `window`-wide sim-time windows (RIB churn and verify traffic;
+    /// merged network-wide by `BgpNetwork::convergence_timeline`).
+    pub fn enable_timeline(&mut self, window: SimDuration) {
+        if self.obs_timeline.is_none() {
+            self.obs_timeline = Some(pvr_obs::TimelineRecorder::new(
+                window.as_micros(),
+                pvr_obs::timeline::RT_CHANNELS,
+            ));
+        }
+    }
+
+    /// Enables the ring-buffered event journal, keeping the most recent
+    /// `capacity` events for forensic JSONL dumps.
+    pub fn enable_journal(&mut self, capacity: usize) {
+        self.journal = pvr_obs::EventJournal::new(capacity);
+    }
+
+    /// The per-router timeline recorder, if enabled.
+    pub fn timeline(&self) -> Option<&pvr_obs::TimelineRecorder> {
+        self.obs_timeline.as_ref()
+    }
+
+    /// The per-router event journal (empty when disabled).
+    pub fn journal(&self) -> &pvr_obs::EventJournal {
+        &self.journal
+    }
+
+    /// Records a best-route change at `now` (timeline + journal).
+    fn observe_churn(&mut self, now: SimTime) {
+        let t = now.as_micros();
+        if let Some(tl) = &mut self.obs_timeline {
+            tl.add(t, pvr_obs::timeline::RT_RIB_CHURN, 1);
+        }
+        self.journal.record(t, "best_change", 1);
+    }
+
+    /// Records attestation-verification traffic at `now`. The journal
+    /// keeps only the engine-invariant call count: cache hits depend on
+    /// cache scope (see [`RouterStats::shard_invariant`]), and leaving
+    /// them out keeps the JSONL trace byte-identical across engines.
+    fn observe_verify(&mut self, now: SimTime, calls: u64, hits: u64) {
+        let t = now.as_micros();
+        if let Some(tl) = &mut self.obs_timeline {
+            tl.add(t, pvr_obs::timeline::RT_VERIFY_CALLS, calls);
+            tl.add(t, pvr_obs::timeline::RT_VERIFY_HITS, hits);
+        }
+        self.journal.record(t, "verify", calls);
+    }
+
+    /// Journals a security rejection (attestation/origin) at `now`.
+    fn observe_reject(&mut self, now: SimTime, kind: &'static str) {
+        self.journal.record(now.as_micros(), kind, 1);
     }
 
     /// Switches this router to the given malicious behaviour.
@@ -350,6 +405,7 @@ impl BgpRouter {
         &mut self,
         prefix: Prefix,
         hint: ReselectHint,
+        now: SimTime,
         pending: &mut SortedMap<NodeId, BgpUpdate>,
     ) {
         let outcome =
@@ -363,6 +419,7 @@ impl BgpRouter {
             ReselectOutcome::Changed => {}
         }
         self.stats.best_changes += 1;
+        self.observe_churn(now);
         // O(1)-ish clone: the candidate's route shares its path and
         // communities.
         let best = self.loc_rib.get(prefix).cloned();
@@ -436,18 +493,25 @@ impl BgpRouter {
                 // it under the sharded engine's per-shard caches), so
                 // the deltas are exactly this router's share of the
                 // shared counters — no cross-shard double-counting.
-                self.stats.verify_calls += cache.calls() - calls;
-                self.stats.verify_cache_hits += cache.hits() - hits;
+                let delta_calls = cache.calls() - calls;
+                let delta_hits = cache.hits() - hits;
+                self.stats.verify_calls += delta_calls;
+                self.stats.verify_cache_hits += delta_hits;
+                if delta_calls > 0 {
+                    self.observe_verify(now, delta_calls, delta_hits);
+                }
             }
             if verdict.is_err() {
                 self.stats.attestation_failures += 1;
                 self.first_security_reject.get_or_insert(now);
+                self.observe_reject(now, "attestation_reject");
                 return None;
             }
             // The claimed first AS must be the actual sender.
             if sr.route.path.first_as() != Some(from) {
                 self.stats.attestation_failures += 1;
                 self.first_security_reject.get_or_insert(now);
+                self.observe_reject(now, "attestation_reject");
                 return None;
             }
         }
@@ -457,6 +521,7 @@ impl BgpRouter {
                 if !table.permits(sr.route.prefix, origin) {
                     self.stats.origin_failures += 1;
                     self.first_security_reject.get_or_insert(now);
+                    self.observe_reject(now, "origin_reject");
                     return None;
                 }
             }
@@ -535,11 +600,12 @@ impl Agent<BgpUpdate> for BgpRouter {
         for (i, (delay, _)) in self.schedule.iter().enumerate() {
             ctx.set_timer(*delay, i as u64);
         }
+        let now = ctx.now();
         let prefixes = std::mem::take(&mut self.originate_at_start);
         let mut pending = std::mem::take(&mut self.pending_scratch);
         for prefix in prefixes {
             self.start_originating(prefix);
-            self.reselect_and_export(prefix, ReselectHint::Full, &mut pending);
+            self.reselect_and_export(prefix, ReselectHint::Full, now, &mut pending);
         }
         self.flush(ctx, &mut pending);
         self.pending_scratch = pending;
@@ -571,7 +637,7 @@ impl Agent<BgpUpdate> for BgpRouter {
         // Every change in this message came from `from`'s session, so
         // the incremental decision path applies to each prefix.
         for &prefix in &touched {
-            self.reselect_and_export(prefix, ReselectHint::Neighbor(from), &mut pending);
+            self.reselect_and_export(prefix, ReselectHint::Neighbor(from), now, &mut pending);
         }
         touched.clear();
         self.touched_scratch = touched;
@@ -601,7 +667,7 @@ impl Agent<BgpUpdate> for BgpRouter {
         let mut pending = std::mem::take(&mut self.pending_scratch);
         // A local origination/withdrawal changed the local candidate,
         // which the Neighbor hint cannot cover.
-        self.reselect_and_export(prefix, ReselectHint::Full, &mut pending);
+        self.reselect_and_export(prefix, ReselectHint::Full, ctx.now(), &mut pending);
         self.flush(ctx, &mut pending);
         self.pending_scratch = pending;
     }

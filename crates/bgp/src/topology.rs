@@ -270,6 +270,12 @@ impl Topology {
         if let Some(interval) = options.mrai {
             router.set_mrai(interval);
         }
+        if let Some(window) = options.timeline_window {
+            router.enable_timeline(window);
+        }
+        if options.journal_capacity > 0 {
+            router.enable_journal(options.journal_capacity);
+        }
         for p in self.originations.get(&asn).into_iter().flatten() {
             router.originate(*p);
         }
@@ -288,6 +294,9 @@ impl Topology {
     pub fn instantiate(&self, options: InstantiateOptions) -> BgpNetwork {
         let mut sim: Simulator<BgpUpdate> = Simulator::new(options.seed);
         sim.set_default_link(options.link);
+        if let Some(window) = options.timeline_window {
+            sim.enable_timeline(window);
+        }
 
         // Key material (signed mode only).
         let keystore = self.generate_identities(options);
@@ -342,6 +351,9 @@ impl Topology {
         let shards = shards.max(1);
         let mut sim: ShardedSimulator<BgpUpdate> = ShardedSimulator::new(options.seed, shards);
         sim.set_default_link(options.link);
+        if let Some(window) = options.timeline_window {
+            sim.enable_timeline(window);
+        }
         if options.signed {
             // RSA verification dominates per-event cost in signed mode;
             // even small windows amortize a thread spawn.
@@ -394,6 +406,15 @@ pub struct InstantiateOptions {
     pub key_bits: usize,
     /// Optional MRAI batching interval applied to every router.
     pub mrai: Option<SimDuration>,
+    /// Enables the observability layer: convergence-timeline recorders
+    /// on the simulator and on every router, with sim-time windows of
+    /// this width. `None` (the default) records nothing and adds no
+    /// per-event work.
+    pub timeline_window: Option<SimDuration>,
+    /// Per-router event-journal ring capacity (most recent events kept
+    /// for forensic JSONL dumps); `0` (the default) disables the
+    /// journal.
+    pub journal_capacity: usize,
 }
 
 impl Default for InstantiateOptions {
@@ -404,6 +425,8 @@ impl Default for InstantiateOptions {
             signed: false,
             key_bits: 512,
             mrai: None,
+            timeline_window: None,
+            journal_capacity: 0,
         }
     }
 }
@@ -448,6 +471,56 @@ impl OriginTable {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+}
+
+/// Label set shared by every network-level metric series.
+fn metric_labels(security_mode: &str) -> pvr_obs::LabelSet {
+    vec![("security_mode", security_mode.to_string())]
+}
+
+/// Network-level gauge series shared by both engines: RIB sizes and
+/// the verify-cache hit ratio. The hit ratio derives from
+/// `verify_cache_hits` — the one counter the sharded engine is allowed
+/// to disagree on (see [`RouterStats::shard_invariant`]) — so
+/// engine-equality comparisons must drop it alongside the counter.
+fn export_network_gauges(
+    registry: &mut pvr_obs::MetricsRegistry,
+    labels: &pvr_obs::LabelSet,
+    totals: &RouterStats,
+    adj_rib_in: u64,
+    loc_rib: u64,
+) {
+    let g = registry.gauge("pvr_adj_rib_in_entries", labels);
+    registry.set_gauge(g, adj_rib_in as f64);
+    let g = registry.gauge("pvr_loc_rib_entries", labels);
+    registry.set_gauge(g, loc_rib as f64);
+    let ratio = if totals.verify_calls > 0 {
+        totals.verify_cache_hits as f64 / totals.verify_calls as f64
+    } else {
+        0.0
+    };
+    let g = registry.gauge("pvr_verify_cache_hit_ratio", labels);
+    registry.set_gauge(g, ratio);
+}
+
+/// Merges per-router event journals into one globally time-ordered
+/// JSONL stream. Ties at the same instant break by ASN; within one
+/// router the journal's own order is kept (the sort is stable).
+fn merge_trace_jsonl<'a>(routers: impl Iterator<Item = (Asn, &'a BgpRouter)>) -> String {
+    use std::fmt::Write as _;
+    let mut entries: Vec<(u64, u32, &'static str, u64)> = Vec::new();
+    for (asn, router) in routers {
+        for e in router.journal().entries() {
+            entries.push((e.t_us, asn.0, e.kind, e.value));
+        }
+    }
+    entries.sort_by_key(|&(t, asn, _, _)| (t, asn));
+    let mut out = String::new();
+    for (t, asn, kind, value) in entries {
+        writeln!(out, "{{\"t_us\":{t},\"router\":{asn},\"event\":\"{kind}\",\"value\":{value}}}")
+            .expect("write to String");
+    }
+    out
 }
 
 /// An instantiated network: simulator plus AS → node mapping.
@@ -514,6 +587,54 @@ impl BgpNetwork {
             total.add(self.router(asn).stats());
         }
         total
+    }
+
+    /// Network-wide RIB entry totals `(adj_rib_in, loc_rib)`.
+    fn rib_totals(&self) -> (u64, u64) {
+        let mut adj = 0u64;
+        let mut loc = 0u64;
+        for asn in self.ases() {
+            let (a, l) = self.router(asn).rib_entry_counts();
+            adj += a as u64;
+            loc += l as u64;
+        }
+        (adj, loc)
+    }
+
+    /// One deterministic network-wide metrics snapshot: simulator and
+    /// router counters plus RIB-size and verify-cache-hit-ratio
+    /// gauges, every series labelled `security_mode=<mode>`.
+    pub fn metrics_snapshot(&self, security_mode: &str) -> pvr_obs::Snapshot {
+        let labels = metric_labels(security_mode);
+        let mut registry = pvr_obs::MetricsRegistry::new();
+        self.sim.stats().export_metrics(&mut registry, &labels);
+        let totals = self.router_totals();
+        totals.export_metrics(&mut registry, &labels);
+        let (adj, loc) = self.rib_totals();
+        export_network_gauges(&mut registry, &labels, &totals, adj, loc);
+        registry.snapshot()
+    }
+
+    /// Assembles the per-window convergence timeline from the
+    /// simulator and router recorders. `None` unless the network was
+    /// instantiated with [`InstantiateOptions::timeline_window`] set.
+    pub fn convergence_timeline(&self) -> Option<pvr_obs::ConvergenceTimeline> {
+        let sim_tl = self.sim.timeline()?;
+        let mut routers =
+            pvr_obs::TimelineRecorder::new(sim_tl.window_us(), pvr_obs::timeline::RT_CHANNELS);
+        for asn in self.ases() {
+            if let Some(tl) = self.router(asn).timeline() {
+                routers.merge(tl);
+            }
+        }
+        Some(pvr_obs::ConvergenceTimeline::assemble(sim_tl, &routers))
+    }
+
+    /// Per-router event journals merged into one time-ordered JSONL
+    /// trace; empty unless the network was instantiated with a nonzero
+    /// [`InstantiateOptions::journal_capacity`].
+    pub fn trace_jsonl(&self) -> String {
+        merge_trace_jsonl(self.ases().map(|asn| (asn, self.router(asn))))
     }
 }
 
@@ -583,6 +704,69 @@ impl ShardedBgpNetwork {
             total.add(self.router(asn).stats());
         }
         total
+    }
+
+    /// Network-wide RIB entry totals `(adj_rib_in, loc_rib)`.
+    fn rib_totals(&self) -> (u64, u64) {
+        let mut adj = 0u64;
+        let mut loc = 0u64;
+        for asn in self.ases() {
+            let (a, l) = self.router(asn).rib_entry_counts();
+            adj += a as u64;
+            loc += l as u64;
+        }
+        (adj, loc)
+    }
+
+    /// The sharded counterpart of [`BgpNetwork::metrics_snapshot`]:
+    /// each shard's routers fold into that shard's own registry
+    /// (ascending ASN within the shard), the shard snapshots merge in
+    /// ascending shard order, and the network-level series layer on
+    /// top — the same fold order the serial engine's single pass
+    /// produces. The result is identical to the serial snapshot except
+    /// for series derived from `verify_cache_hits` (the carve-out).
+    pub fn metrics_snapshot(&self, security_mode: &str) -> pvr_obs::Snapshot {
+        let labels = metric_labels(security_mode);
+        let mut per_shard: Vec<pvr_obs::MetricsRegistry> =
+            (0..self.sim.shard_count()).map(|_| pvr_obs::MetricsRegistry::new()).collect();
+        for asn in self.ases() {
+            let shard = self.sim.shard_of(self.node_of[&asn]);
+            self.router(asn).stats().export_metrics(&mut per_shard[shard], &labels);
+        }
+        let mut snap = pvr_obs::Snapshot::default();
+        for registry in &per_shard {
+            snap.merge(&registry.snapshot());
+        }
+        let mut network = pvr_obs::MetricsRegistry::new();
+        self.sim.stats().export_metrics(&mut network, &labels);
+        let totals = self.router_totals();
+        let (adj, loc) = self.rib_totals();
+        export_network_gauges(&mut network, &labels, &totals, adj, loc);
+        snap.merge(&network.snapshot());
+        snap
+    }
+
+    /// Assembles the per-window convergence timeline; see
+    /// [`BgpNetwork::convergence_timeline`]. Identical to the serial
+    /// timeline except for the `verify_cache_hits` channel.
+    pub fn convergence_timeline(&self) -> Option<pvr_obs::ConvergenceTimeline> {
+        let sim_tl = self.sim.timeline()?;
+        let mut routers =
+            pvr_obs::TimelineRecorder::new(sim_tl.window_us(), pvr_obs::timeline::RT_CHANNELS);
+        for asn in self.ases() {
+            if let Some(tl) = self.router(asn).timeline() {
+                routers.merge(tl);
+            }
+        }
+        Some(pvr_obs::ConvergenceTimeline::assemble(sim_tl, &routers))
+    }
+
+    /// Per-router event journals merged into one time-ordered JSONL
+    /// trace; see [`BgpNetwork::trace_jsonl`]. Byte-identical to the
+    /// serial trace (journals record verify *calls*, never cache
+    /// hits).
+    pub fn trace_jsonl(&self) -> String {
+        merge_trace_jsonl(self.ases().map(|asn| (asn, self.router(asn))))
     }
 }
 

@@ -159,6 +159,10 @@ pub struct ShardedSimulator<P: Payload + Send> {
     next_seq: u64,
     stats: SimStats,
     trace_enabled: bool,
+    /// Optional convergence-timeline recorder, maintained by the
+    /// coordinator only (shard workers never touch it) so the recorded
+    /// windows are byte-identical to the serial engine's.
+    timeline: Option<pvr_obs::TimelineRecorder>,
     started: bool,
     /// Minimum events in a window before worker threads are spawned;
     /// smaller windows dispatch inline (identical output either way).
@@ -184,6 +188,7 @@ impl<P: Payload + Send> ShardedSimulator<P> {
             next_seq: 0,
             stats: SimStats::default(),
             trace_enabled: false,
+            timeline: None,
             started: false,
             spawn_threshold: 16,
             merged: Vec::new(),
@@ -262,6 +267,27 @@ impl<P: Payload + Send> ShardedSimulator<P> {
     /// Enables trace recording (for audits and debugging).
     pub fn enable_trace(&mut self) {
         self.trace_enabled = true;
+    }
+
+    /// Enables the convergence-timeline recorder — the sharded
+    /// counterpart of
+    /// [`Simulator::enable_timeline`](crate::Simulator::enable_timeline),
+    /// recording byte-identical windows: event/delivery counts are
+    /// folded per window on the coordinator, and queue depth is sampled
+    /// at the same engine-independent points (a sim-instant fully
+    /// draining).
+    pub fn enable_timeline(&mut self, window: crate::time::SimDuration) {
+        if self.timeline.is_none() {
+            self.timeline = Some(pvr_obs::TimelineRecorder::new(
+                window.as_micros(),
+                pvr_obs::timeline::SIM_CHANNELS,
+            ));
+        }
+    }
+
+    /// The timeline recorder, if enabled.
+    pub fn timeline(&self) -> Option<&pvr_obs::TimelineRecorder> {
+        self.timeline.as_ref()
     }
 
     /// The recorded deliveries in serial processing order — identical
@@ -358,7 +384,9 @@ impl<P: Payload + Send> ShardedSimulator<P> {
 
     /// Folds per-shard counters into the aggregate stats (summation is
     /// order-independent, so this cannot depend on shard layout).
-    fn drain_shard_counters(&mut self) {
+    /// Returns the `(events, delivered)` deltas so the caller can
+    /// attribute them to the window just dispatched.
+    fn drain_shard_counters(&mut self) -> (u64, u64) {
         let mut events = 0;
         let mut delivered = 0;
         let mut timers = 0;
@@ -370,6 +398,7 @@ impl<P: Payload + Send> ShardedSimulator<P> {
         self.stats.events += events;
         self.stats.delivered += delivered;
         self.stats.timers_fired += timers;
+        (events, delivered)
     }
 
     fn start_if_needed(&mut self) {
@@ -408,7 +437,14 @@ impl<P: Payload + Send> ShardedSimulator<P> {
             });
         }
         self.exchange();
-        self.drain_shard_counters();
+        let (events, delivered) = self.drain_shard_counters();
+        if let Some(tl) = &mut self.timeline {
+            use pvr_obs::timeline::{SIM_DELIVERED, SIM_EVENTS};
+            // Every event dispatched by this call carried timestamp
+            // `time` — exactly where the serial engine counts them.
+            tl.add(time.as_micros(), SIM_EVENTS, events);
+            tl.add(time.as_micros(), SIM_DELIVERED, delivered);
+        }
     }
 
     /// Runs until every calendar drains or a bound is hit. Returns the
@@ -436,6 +472,19 @@ impl<P: Payload + Send> ShardedSimulator<P> {
             debug_assert!(time >= self.now, "time went backwards");
             self.now = time;
             self.run_window(time);
+            if self.timeline.is_some() {
+                // Mirror the serial engine's queue-depth sampling rule:
+                // sample only once the instant `time` has fully drained
+                // (zero-latency cascades re-enter the window above), at
+                // which point both engines hold the same pending set.
+                let head = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
+                if head != Some(time) {
+                    let depth: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+                    if let Some(tl) = &mut self.timeline {
+                        tl.set(time.as_micros(), pvr_obs::timeline::SIM_QUEUE_DEPTH, depth as u64);
+                    }
+                }
+            }
         }
     }
 }
@@ -662,6 +711,52 @@ mod tests {
 
         assert_eq!(serial.stats(), sharded.stats());
         assert_eq!(serial.stats().injected, 1);
+    }
+
+    #[test]
+    fn timeline_matches_serial_byte_for_byte() {
+        // Sim channels (events, deliveries, queue-depth samples) carry
+        // no cache carve-out: the recorders must be *equal*, including
+        // under jitter and zero-latency cascades.
+        for link in [
+            LinkConfig::default(),
+            LinkConfig::with_latency(SimDuration::ZERO),
+            LinkConfig::with_latency(SimDuration::from_millis(1))
+                .jittered(SimDuration::from_micros(700)),
+        ] {
+            let window = SimDuration::from_millis(5);
+            let mut serial: Simulator<Token> = Simulator::new(7);
+            for i in 0..4 {
+                serial.add_node(Box::new(PingPong {
+                    peer: (i + 1) % 4,
+                    received: vec![],
+                    kick_off: i == 0,
+                }));
+            }
+            serial.set_default_link(link);
+            serial.enable_timeline(window);
+            serial.run(RunLimits::none());
+
+            for shards in [2, 3] {
+                let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(7, shards);
+                sharded.set_spawn_threshold(1);
+                for i in 0..4 {
+                    sharded.add_node(Box::new(PingPong {
+                        peer: (i + 1) % 4,
+                        received: vec![],
+                        kick_off: i == 0,
+                    }));
+                }
+                sharded.set_default_link(link);
+                sharded.enable_timeline(window);
+                sharded.run(RunLimits::none());
+                assert_eq!(
+                    serial.timeline().unwrap(),
+                    sharded.timeline().unwrap(),
+                    "{shards} shards"
+                );
+            }
+        }
     }
 
     #[test]

@@ -131,24 +131,30 @@ pub struct Delivery<P> {
     pub msg: P,
 }
 
-/// Aggregate counters for a run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct SimStats {
-    /// Messages handed to the network by agents.
-    pub sent: u64,
-    /// Messages delivered to agents.
-    pub delivered: u64,
-    /// Messages dropped by lossy/down links.
-    pub dropped: u64,
-    /// Sum of payload wire sizes for sent messages.
-    pub bytes_sent: u64,
-    /// Timer firings.
-    pub timers_fired: u64,
-    /// Total events processed.
-    pub events: u64,
-    /// Messages injected from outside the simulation (attack campaigns,
-    /// test harnesses) via [`Simulator::inject`].
-    pub injected: u64,
+pvr_obs::metric_struct! {
+    /// Aggregate counters for a run.
+    ///
+    /// Declared through [`pvr_obs::metric_struct!`], so the struct, its
+    /// `add` fold, and its registry export (counters named
+    /// `pvr_sim_<field>_total`) are generated from one field list and
+    /// can never drift apart.
+    pub struct SimStats, prefix = "pvr_sim" {
+        /// Messages handed to the network by agents.
+        pub sent: u64,
+        /// Messages delivered to agents.
+        pub delivered: u64,
+        /// Messages dropped by lossy/down links.
+        pub dropped: u64,
+        /// Sum of payload wire sizes for sent messages.
+        pub bytes_sent: u64,
+        /// Timer firings.
+        pub timers_fired: u64,
+        /// Total events processed.
+        pub events: u64,
+        /// Messages injected from outside the simulation (attack campaigns,
+        /// test harnesses) via [`Simulator::inject`].
+        pub injected: u64,
+    }
 }
 
 pub(crate) enum EventKind<P> {
@@ -211,6 +217,11 @@ impl<E> EventQueue<E> {
         Some((time, item))
     }
 
+    /// Total number of pending items.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
     /// Number of items scheduled exactly at `time`.
     pub(crate) fn len_at(&self, time: SimTime) -> usize {
         self.buckets.get(&time).map_or(0, VecDeque::len)
@@ -236,6 +247,11 @@ pub struct Simulator<P: Payload> {
     rng: HmacDrbg,
     stats: SimStats,
     trace: Option<Vec<Delivery<P>>>,
+    /// Optional convergence-timeline recorder (sim-time windows; see
+    /// `pvr_obs::timeline`). Stamped exclusively with `self.now` — the
+    /// sim-time-only tracing rule — so enabling it cannot perturb
+    /// determinism.
+    timeline: Option<pvr_obs::TimelineRecorder>,
     started: bool,
     /// Recycled buffer for agent actions (see `dispatch`).
     action_scratch: Vec<Action<P>>,
@@ -254,6 +270,7 @@ impl<P: Payload> Simulator<P> {
             rng: HmacDrbg::from_u64_labeled(seed, "netsim"),
             stats: SimStats::default(),
             trace: None,
+            timeline: None,
             started: false,
             action_scratch: Vec::new(),
         }
@@ -307,6 +324,27 @@ impl<P: Payload> Simulator<P> {
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&[Delivery<P>]> {
         self.trace.as_deref()
+    }
+
+    /// Enables the convergence-timeline recorder with `window`-wide
+    /// sim-time windows. Events and deliveries are counted into the
+    /// window containing their processing time; queue depth is sampled
+    /// whenever a sim-time instant fully drains — the one point where
+    /// the serial and sharded engines provably hold the same pending
+    /// set, which is what makes the samples byte-identical across
+    /// engines.
+    pub fn enable_timeline(&mut self, window: SimDuration) {
+        if self.timeline.is_none() {
+            self.timeline = Some(pvr_obs::TimelineRecorder::new(
+                window.as_micros(),
+                pvr_obs::timeline::SIM_CHANNELS,
+            ));
+        }
+    }
+
+    /// The timeline recorder, if enabled.
+    pub fn timeline(&self) -> Option<&pvr_obs::TimelineRecorder> {
+        self.timeline.as_ref()
     }
 
     /// Run statistics so far.
@@ -408,6 +446,7 @@ impl<P: Payload> Simulator<P> {
         debug_assert!(time >= self.now, "time went backwards");
         self.now = time;
         self.stats.events += 1;
+        let delivered = matches!(kind, EventKind::Deliver { .. });
         match kind {
             EventKind::Deliver { src, dst, msg } => {
                 self.stats.delivered += 1;
@@ -419,6 +458,22 @@ impl<P: Payload> Simulator<P> {
             EventKind::Timer { node, timer } => {
                 self.stats.timers_fired += 1;
                 self.dispatch(node, |agent, ctx| agent.on_timer(ctx, timer));
+            }
+        }
+        if let Some(tl) = &mut self.timeline {
+            use pvr_obs::timeline::{SIM_DELIVERED, SIM_EVENTS, SIM_QUEUE_DEPTH};
+            let t_us = self.now.as_micros();
+            tl.add(t_us, SIM_EVENTS, 1);
+            if delivered {
+                tl.add(t_us, SIM_DELIVERED, 1);
+            }
+            // Sample queue depth only when the current sim-instant has
+            // fully drained (zero-latency cascades land back in the
+            // `now` bucket, so this is checked after dispatch): at that
+            // point the pending set is identical in the sharded engine,
+            // making the sample engine-independent.
+            if self.queue.peek_time() != Some(self.now) {
+                tl.set(t_us, SIM_QUEUE_DEPTH, self.queue.len() as u64);
             }
         }
         true

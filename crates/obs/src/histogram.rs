@@ -1,0 +1,165 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are declared once, at registration time, as a sorted list
+//! of inclusive upper bounds (`le`, Prometheus semantics): an
+//! observation `v` lands in the first bucket with `v <= le`, and every
+//! histogram carries an implicit `+Inf` bucket so no observation is
+//! lost. Values are `u64` in the caller's native unit — sim-time
+//! microseconds for latencies, counts for sizes — which keeps the
+//! merge arithmetic exact and platform-independent (no floats on the
+//! determinism path).
+
+/// A fixed-bucket histogram: cumulative-style rendering is left to the
+/// exposition layer; internally each bucket stores only its own count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing. The implicit
+    /// `+Inf` bucket is `overflow`, not an entry here.
+    bounds: Vec<u64>,
+    /// `counts[i]` = observations with `v <= bounds[i]` and
+    /// `v > bounds[i-1]`.
+    counts: Vec<u64>,
+    /// Observations above the last bound (the `+Inf` bucket).
+    overflow: u64,
+    /// Sum of all observed values (exact, saturating).
+    sum: u64,
+    /// Total number of observations.
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            overflow: 0,
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        match self.bounds.iter().position(|&le| v <= le) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.sum = self.sum.saturating_add(v);
+        self.count += 1;
+    }
+
+    /// Folds `other` into `self`.
+    ///
+    /// # Panics
+    /// If the bucket bounds differ — merging histograms with different
+    /// shapes silently misattributes observations, so it is a bug.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging histograms with different bounds");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.overflow += other.overflow;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count += other.count;
+    }
+
+    /// The configured inclusive upper bounds (without `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative counts per bound, Prometheus `le` semantics: entry
+    /// `i` is the number of observations `<= bounds[i]`. The final
+    /// `+Inf` count equals [`count`](Histogram::count).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_land_in_the_lower_bucket() {
+        // `le` is inclusive: an observation exactly on a bound belongs
+        // to that bound's bucket, not the next one up.
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(1000);
+        h.observe(1001);
+        assert_eq!(h.cumulative(), vec![1, 3, 4]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 1000 + 1001);
+    }
+
+    #[test]
+    fn zero_lands_in_the_first_bucket() {
+        let mut h = Histogram::new(&[1, 2]);
+        h.observe(0);
+        assert_eq!(h.cumulative(), vec![1, 1]);
+    }
+
+    #[test]
+    fn overflow_goes_to_inf_only() {
+        let mut h = Histogram::new(&[5]);
+        h.observe(6);
+        assert_eq!(h.cumulative(), vec![0]);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_adds_bucket_for_bucket() {
+        let mut a = Histogram::new(&[10, 20]);
+        let mut b = Histogram::new(&[10, 20]);
+        a.observe(5);
+        b.observe(15);
+        b.observe(25);
+        a.merge(&b);
+        assert_eq!(a.cumulative(), vec![1, 2]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[10]);
+        let b = Histogram::new(&[20]);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bounds_must_increase() {
+        Histogram::new(&[10, 10]);
+    }
+}

@@ -1,0 +1,158 @@
+//! # pvr-obs — deterministic telemetry for the PVR workspace
+//!
+//! Counters tell you *what* happened; this crate also records *when*,
+//! without ever consulting a wall clock. Everything here is built
+//! around one rule, stated once and enforced everywhere:
+//!
+//! > **The sim-time-only tracing rule.** Every timestamp on the
+//! > determinism-critical path is simulator virtual time (`u64`
+//! > microseconds, as produced by `pvr_netsim::SimTime::as_micros`).
+//! > Wall-clock time may appear only in fields the CI determinism gate
+//! > already strips (`wall_secs`, `events_per_sec`), never in a metric
+//! > sample, journal entry, or timeline window.
+//!
+//! Under that rule, two runs of the same workload — serial or sharded,
+//! one thread or sixteen — produce byte-identical telemetry, so the
+//! observability layer inherits the engine's determinism contract
+//! instead of eroding it. The one documented exception is the
+//! verify-cache hit family (`*verify_cache_hit*`): per-shard caches
+//! legitimately see fewer hits than the serial engine's network-wide
+//! cache, so those series are excluded from cross-engine comparisons
+//! (see [`Snapshot::without`]).
+//!
+//! The pieces:
+//!
+//! * [`registry`] — typed counters, gauges, and fixed-bucket
+//!   histograms with label sets; allocation-light [`CounterId`]-style
+//!   handles cached at call sites; deterministic [`Snapshot`] and
+//!   merge so per-shard registries fold into one network view in the
+//!   same order as the serial engine.
+//! * [`histogram`] — the fixed-bucket histogram behind the registry
+//!   (`le` buckets are inclusive upper bounds, Prometheus-style).
+//! * [`journal`] — per-router ring-buffered event journal stamped
+//!   with sim-time; dumps to JSONL for forensic replay.
+//! * [`timeline`] — per-window accumulators (events, queue depth, RIB
+//!   churn, verify traffic) rendered as a convergence timeline table.
+//! * [`expo`] — Prometheus text format and `pvr-bench-v1`-compatible
+//!   JSON exposition of a [`Snapshot`].
+//!
+//! The [`metric_struct!`] macro declares a stats struct's fields once
+//! and generates the struct, its `add` fold, and its registry export,
+//! keeping legacy views (`RouterStats`, `SimStats`) in lockstep with
+//! the registry by construction.
+
+pub mod expo;
+pub mod histogram;
+pub mod journal;
+pub mod registry;
+pub mod timeline;
+
+pub use histogram::Histogram;
+pub use journal::{EventJournal, JournalEntry};
+pub use registry::{
+    CounterId, GaugeId, HistogramId, LabelSet, MetricsRegistry, Series, Snapshot, Value,
+};
+pub use timeline::{ConvergenceTimeline, TimelineRecorder, TimelineWindow};
+
+/// Declares a stats struct once and derives everything the workspace
+/// needs from the single field list: the struct itself (all fields
+/// `pub u64`, with docs), the commutative [`add`](MetricsRegistry)
+/// fold, a `fields()` reflection used by tests and expositions, and
+/// `export_metrics`, which registers every field as a
+/// `<prefix>_<field>_total` counter in a [`MetricsRegistry`].
+///
+/// Struct-specific projections (e.g. `RouterStats::shard_invariant`,
+/// the verify-cache carve-out) stay handwritten next to the macro
+/// invocation — the macro guarantees field parity between the struct
+/// and the registry, not policy.
+#[macro_export]
+macro_rules! metric_struct {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident, prefix = $prefix:literal {
+            $(
+                $(#[$fmeta:meta])*
+                pub $field:ident: u64,
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Debug, Default, PartialEq, Eq)]
+        pub struct $name {
+            $(
+                $(#[$fmeta])*
+                pub $field: u64,
+            )*
+        }
+
+        impl $name {
+            /// Accumulates `other` into `self`, field by field. The
+            /// fold is commutative and associative, so totals are
+            /// independent of visit order (serial ASN order or
+            /// per-shard then across shards).
+            pub fn add(&mut self, other: &$name) {
+                $( self.$field += other.$field; )*
+            }
+
+            /// Every field as a `(name, value)` pair, in declaration
+            /// order. This is the parity contract between the struct
+            /// and the registry: expositions and tests enumerate
+            /// fields through here, so a field added to the struct
+            /// cannot be silently missing from the metrics.
+            pub fn fields(&self) -> ::std::vec::Vec<(&'static str, u64)> {
+                ::std::vec![ $( (stringify!($field), self.$field), )* ]
+            }
+
+            /// Registers every field as a counter named
+            /// `<prefix>_<field>_total` under `labels` and adds the
+            /// current values. Safe to call repeatedly (counters
+            /// accumulate), so per-shard views can be folded straight
+            /// into one registry.
+            pub fn export_metrics(
+                &self,
+                registry: &mut $crate::MetricsRegistry,
+                labels: &$crate::LabelSet,
+            ) {
+                $(
+                    let id = registry.counter(
+                        concat!($prefix, "_", stringify!($field), "_total"),
+                        labels,
+                    );
+                    registry.inc(id, self.$field);
+                )*
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{LabelSet, MetricsRegistry};
+
+    metric_struct! {
+        /// A test stats struct.
+        pub struct DemoStats, prefix = "pvr_demo" {
+            /// Things seen.
+            pub seen: u64,
+            /// Things kept.
+            pub kept: u64,
+        }
+    }
+
+    #[test]
+    fn macro_generates_fields_add_and_export() {
+        let mut a = DemoStats { seen: 3, kept: 1 };
+        let b = DemoStats { seen: 2, kept: 5 };
+        a.add(&b);
+        assert_eq!(a, DemoStats { seen: 5, kept: 6 });
+        assert_eq!(a.fields(), vec![("seen", 5), ("kept", 6)]);
+
+        let mut reg = MetricsRegistry::new();
+        let labels: LabelSet = vec![("security_mode", "plain".to_string())];
+        a.export_metrics(&mut reg, &labels);
+        a.export_metrics(&mut reg, &labels); // accumulates
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("pvr_demo_seen_total"), Some(10));
+        assert_eq!(snap.counter_value("pvr_demo_kept_total"), Some(12));
+    }
+}

@@ -1,0 +1,56 @@
+//! Convergence timeline of a signed Internet-like network, plus a
+//! hijack campaign whose detection latency is read straight off the
+//! exported metrics — the observability layer end to end.
+//!
+//! Run with: `cargo run --release --example convergence_timeline`
+
+use pvr::attack::{Campaign, CampaignConfig};
+use pvr::bgp::{internet_like, InstantiateOptions, InternetParams};
+use pvr::netsim::{RunLimits, SimDuration};
+use pvr::obs::{MetricsRegistry, Value};
+use std::sync::Arc;
+
+fn main() {
+    // A signed Internet-like network with the telemetry layer on:
+    // 5 ms sim-time timeline windows and a 32-event journal per router.
+    let params = InternetParams { tier1: 3, tier2: 10, stubs: 40, ..InternetParams::default() };
+    let topology = internet_like(params, 9);
+    let mut net = topology.instantiate(InstantiateOptions {
+        seed: 9,
+        signed: true,
+        key_bits: 512,
+        timeline_window: Some(SimDuration::from_millis(5)),
+        journal_capacity: 32,
+        ..Default::default()
+    });
+    net.install_origin_table(Arc::new(topology.origin_table()));
+    net.converge(RunLimits::none());
+
+    let timeline = net.convergence_timeline().expect("timeline enabled");
+    println!("convergence timeline (signed substrate, 5 ms sim-time windows):");
+    print!("{}", timeline.render_table());
+
+    let trace = net.trace_jsonl();
+    println!("\nlast 3 of {} journaled events:", trace.lines().count());
+    let lines: Vec<&str> = trace.lines().collect();
+    for line in lines.iter().rev().take(3).rev() {
+        println!("  {line}");
+    }
+
+    // A hijack campaign: per-strategy detection latency lands in the
+    // exported histograms, labelled strategy × security mode.
+    let report = Campaign::new(CampaignConfig::quick(9)).run();
+    println!("\n{}", report.render_matrix());
+
+    let mut registry = MetricsRegistry::new();
+    report.export_detection_latency(&mut registry);
+    println!("detection latency, read off the metrics snapshot (sim-time):");
+    for s in &registry.snapshot().series {
+        let Value::Histogram(h) = &s.value else { continue };
+        let labels: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let mean_ms = h.sum() / h.count().max(1) / 1000;
+        println!("  {{{}}}: {} detection(s), mean {} ms", labels.join(", "), h.count(), mean_ms);
+    }
+    println!("\n(the 10 ms default link latency is visible: in-band hijack detection");
+    println!(" happens one hop out, at ~10 ms of sim-time)");
+}

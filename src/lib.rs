@@ -27,7 +27,10 @@
 //!   cost models;
 //! * [`attack`] — the adversarial campaign engine: hijack/leak/forgery
 //!   strategies swept over placements and security modes on a
-//!   deterministic parallel executor.
+//!   deterministic parallel executor;
+//! * [`obs`] — the deterministic telemetry layer: metrics registry,
+//!   sim-time tracing and event journals, convergence timelines, and
+//!   Prometheus/JSON exposition.
 //!
 //! ## Quickstart
 //!
@@ -53,5 +56,6 @@ pub use pvr_core as core;
 pub use pvr_crypto as crypto;
 pub use pvr_mht as mht;
 pub use pvr_netsim as netsim;
+pub use pvr_obs as obs;
 pub use pvr_rfg as rfg;
 pub use pvr_smc as smc;

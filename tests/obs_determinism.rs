@@ -1,0 +1,103 @@
+//! The telemetry layer's engine contract: metrics snapshots, timeline
+//! windows, and JSONL traces from the sharded engine are byte-identical
+//! to the serial engine's at shards 2, 4, and 8 — with exactly one
+//! carve-out, `verify_cache_hits` (and the hit-ratio gauge derived from
+//! it): per-shard verification caches legitimately see fewer hits than
+//! the serial engine's network-wide cache.
+
+use pvr::bgp::{internet_like, InstantiateOptions, InternetParams};
+use pvr::netsim::{RunLimits, SimDuration, StopReason};
+use std::sync::Arc;
+
+/// The carve-out predicate: every series derived from cache hits, by
+/// name (`pvr_router_verify_cache_hits_total`,
+/// `pvr_verify_cache_hit_ratio`).
+fn hit_series(name: &str) -> bool {
+    name.contains("verify_cache_hit")
+}
+
+fn observed_options(signed: bool) -> InstantiateOptions {
+    InstantiateOptions {
+        seed: 71,
+        signed,
+        key_bits: 512,
+        timeline_window: Some(SimDuration::from_millis(5)),
+        journal_capacity: 32,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn telemetry_is_engine_invariant_modulo_cache_hits() {
+    let params = InternetParams { tier1: 3, tier2: 8, stubs: 24, ..InternetParams::default() };
+    let topology = internet_like(params, 71);
+    for signed in [false, true] {
+        let options = observed_options(signed);
+        let mut serial = topology.instantiate(options);
+        if signed {
+            serial.install_origin_table(Arc::new(topology.origin_table()));
+        }
+        assert_eq!(serial.converge(RunLimits::none()), StopReason::Quiescent);
+        let serial_snap = serial.metrics_snapshot(if signed { "signed" } else { "plain" });
+        let serial_tl = serial.convergence_timeline().expect("timeline enabled");
+        let serial_trace = serial.trace_jsonl();
+        assert!(!serial_snap.series.is_empty());
+        assert!(!serial_tl.windows.is_empty());
+        assert!(!serial_trace.is_empty());
+
+        for shards in [2usize, 4, 8] {
+            let mut sharded = topology.instantiate_sharded(options, shards);
+            if signed {
+                sharded.install_origin_table(Arc::new(topology.origin_table()));
+            }
+            assert_eq!(sharded.converge(RunLimits::none()), StopReason::Quiescent);
+            let snap = sharded.metrics_snapshot(if signed { "signed" } else { "plain" });
+            let tl = sharded.convergence_timeline().expect("timeline enabled");
+
+            // Metrics: identical modulo the carve-out series.
+            assert_eq!(
+                snap.without(hit_series),
+                serial_snap.without(hit_series),
+                "metrics diverge at {shards} shards (signed={signed})"
+            );
+            // Timeline: identical windows modulo the hits channel, and
+            // the window *set* matches exactly (cell-existence
+            // alignment: verify channels only record when calls > 0).
+            assert_eq!(
+                tl.zero_cache_hits(),
+                serial_tl.zero_cache_hits(),
+                "timeline diverges at {shards} shards (signed={signed})"
+            );
+            // Traces record verify *calls*, never hits, so they are
+            // byte-identical with no carve-out at all.
+            assert_eq!(
+                sharded.trace_jsonl(),
+                serial_trace,
+                "trace diverges at {shards} shards (signed={signed})"
+            );
+            // The carve-out direction: per-shard caches can only lose
+            // hits relative to the network-wide cache.
+            if signed {
+                let serial_hits =
+                    serial_snap.counter_value("pvr_router_verify_cache_hits_total").unwrap();
+                let sharded_hits =
+                    snap.counter_value("pvr_router_verify_cache_hits_total").unwrap();
+                assert!(sharded_hits <= serial_hits);
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_telemetry_stays_dark() {
+    let params = InternetParams::default();
+    let topology = internet_like(params, 72);
+    let mut net = topology.instantiate(InstantiateOptions { seed: 72, ..Default::default() });
+    assert_eq!(net.converge(RunLimits::none()), StopReason::Quiescent);
+    // No timeline window → no recorder; no journal capacity → no trace.
+    assert!(net.convergence_timeline().is_none());
+    assert!(net.trace_jsonl().is_empty());
+    // Metrics still work: counters come from the always-on stats structs.
+    let snap = net.metrics_snapshot("plain");
+    assert!(snap.counter_value("pvr_sim_events_total").unwrap() > 0);
+}
