@@ -14,8 +14,11 @@ to differ:
 
 Every other metric — e14's AS/edge/origin counts, event totals, peak
 RIB size, bytes on the wire, O(1) short-circuits; e15's metrics series
-and convergence-timeline windows — must survive unchanged, or the
-sharded engine has diverged from the serial one.
+and convergence-timeline windows; e16's settle-time percentiles,
+withdraw fan-out, dampening suppressions, fault counts, and the
+degradation/deployment tables (all sim-time derived, no timing fields
+at all) — must survive unchanged, or the sharded engine has diverged
+from the serial one.
 
 Usage: normalize_e14.py BENCH.json > normalized.json
 """
@@ -58,6 +61,14 @@ def normalize_e15(e15):
     return {"metrics": kept_series, "timeline": kept_windows}
 
 
+def normalize_e16(e16):
+    metrics = e16.get("metrics")
+    assert metrics, "e16 record carries no metrics object"
+    # Every e16 field is sim-time derived: nothing to strip. Re-sorting
+    # the keys is enough to make the diff format-stable.
+    return {k: v for k, v in sorted(metrics.items())}
+
+
 def normalize(doc):
     assert doc.get("schema") == "pvr-bench-v1", f"unexpected schema {doc.get('schema')!r}"
     experiments = doc.get("experiments", [])
@@ -67,6 +78,9 @@ def normalize(doc):
     e15 = next((e for e in experiments if e.get("id") == "e15"), None)
     if e15 is not None:
         out["e15"] = normalize_e15(e15)
+    e16 = next((e for e in experiments if e.get("id") == "e16"), None)
+    if e16 is not None:
+        out["e16"] = normalize_e16(e16)
     return out
 
 

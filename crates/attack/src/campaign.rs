@@ -114,7 +114,7 @@ fn is_provider_or_peer(role: &Role) -> bool {
 /// (a direct neighbor's "shortcut" would be a legitimate route, not an
 /// attack). Preference is given to attackers sharing no neighbor with
 /// the victim.
-fn choose_placements(topology: &Topology, count: usize, seed: u64) -> Vec<Placement> {
+pub fn choose_placements(topology: &Topology, count: usize, seed: u64) -> Vec<Placement> {
     let mut rng = HmacDrbg::from_u64_labeled(seed, "pvr-attack placements");
     let victims: Vec<Asn> =
         topology.ases().filter(|&a| !topology.originated_by(a).is_empty()).collect();

@@ -19,6 +19,9 @@
 //! * [`gossip`] — the §3.6-style gossip audit that exposes route leaks
 //!   without revealing private relationships;
 //! * [`campaign`] — the sweep runner and the detection/impact matrix;
+//! * [`deployment`] — partial-deployment curves: attack success vs
+//!   fraction of ASes running origin validation, with the unprotected
+//!   fringe scored separately (experiment E16's deployment table);
 //! * [`mod@sweep`] — the deterministic multi-threaded executor (the
 //!   workspace's first parallel path: derived per-cell seeds, results
 //!   merged in cell order, output independent of scheduling).
@@ -38,15 +41,18 @@
 
 pub mod campaign;
 pub mod cell;
+pub mod deployment;
 pub mod gossip;
 pub mod metrics;
 pub mod strategy;
 pub mod sweep;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignReport, CellResult, Placement, DETECTION_LATENCY_BUCKETS_US,
+    choose_placements, Campaign, CampaignConfig, CampaignReport, CellResult, Placement,
+    DETECTION_LATENCY_BUCKETS_US,
 };
 pub use cell::CellContext;
+pub use deployment::{deployment_sweep, DeploymentPoint, DeploymentSweepConfig};
 pub use gossip::{leak_gossip_audit, LeakEvidence};
 pub use metrics::AttackOutcome;
 pub use strategy::{catalog, AttackKind, AttackStrategy, SecurityMode};

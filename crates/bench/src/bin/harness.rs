@@ -10,19 +10,26 @@
 //!   cargo run --release -p pvr-bench --bin harness -- --scale 5000 e14
 //!   cargo run --release -p pvr-bench --bin harness -- --shards 1,4 e14
 //!   cargo run --release -p pvr-bench --bin harness -- --metrics-out m.prom e15
+//!   cargo run --release -p pvr-bench --bin harness -- --churn 128 e16
 //!
 //! `--scale N` sets the largest AS count the scale experiments (e14,
-//! e15) converge: default 5000, or 500 under `--quick` so CI smoke
-//! stays within budget. E15 additionally caps its ladder at 1000 ASes
-//! — its per-router journals and timelines are meant for operator
+//! e15, e16) converge: default 5000, or 500 under `--quick` so CI
+//! smoke stays within budget. E15 additionally caps its ladder at 1000
+//! ASes — its per-router journals and timelines are meant for operator
 //! inspection, not internet-scale stress.
 //!
 //! `--shards LIST` (comma-separated, e.g. `--shards 1,2,4`) selects the
-//! engine(s) e14 and e15 run on: 1 is the serial engine, >1 the
+//! engine(s) e14, e15, and e16 run on: 1 is the serial engine, >1 the
 //! sharded engine with that many worker calendars. Defaults to `1`, or
 //! `1,2` under `--quick` so CI smoke covers both engines.
-//! Deterministic e14/e15 fields are identical at every shard count;
-//! the CI determinism job diffs them.
+//! Deterministic e14/e15/e16 fields are identical at every shard
+//! count; the CI determinism job diffs them.
+//!
+//! `--churn N` sets e16's continuous-churn event count (default 64);
+//! `--fault-seed N` seeds its fault plan, degradation edge choice, and
+//! deployment sweep (default 16). Both require e16 to be selected —
+//! like every flag, they are validated up front (exit 2) before any
+//! experiment burns CPU.
 //!
 //! `--metrics-out FILE` writes e15's Prometheus text exposition to
 //! FILE; `--trace-out FILE` writes its JSONL event trace. Both require
@@ -37,10 +44,13 @@
 //! origins, events, wall_secs, events_per_sec, peak_rib_entries,
 //! bytes_on_wire, short_circuits}`. The e15 record carries a `metrics`
 //! array (the pvr-obs JSON exposition of the merged snapshot) and a
-//! `timeline` array (the signed run's convergence-timeline windows);
-//! `ci/normalize_e14.py` strips the `verify_cache_hit*` series/fields
-//! — the engine-local carve-out — and diffs the rest across shard
-//! counts.
+//! `timeline` array (the signed run's convergence-timeline windows).
+//! The e16 record carries a `metrics` object with the churn run's
+//! settle-time percentiles, withdraw fan-out, dampening suppressions,
+//! fault counts, and the degradation/deployment tables — all sim-time
+//! deterministic. `ci/normalize_e14.py` strips the
+//! `verify_cache_hit*` series/fields — the engine-local carve-out —
+//! and diffs the rest across shard counts.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
@@ -49,7 +59,7 @@ type Runner = fn() -> String;
 /// a CI smoke pass exercises the harness end-to-end in seconds. E14
 /// and e15 ride along at a reduced `--scale` (500 ASes): small enough
 /// for CI, large enough that a propagation regression shows.
-const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15"];
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15", "e16"];
 
 /// Default largest AS count for e14 (overridable with `--scale`).
 const DEFAULT_SCALE: usize = 5000;
@@ -62,6 +72,10 @@ const E15_MAX_SCALE: usize = 1000;
 /// E14/e15 shard counts under `--quick`: serial plus one sharded run,
 /// so CI smoke exercises both engines.
 const QUICK_SHARDS: &[usize] = &[1, 2];
+/// E16's default continuous-churn event count (`--churn` overrides).
+const DEFAULT_CHURN: usize = 64;
+/// E16's default fault seed (`--fault-seed` overrides).
+const DEFAULT_FAULT_SEED: u64 = 16;
 
 /// Validates an output-file flag up front: the file's directory must
 /// exist before any experiment burns CPU.
@@ -102,6 +116,8 @@ fn main() {
     // before flag/id checks.
     let mut scale: Option<usize> = None;
     let mut shards: Option<Vec<usize>> = None;
+    let mut churn: Option<usize> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
@@ -127,6 +143,21 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--churn" {
+            let v = it.next().and_then(|v| v.parse::<usize>().ok());
+            match v {
+                Some(n) if (1..=100_000).contains(&n) => churn = Some(n),
+                _ => {
+                    eprintln!("error: --churn needs an event count between 1 and 100000");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--fault-seed" {
+            let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                eprintln!("error: --fault-seed needs an unsigned integer");
+                std::process::exit(2);
+            };
+            fault_seed = Some(v);
         } else if a == "--shards" {
             let parsed: Option<Vec<usize>> = it
                 .next()
@@ -153,7 +184,7 @@ fn main() {
     {
         eprintln!(
             "error: unknown flag `{flag}` (flags: --quick, --json, --scale N, --shards LIST, \
-             --metrics-out FILE, --trace-out FILE)"
+             --churn N, --fault-seed N, --metrics-out FILE, --trace-out FILE)"
         );
         std::process::exit(2);
     }
@@ -164,17 +195,23 @@ fn main() {
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
-    // --scale/--shards parameterize e14/e15 only and --metrics-out/
-    // --trace-out are e15 artifacts; silently ignoring them on a
-    // selection without those experiments would contradict the strict
-    // flag validation above.
-    let scale_exp = |w: &[&str]| w.is_empty() || w.contains(&"e14") || w.contains(&"e15");
+    // --scale/--shards parameterize e14/e15/e16 only, --churn/
+    // --fault-seed are e16 knobs, and --metrics-out/--trace-out are
+    // e15 artifacts; silently ignoring them on a selection without
+    // those experiments would contradict the strict flag validation
+    // above.
+    let scale_exp =
+        |w: &[&str]| w.is_empty() || w.contains(&"e14") || w.contains(&"e15") || w.contains(&"e16");
     if scale.is_some() && !scale_exp(&wanted) {
-        eprintln!("error: --scale only applies to e14/e15, neither of which is selected");
+        eprintln!("error: --scale only applies to e14/e15/e16, none of which is selected");
         std::process::exit(2);
     }
     if shards.is_some() && !scale_exp(&wanted) {
-        eprintln!("error: --shards only applies to e14/e15, neither of which is selected");
+        eprintln!("error: --shards only applies to e14/e15/e16, none of which is selected");
+        std::process::exit(2);
+    }
+    if (churn.is_some() || fault_seed.is_some()) && !wanted.is_empty() && !wanted.contains(&"e16") {
+        eprintln!("error: --churn/--fault-seed need e16, which is not selected");
         std::process::exit(2);
     }
     if (metrics_out.is_some() || trace_out.is_some())
@@ -186,6 +223,8 @@ fn main() {
     }
     let scale = scale.unwrap_or(if quick { QUICK_SCALE } else { DEFAULT_SCALE });
     let shards = shards.unwrap_or_else(|| if quick { QUICK_SHARDS.to_vec() } else { vec![1] });
+    let churn = churn.unwrap_or(DEFAULT_CHURN);
+    let fault_seed = fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
 
     if !json {
         println!("PVR reproduction — experiment harness");
@@ -213,6 +252,7 @@ fn main() {
     let mut known: Vec<&str> = runners.iter().map(|&(id, _)| id).collect();
     known.push("e14");
     known.push("e15");
+    known.push("e16");
     if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
         eprintln!("error: unknown experiment id `{bad}` (known: {})", known.join(", "));
         std::process::exit(2);
@@ -297,6 +337,59 @@ fn main() {
         } else {
             println!("{table}");
             println!("[e15 completed in {wall:.2} s]\n{}", "=".repeat(72));
+        }
+    }
+    if wanted.is_empty() || wanted.contains(&"e16") {
+        let t = std::time::Instant::now();
+        let (table, m) = pvr_bench::e16_churn(scale, &shards, churn, fault_seed);
+        let wall = t.elapsed().as_secs_f64();
+        if json {
+            let degradation: Vec<String> = m
+                .degradation
+                .iter()
+                .map(|&(pct, links, correct)| {
+                    format!(
+                        "{{\"flap_pct\":{pct},\"links_flapping\":{links},\
+                         \"routes_correct_pct\":{correct:.3}}}"
+                    )
+                })
+                .collect();
+            let deployment: Vec<String> = m
+                .deployment
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"fraction_pct\":{},\"protected\":{},\"attack_success_pct\":{:.3},\
+                         \"fringe_interception_pct\":{:.3},\"origin_rejections\":{}}}",
+                        p.fraction_pct,
+                        p.protected,
+                        p.attack_success_pct,
+                        p.fringe_interception_pct,
+                        p.origin_rejections
+                    )
+                })
+                .collect();
+            let extra = format!(
+                ",\"metrics\":{{\"scale\":{},\"churn_events\":{},\"settle_p50_us\":{},\
+                 \"settle_p99_us\":{},\"withdraws_sent\":{},\"withdraw_fanout\":{:.3},\
+                 \"dampening_suppressed\":{},\"session_resets\":{},\"link_down\":{},\
+                 \"degradation\":[{}],\"deployment\":[{}]}}",
+                m.scale,
+                m.churn_events,
+                m.settle_p50_us,
+                m.settle_p99_us,
+                m.withdraws_sent,
+                m.withdraw_fanout,
+                m.dampening_suppressed,
+                m.session_resets,
+                m.link_down,
+                degradation.join(","),
+                deployment.join(","),
+            );
+            records.push(("e16", wall, table, extra));
+        } else {
+            println!("{table}");
+            println!("[e16 completed in {wall:.2} s]\n{}", "=".repeat(72));
         }
     }
 

@@ -13,6 +13,7 @@
 //! * [`sbgp`] — S-BGP-style route attestations \[13\], the substrate for
 //!   PVR's condition 1 ("sign all the routing announcements", §3.2);
 //! * [`router`] — the speaker as a simulator agent;
+//! * [`dampening`] — RFC 2439-style route-flap dampening state;
 //! * [`topology`] — Figure 1 scenario and Internet-like generators;
 //! * [`partition`] — deterministic AS → shard assignment for the
 //!   sharded engine;
@@ -20,13 +21,18 @@
 //!
 //! ## Implemented / omitted (smoltcp-style expectations)
 //!
-//! Implemented: UPDATE processing, implicit withdraw, loop rejection,
-//! LOCAL_PREF/AS-path/origin/MED/tiebreak ranking, valley-free export,
-//! partial transit, NO_EXPORT, attestation chains, scheduled workloads.
+//! Implemented: UPDATE processing, implicit and explicit withdraw, loop
+//! rejection, LOCAL_PREF/AS-path/origin/MED/tiebreak ranking,
+//! valley-free export, partial transit, NO_EXPORT, attestation chains,
+//! scheduled workloads, MRAI batching with jittered timers, session
+//! up/down semantics (teardown flushes Adj-RIBs and floods withdraws,
+//! recovery re-announces), and route-flap dampening.
 //!
-//! Omitted (orthogonal to the paper): session FSM, MRAI timers, iBGP,
-//! route reflection, aggregation/AS_SET, IPv6 (IPv4 prefixes only).
+//! Omitted (orthogonal to the paper): the full FSM's TCP-level states,
+//! iBGP, route reflection, aggregation/AS_SET, IPv6 (IPv4 prefixes
+//! only).
 
+pub mod dampening;
 pub mod decision;
 pub mod messages;
 pub mod partition;
@@ -41,6 +47,7 @@ pub mod topology;
 pub mod types;
 pub mod workload;
 
+pub use dampening::{DampState, DampeningPolicy};
 pub use decision::{best, prefer, Candidate};
 pub use messages::BgpUpdate;
 pub use partition::{cut_edges, partition_by_degree};

@@ -318,6 +318,13 @@ impl AdjRibOut {
     pub fn neighbors(&self) -> BTreeSet<Asn> {
         self.routes.keys().copied().collect()
     }
+
+    /// Forgets everything advertised to `neighbor` (session teardown:
+    /// the peer's view of us is gone, so recovery must re-announce from
+    /// scratch). Returns how many advertisements were dropped.
+    pub fn flush_neighbor(&mut self, neighbor: Asn) -> usize {
+        self.routes.remove(&neighbor).map_or(0, |per| per.len())
+    }
 }
 
 #[cfg(test)]

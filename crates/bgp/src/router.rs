@@ -19,10 +19,23 @@
 //! rejected in O(1) by the incremental decision path
 //! ([`crate::rib::ReselectHint`]) without rescanning the Adj-RIB-In.
 //!
-//! Documented omissions: no session FSM (no OPEN/KEEPALIVE), no MRAI
-//! batching timer (updates propagate immediately; burst batching is
-//! evaluated separately in experiment E5), no iBGP, no aggregation.
+//! ## Failure semantics (post-E16)
+//!
+//! The router implements proper session teardown and recovery through
+//! the fault layer's [`Agent::on_session`] callback: a session loss
+//! flushes both Adj-RIBs for the peer and floods withdraws for every
+//! route learned over it; recovery re-announces the full Loc-RIB per
+//! export policy. RFC 2439-style route-flap dampening
+//! ([`crate::dampening`]) suppresses persistently flapping
+//! `(neighbor, prefix)` pairs, and MRAI batching supports a jittered
+//! re-arm delay drawn from a router-owned seeded DRBG (never the
+//! engine's — per-shard engine DRBGs would break the cross-engine
+//! byte-identity the determinism gate asserts).
+//!
+//! Documented omissions: no OPEN/KEEPALIVE exchange (session state is
+//! driven by the fault layer, not a peer FSM), no iBGP, no aggregation.
 
+use crate::dampening::{DampState, DampeningPolicy};
 use crate::decision::Candidate;
 use crate::messages::BgpUpdate;
 use crate::policy::PolicyConfig;
@@ -32,10 +45,11 @@ use crate::sbgp::{SignedRoute, VerifyCache};
 use crate::sorted::SortedMap;
 use crate::topology::OriginTable;
 use crate::types::{Asn, Prefix};
+use pvr_crypto::drbg::HmacDrbg;
 use pvr_crypto::keys::{Identity, KeyStore};
 use pvr_netsim::{Agent, Context, NodeId, SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// A scheduled local action (drives workloads without an extra agent).
@@ -98,6 +112,13 @@ pvr_obs::metric_struct! {
         /// the arrival lost to the standing best (or withdrew a non-best
         /// route), so no candidate rescan, no clone, no export ran.
         pub reselect_short_circuits: u64,
+        /// Explicit withdraws this router queued for transmission
+        /// (counted pre-MRAI-merge: the fan-out of a withdraw storm, not
+        /// the post-batching wire count).
+        pub withdraws_sent: u64,
+        /// Announcements parked by route-flap dampening because the
+        /// `(neighbor, prefix)` pair was suppressed on arrival.
+        pub dampening_suppressed: u64,
     }
 }
 
@@ -128,6 +149,9 @@ pub struct Malice {
 /// Reserved timer id for the MRAI flush (schedule timers use indices,
 /// which can never reach this value).
 const MRAI_TIMER: u64 = u64::MAX;
+
+/// Reserved timer id for the dampening reuse-list tick.
+const DAMP_TIMER: u64 = u64::MAX - 1;
 
 /// A BGP speaker for one AS.
 pub struct BgpRouter {
@@ -162,6 +186,26 @@ pub struct BgpRouter {
     mrai_buffer: BTreeMap<NodeId, BgpUpdate>,
     /// Whether an MRAI flush timer is currently armed.
     mrai_armed: bool,
+    /// Upper bound on the random extra delay added each time the MRAI
+    /// timer is armed (RFC 4271's jitter, §9.2.1.1 / §10).
+    mrai_jitter: Option<SimDuration>,
+    /// Router-owned DRBG the MRAI jitter draws from. Deliberately not
+    /// the engine's `ctx.rng()`: the sharded engine hands each shard
+    /// its own DRBG, so engine randomness consumed inside agents would
+    /// diverge between the serial and sharded runs.
+    jitter_rng: Option<HmacDrbg>,
+    /// Route-flap dampening policy (`None` = dampening off).
+    dampening: Option<DampeningPolicy>,
+    /// Dampening figure-of-merit per `(neighbor, prefix)`.
+    damp_states: BTreeMap<(Asn, Prefix), DampState>,
+    /// Latest announcement parked per suppressed `(neighbor, prefix)`,
+    /// re-processed when the pair's penalty decays below reuse.
+    parked: BTreeMap<(Asn, Prefix), SignedRoute>,
+    /// Whether a dampening reuse tick is currently armed.
+    damp_timer_armed: bool,
+    /// Neighbors whose session is currently torn down; export skips
+    /// them until recovery re-announces.
+    sessions_down: BTreeSet<Asn>,
     /// Malicious-behaviour switches (campaign engine).
     malice: Malice,
     /// Origin authorizations checked on import when present.
@@ -210,6 +254,13 @@ impl BgpRouter {
             mrai: None,
             mrai_buffer: BTreeMap::new(),
             mrai_armed: false,
+            mrai_jitter: None,
+            jitter_rng: None,
+            dampening: None,
+            damp_states: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            damp_timer_armed: false,
+            sessions_down: BTreeSet::new(),
             malice: Malice::default(),
             origin_table: None,
             verify_cache: None,
@@ -277,6 +328,15 @@ impl BgpRouter {
         self.journal.record(now.as_micros(), kind, 1);
     }
 
+    /// Records an explicit withdraw queued for transmission at `now`
+    /// (timeline churn channel + counter).
+    fn observe_withdraw(&mut self, now: SimTime) {
+        self.stats.withdraws_sent += 1;
+        if let Some(tl) = &mut self.obs_timeline {
+            tl.add(now.as_micros(), pvr_obs::timeline::RT_WITHDRAWS, 1);
+        }
+    }
+
     /// Switches this router to the given malicious behaviour.
     pub fn set_malice(&mut self, malice: Malice) {
         self.malice = malice;
@@ -312,6 +372,25 @@ impl BgpRouter {
     /// once per `interval`.
     pub fn set_mrai(&mut self, interval: SimDuration) {
         self.mrai = Some(interval);
+    }
+
+    /// Adds a random extra delay in `[0, jitter]` each time the MRAI
+    /// timer is armed, drawn from `rng` (a router-owned DRBG; see the
+    /// field docs for why it must not be the engine's).
+    pub fn set_mrai_jitter(&mut self, jitter: SimDuration, rng: HmacDrbg) {
+        self.mrai_jitter = Some(jitter);
+        self.jitter_rng = Some(rng);
+    }
+
+    /// Enables RFC 2439-style route-flap dampening with `policy`.
+    pub fn set_dampening(&mut self, policy: DampeningPolicy) {
+        self.dampening = Some(policy);
+    }
+
+    /// Dampening state for `(neighbor, prefix)`, if any (test/metric
+    /// introspection).
+    pub fn damp_state(&self, neighbor: Asn, prefix: Prefix) -> Option<&DampState> {
+        self.damp_states.get(&(neighbor, prefix))
     }
 
     /// Registers a neighbor and the simulator node it lives at.
@@ -420,6 +499,14 @@ impl BgpRouter {
         }
         self.stats.best_changes += 1;
         self.observe_churn(now);
+        self.export(prefix, now, pending);
+    }
+
+    /// The per-neighbor half of [`reselect_and_export`]: advertises or
+    /// withdraws the standing best route toward every live neighbor.
+    ///
+    /// [`reselect_and_export`]: BgpRouter::reselect_and_export
+    fn export(&mut self, prefix: Prefix, now: SimTime, pending: &mut SortedMap<NodeId, BgpUpdate>) {
         // O(1)-ish clone: the candidate's route shares its path and
         // communities.
         let best = self.loc_rib.get(prefix).cloned();
@@ -431,6 +518,11 @@ impl BgpRouter {
             // Indexed access keeps the borrow local so the RIB and
             // policy can be touched inside the loop.
             let (neighbor, node) = self.neighbor_list[i];
+            // No updates toward a torn-down session; recovery
+            // re-announces the whole Loc-RIB instead.
+            if self.sessions_down.contains(&neighbor) {
+                continue;
+            }
             // A leaking router bypasses export policy entirely (still
             // skipping the neighbor the route came from: re-exporting to
             // the source would only be loop-rejected there).
@@ -455,6 +547,7 @@ impl BgpRouter {
                 None => {
                     if self.adj_out.withdraw(neighbor, prefix).is_some() {
                         pending.get_or_default(node).withdraws.push(prefix);
+                        self.observe_withdraw(now);
                     }
                 }
             }
@@ -577,7 +670,8 @@ impl BgpRouter {
                 }
                 if buffered_any && !self.mrai_armed {
                     self.mrai_armed = true;
-                    ctx.set_timer(interval, MRAI_TIMER);
+                    let delay = interval + self.mrai_jitter_delay();
+                    ctx.set_timer(delay, MRAI_TIMER);
                 }
             }
         }
@@ -591,6 +685,144 @@ impl BgpRouter {
                 self.stats.updates_tx += 1;
                 ctx.send(node, update);
             }
+        }
+    }
+
+    /// The extra delay to add when arming the MRAI timer: a fresh draw
+    /// in `[0, jitter]` from the router-owned DRBG, or zero when jitter
+    /// is not configured.
+    fn mrai_jitter_delay(&mut self) -> SimDuration {
+        match (&mut self.jitter_rng, self.mrai_jitter) {
+            (Some(rng), Some(jitter)) if jitter.as_micros() > 0 => {
+                SimDuration::from_micros(rng.below(jitter.as_micros() + 1))
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Records one flap of `(from, prefix)` against the dampening state
+    /// (no-op with dampening off).
+    fn penalize(&mut self, from: Asn, prefix: Prefix, now: SimTime) {
+        let Some(policy) = self.dampening else { return };
+        let state = self.damp_states.entry((from, prefix)).or_insert_with(|| DampState::new(now));
+        state.penalize(now, &policy);
+    }
+
+    /// Session toward `peer` went down: discard anything buffered for
+    /// it, forget what we advertised to it (its view of us is gone),
+    /// flush every route learned over it, and flood withdraws to the
+    /// surviving neighbors wherever that changes a selection.
+    fn session_down(
+        &mut self,
+        peer: Asn,
+        node: NodeId,
+        now: SimTime,
+        pending: &mut SortedMap<NodeId, BgpUpdate>,
+    ) {
+        if !self.sessions_down.insert(peer) {
+            return; // already down
+        }
+        self.mrai_buffer.remove(&node);
+        self.adj_out.flush_neighbor(peer);
+        let lost: Vec<Prefix> =
+            self.adj_in.from_neighbor(peer).into_iter().map(|(prefix, _)| prefix).collect();
+        for prefix in lost {
+            self.adj_in.remove(peer, prefix);
+            self.chains_in.remove(&(peer, prefix));
+            self.parked.remove(&(peer, prefix));
+            // A session loss withdraws the route as far as dampening is
+            // concerned (RFC 2439 counts it as a flap).
+            self.penalize(peer, prefix, now);
+            self.reselect_and_export(prefix, ReselectHint::Neighbor(peer), now, pending);
+        }
+    }
+
+    /// Session toward `peer` recovered: re-announce the full Loc-RIB
+    /// per export policy (Adj-RIB-Out for the peer was flushed on the
+    /// way down, so everything exportable goes out again).
+    fn session_up(
+        &mut self,
+        peer: Asn,
+        node: NodeId,
+        _now: SimTime,
+        pending: &mut SortedMap<NodeId, BgpUpdate>,
+    ) {
+        if !self.sessions_down.remove(&peer) {
+            return; // was not down (e.g. plan started with LinkUp)
+        }
+        let prefixes: Vec<Prefix> = self.loc_rib.prefixes().collect();
+        for prefix in prefixes {
+            let Some(cand) = self.loc_rib.get(prefix).cloned() else { continue };
+            let exportable = if self.malice.leak_all {
+                cand.learned_from != Some(peer)
+            } else {
+                self.policy.may_export(&cand.route, cand.learned_from, peer)
+            };
+            if !exportable {
+                continue;
+            }
+            let out_route = cand.route.propagated_by(self.asn);
+            if self.adj_out.get(peer, prefix) == Some(&out_route) {
+                continue;
+            }
+            let signed = self.sign_for(&cand, &out_route, peer);
+            self.adj_out.advertise(peer, out_route);
+            pending.get_or_default(node).announces.push(signed);
+        }
+    }
+
+    /// Dampening reuse tick: decay every tracked penalty, release pairs
+    /// that fell below the reuse threshold (re-processing their parked
+    /// announcement), drop fully decayed state, and re-arm while any
+    /// pair stays suppressed.
+    fn damp_tick(&mut self, ctx: &mut Context<BgpUpdate>) {
+        self.damp_timer_armed = false;
+        let Some(policy) = self.dampening else { return };
+        let now = ctx.now();
+        let mut released = Vec::new();
+        let mut expired = Vec::new();
+        for (&key, state) in self.damp_states.iter_mut() {
+            let was_suppressed = state.suppressed;
+            let still_suppressed = state.refresh(now, &policy);
+            if was_suppressed && !still_suppressed {
+                released.push(key);
+            }
+            if !still_suppressed && state.penalty == 0 {
+                expired.push(key);
+            }
+        }
+        for key in expired {
+            self.damp_states.remove(&key);
+        }
+        let mut pending = std::mem::take(&mut self.pending_scratch);
+        for (from, prefix) in released {
+            if let Some(sr) = self.parked.remove(&(from, prefix)) {
+                if self.process_announce(from, sr, now).is_some() {
+                    self.reselect_and_export(
+                        prefix,
+                        ReselectHint::Neighbor(from),
+                        now,
+                        &mut pending,
+                    );
+                }
+            }
+        }
+        self.flush(ctx, &mut pending);
+        self.pending_scratch = pending;
+        self.arm_damp_timer_if_needed(ctx);
+    }
+
+    /// Arms the dampening reuse tick when any pair is suppressed and no
+    /// tick is already pending (keeps the simulation quiescent once all
+    /// penalties decay away).
+    fn arm_damp_timer_if_needed(&mut self, ctx: &mut Context<BgpUpdate>) {
+        let Some(policy) = self.dampening else { return };
+        if self.damp_timer_armed {
+            return;
+        }
+        if self.damp_states.values().any(|state| state.suppressed) {
+            self.damp_timer_armed = true;
+            ctx.set_timer(policy.reuse_tick, DAMP_TIMER);
         }
     }
 }
@@ -612,21 +844,49 @@ impl Agent<BgpUpdate> for BgpRouter {
     }
 
     fn on_message(&mut self, ctx: &mut Context<BgpUpdate>, from_node: NodeId, msg: BgpUpdate) {
-        self.stats.updates_rx += 1;
         // Identify the sending AS from the node id.
         let from = match self.asn_of_node.get(&from_node) {
             Some(&a) => a,
             None => return, // not a configured neighbor: ignore
         };
+        // Torn session: a BGP speaker cannot receive on a closed TCP
+        // connection. In-flight updates sent before the teardown are
+        // discarded like bytes in a dead socket; the flushed Adj-RIB-In
+        // is rebuilt solely from the peer's re-announcement at session
+        // re-establishment. Without this, a stale in-flight announce
+        // could repopulate state the peer no longer tracks (its
+        // Adj-RIB-Out was flushed too), and no withdraw would ever
+        // correct it.
+        if self.sessions_down.contains(&from) {
+            return;
+        }
+        self.stats.updates_rx += 1;
+        let now = ctx.now();
         let mut touched = std::mem::take(&mut self.touched_scratch);
         for prefix in msg.withdraws {
             if self.adj_in.remove(from, prefix) {
                 self.chains_in.remove(&(from, prefix));
+                self.penalize(from, prefix, now);
                 touched.push(prefix);
+            } else if self.parked.remove(&(from, prefix)).is_some() {
+                // Withdrawing a parked (suppressed) announcement is
+                // still a flap: the penalty stays topped up while the
+                // route keeps oscillating behind the suppression.
+                self.penalize(from, prefix, now);
             }
         }
-        let now = ctx.now();
         for sr in msg.announces {
+            if let Some(policy) = self.dampening {
+                let key = (from, sr.route.prefix);
+                if let Some(state) = self.damp_states.get_mut(&key) {
+                    if state.refresh(now, &policy) {
+                        self.stats.dampening_suppressed += 1;
+                        self.journal.record(now.as_micros(), "dampening_suppress", 1);
+                        self.parked.insert(key, sr);
+                        continue;
+                    }
+                }
+            }
             if let Some(p) = self.process_announce(from, sr, now) {
                 touched.push(p);
             }
@@ -643,11 +903,16 @@ impl Agent<BgpUpdate> for BgpRouter {
         self.touched_scratch = touched;
         self.flush(ctx, &mut pending);
         self.pending_scratch = pending;
+        self.arm_damp_timer_if_needed(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<BgpUpdate>, timer: u64) {
         if timer == MRAI_TIMER {
             self.flush_mrai_buffer(ctx);
+            return;
+        }
+        if timer == DAMP_TIMER {
+            self.damp_tick(ctx);
             return;
         }
         let (_, event) = match self.schedule.get(timer as usize) {
@@ -670,6 +935,20 @@ impl Agent<BgpUpdate> for BgpRouter {
         self.reselect_and_export(prefix, ReselectHint::Full, ctx.now(), &mut pending);
         self.flush(ctx, &mut pending);
         self.pending_scratch = pending;
+    }
+
+    fn on_session(&mut self, ctx: &mut Context<BgpUpdate>, peer: NodeId, up: bool) {
+        let Some(&asn) = self.asn_of_node.get(&peer) else { return };
+        let now = ctx.now();
+        let mut pending = std::mem::take(&mut self.pending_scratch);
+        if up {
+            self.session_up(asn, peer, now, &mut pending);
+        } else {
+            self.session_down(asn, peer, now, &mut pending);
+        }
+        self.flush(ctx, &mut pending);
+        self.pending_scratch = pending;
+        self.arm_damp_timer_if_needed(ctx);
     }
 
     fn as_any(&self) -> &dyn Any {

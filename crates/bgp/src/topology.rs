@@ -6,6 +6,7 @@
 //! topologies (tier-1 clique / tier-2 / stubs with Gao–Rexford roles)
 //! for the scale experiment E8.
 
+use crate::dampening::DampeningPolicy;
 use crate::messages::BgpUpdate;
 use crate::partition::partition_by_degree;
 use crate::policy::{PolicyConfig, Role};
@@ -16,7 +17,7 @@ use crate::types::{Asn, Prefix};
 use pvr_crypto::drbg::HmacDrbg;
 use pvr_crypto::keys::{Identity, KeyStore};
 use pvr_netsim::{
-    LinkConfig, NodeId, RunLimits, ShardedSimulator, SimDuration, Simulator, StopReason,
+    FaultPlan, LinkConfig, NodeId, RunLimits, ShardedSimulator, SimDuration, Simulator, StopReason,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -270,6 +271,17 @@ impl Topology {
         if let Some(interval) = options.mrai {
             router.set_mrai(interval);
         }
+        if let Some(jitter) = options.mrai_jitter {
+            // Router-owned jitter DRBG, seeded per AS: identical draws
+            // in the serial and sharded engines regardless of shard
+            // layout (the engine's own DRBGs are per-shard and must not
+            // leak into agent behaviour).
+            let rng = HmacDrbg::from_u64_labeled(options.seed, &format!("bgp-mrai-{}", asn.0));
+            router.set_mrai_jitter(jitter, rng);
+        }
+        if let Some(policy) = options.dampening {
+            router.set_dampening(policy);
+        }
         if let Some(window) = options.timeline_window {
             router.enable_timeline(window);
         }
@@ -406,6 +418,12 @@ pub struct InstantiateOptions {
     pub key_bits: usize,
     /// Optional MRAI batching interval applied to every router.
     pub mrai: Option<SimDuration>,
+    /// Optional upper bound on the per-arm random MRAI delay; each
+    /// router draws from its own `(seed, asn)`-labeled DRBG so the
+    /// jitter is identical across engines and shard counts.
+    pub mrai_jitter: Option<SimDuration>,
+    /// Optional route-flap dampening policy applied to every router.
+    pub dampening: Option<DampeningPolicy>,
     /// Enables the observability layer: convergence-timeline recorders
     /// on the simulator and on every router, with sim-time windows of
     /// this width. `None` (the default) records nothing and adds no
@@ -425,6 +443,8 @@ impl Default for InstantiateOptions {
             signed: false,
             key_bits: 512,
             mrai: None,
+            mrai_jitter: None,
+            dampening: None,
             timeline_window: None,
             journal_capacity: 0,
         }
@@ -636,6 +656,13 @@ impl BgpNetwork {
     pub fn trace_jsonl(&self) -> String {
         merge_trace_jsonl(self.ases().map(|asn| (asn, self.router(asn))))
     }
+
+    /// Installs a scheduled fault plan into the simulator (node ids
+    /// from [`BgpNetwork::node_of`]). Faults fire at exact sim times,
+    /// identically on the sharded engine for the same plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
 }
 
 /// An instantiated network running on the sharded engine: the parallel
@@ -767,6 +794,13 @@ impl ShardedBgpNetwork {
     /// hits).
     pub fn trace_jsonl(&self) -> String {
         merge_trace_jsonl(self.ases().map(|asn| (asn, self.router(asn))))
+    }
+
+    /// Installs a scheduled fault plan; see
+    /// [`BgpNetwork::install_fault_plan`]. The same plan produces
+    /// byte-identical runs at any shard count.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
     }
 }
 

@@ -11,11 +11,13 @@
 //! wall-clock reads, simple data structures. Determinism is a feature
 //! under test: identical seeds reproduce identical traces, bit for bit.
 
+pub mod fault;
 pub mod link;
 pub mod shard;
 pub mod sim;
 pub mod time;
 
+pub use fault::{Fault, FaultPlan};
 pub use link::LinkConfig;
 pub use shard::ShardedSimulator;
 pub use sim::{

@@ -43,9 +43,10 @@
 //! the sharded engine checks at window granularity rather than per
 //! event (convergence workloads run with deadlines or no limits).
 
+use crate::fault::{Fault, FaultInjector, FaultPlan};
 use crate::link::LinkConfig;
 use crate::sim::{Action, Agent, Context, Delivery, EventKind, EventQueue, NodeId, Payload};
-use crate::sim::{RunLimits, SimStats, StopReason};
+use crate::sim::{InertAgent, RunLimits, SimStats, StopReason};
 use crate::time::SimTime;
 use pvr_crypto::drbg::HmacDrbg;
 use std::collections::HashMap;
@@ -169,6 +170,10 @@ pub struct ShardedSimulator<P: Payload + Send> {
     spawn_threshold: usize,
     /// Recycled merge buffer for the exchange phase.
     merged: Vec<OutboxEntry<P>>,
+    /// Scheduled fault events, if a plan was installed.
+    faults: Option<FaultInjector>,
+    /// Per-node pause flags (see [`Fault::NodePause`]).
+    paused: Vec<bool>,
 }
 
 impl<P: Payload + Send> ShardedSimulator<P> {
@@ -192,6 +197,8 @@ impl<P: Payload + Send> ShardedSimulator<P> {
             started: false,
             spawn_threshold: 16,
             merged: Vec::new(),
+            faults: None,
+            paused: Vec::new(),
         }
     }
 
@@ -200,6 +207,7 @@ impl<P: Payload + Send> ShardedSimulator<P> {
         assert!(shard < self.shards.len(), "shard {shard} out of range");
         let id = self.node_shard.len();
         self.node_shard.push(shard as u32);
+        self.paused.push(false);
         let s = &mut self.shards[shard];
         let local = s.nodes.len();
         s.nodes.push(agent);
@@ -250,6 +258,16 @@ impl<P: Payload + Send> ShardedSimulator<P> {
         let mut cfg = self.link_config(src, dst);
         cfg.down = down;
         self.links.insert((src, dst), cfg);
+    }
+
+    /// Installs a fault plan — the sharded counterpart of
+    /// [`Simulator::set_fault_plan`](crate::Simulator::set_fault_plan).
+    /// Faults are applied by the coordinator between windows, in the
+    /// same order and with the same DRBG consumption as the serial
+    /// engine, so fault-injected runs stay byte-identical at any shard
+    /// count.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan.into_injector());
     }
 
     fn link_config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
@@ -341,6 +359,12 @@ impl<P: Payload + Send> ShardedSimulator<P> {
         let cfg = self.link_config(src, dst);
         self.stats.sent += 1;
         self.stats.bytes_sent += msg.wire_size() as u64;
+        // Pause drops precede the DRBG drop-check, mirroring the serial
+        // engine exactly (no randomness consumed for paused sends).
+        if self.paused[src] || self.paused[dst] {
+            self.stats.dropped += 1;
+            return;
+        }
         if cfg.down || (cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob)) {
             self.stats.dropped += 1;
             return;
@@ -401,6 +425,86 @@ impl<P: Payload + Send> ShardedSimulator<P> {
         (events, delivered)
     }
 
+    /// Earliest unapplied fault time, clamped to `now` (matching the
+    /// serial engine's rule for late-installed plans).
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.faults.as_ref().and_then(FaultInjector::next_time).map(|t| t.max(self.now))
+    }
+
+    /// Runs one `on_session` callback on the coordinator thread: the
+    /// agent is swapped out of its shard, the context draws from the
+    /// coordinator's `"netsim"` DRBG (exactly what the serial engine's
+    /// dispatch uses), and the resulting actions are applied
+    /// immediately in issue order — the serial engine's semantics.
+    fn dispatch_session(&mut self, node: NodeId, peer: NodeId, up: bool) {
+        let shard = self.node_shard[node] as usize;
+        let local = self.shards[shard].local_of[&node];
+        let mut agent = std::mem::replace(
+            &mut self.shards[shard].nodes[local],
+            Box::new(InertAgent) as Box<dyn Agent<P> + Send>,
+        );
+        let mut ctx = Context::renew(self.now, node, &mut self.rng, Vec::new());
+        agent.on_session(&mut ctx, peer, up);
+        let actions = ctx.into_actions();
+        self.shards[shard].nodes[local] = agent;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.schedule_send(node, to, msg),
+                Action::SetTimer { delay, timer } => {
+                    let at = self.now + delay;
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let s = self.node_shard[node] as usize;
+                    self.shards[s].queue.push(at, (seq, EventKind::Timer { node, timer }));
+                }
+            }
+        }
+    }
+
+    /// Applies one fault — the same sequence of link mutations and
+    /// session callbacks as the serial engine's `apply_fault`.
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::LinkDown { a, b } => {
+                self.stats.link_down += 1;
+                self.set_link_down(a, b, true);
+                self.set_link_down(b, a, true);
+                self.dispatch_session(a, b, false);
+                self.dispatch_session(b, a, false);
+            }
+            Fault::LinkUp { a, b } => {
+                self.stats.link_up += 1;
+                self.set_link_down(a, b, false);
+                self.set_link_down(b, a, false);
+                self.dispatch_session(a, b, true);
+                self.dispatch_session(b, a, true);
+            }
+            Fault::LinkDegrade { a, b, drop_prob, jitter } => {
+                self.stats.link_degrades += 1;
+                for (src, dst) in [(a, b), (b, a)] {
+                    let mut cfg = self.link_config(src, dst);
+                    cfg.drop_prob = drop_prob;
+                    cfg.jitter = jitter;
+                    self.links.insert((src, dst), cfg);
+                }
+            }
+            Fault::SessionReset { a, b } => {
+                self.stats.session_resets += 1;
+                self.dispatch_session(a, b, false);
+                self.dispatch_session(b, a, false);
+                self.dispatch_session(a, b, true);
+                self.dispatch_session(b, a, true);
+            }
+            Fault::NodePause { node } => {
+                self.stats.node_pauses += 1;
+                self.paused[node] = true;
+            }
+            Fault::NodeResume { node } => {
+                self.paused[node] = false;
+            }
+        }
+    }
+
     fn start_if_needed(&mut self) {
         if self.started {
             return;
@@ -459,7 +563,12 @@ impl<P: Payload + Send> ShardedSimulator<P> {
                     return StopReason::EventLimit;
                 }
             }
-            let head = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
+            let qhead = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
+            let fhead = self.next_fault_time();
+            let head = match (qhead, fhead) {
+                (Some(q), Some(f)) => Some(q.min(f)),
+                (q, f) => q.or(f),
+            };
             let time = match head {
                 Some(t) => t,
                 None => return StopReason::Quiescent,
@@ -471,6 +580,15 @@ impl<P: Payload + Send> ShardedSimulator<P> {
             }
             debug_assert!(time >= self.now, "time went backwards");
             self.now = time;
+            // A due fault fires before any queued event at the same
+            // instant (the serial engine's rule); the window itself, if
+            // any, runs on the next loop iteration.
+            if fhead.is_some_and(|f| f <= time) {
+                while let Some(fault) = self.faults.as_mut().and_then(|f| f.pop_due(time)) {
+                    self.apply_fault(fault);
+                }
+                continue;
+            }
             self.run_window(time);
             if self.timeline.is_some() {
                 // Mirror the serial engine's queue-depth sampling rule:
@@ -757,6 +875,130 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Echo agent that also reacts to session faults: on teardown it
+    /// notes the loss, on recovery it re-sends a token to the restored
+    /// peer — a miniature of the BGP re-announce flow.
+    #[derive(Clone)]
+    struct SessionAware {
+        peer: NodeId,
+        received: Vec<u32>,
+        sessions: Vec<(NodeId, bool)>,
+    }
+
+    impl Agent<Token> for SessionAware {
+        fn on_start(&mut self, ctx: &mut Context<Token>) {
+            if ctx.id() == 0 {
+                ctx.send(self.peer, Token(40));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Token>, _from: NodeId, msg: Token) {
+            self.received.push(msg.0);
+            if msg.0 > 0 {
+                ctx.send(self.peer, Token(msg.0 - 1));
+            }
+        }
+        fn on_session(&mut self, ctx: &mut Context<Token>, peer: NodeId, up: bool) {
+            self.sessions.push((peer, up));
+            if up {
+                ctx.send(peer, Token(5));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn fault_plan_matches_serial() {
+        use crate::fault::{Fault, FaultPlan};
+        let mk_plan = || {
+            let mut plan = FaultPlan::new();
+            plan.flap_link(
+                0,
+                1,
+                SimTime(15_000),
+                SimDuration::from_millis(30),
+                SimDuration::from_millis(60),
+                2,
+            );
+            plan.push(SimTime(25_000), Fault::NodePause { node: 2 });
+            plan.push(SimTime(55_000), Fault::NodeResume { node: 2 });
+            plan.push(SimTime(70_000), Fault::SessionReset { a: 2, b: 3 });
+            plan.push(
+                SimTime(80_000),
+                Fault::LinkDegrade {
+                    a: 1,
+                    b: 2,
+                    drop_prob: 0.4,
+                    jitter: SimDuration::from_micros(300),
+                },
+            );
+            plan
+        };
+        let mk_agents = || {
+            (0..4)
+                .map(|i| SessionAware { peer: (i + 1) % 4, received: vec![], sessions: vec![] })
+                .collect::<Vec<_>>()
+        };
+
+        let mut serial: Simulator<Token> = Simulator::new(13);
+        for a in mk_agents() {
+            serial.add_node(Box::new(a));
+        }
+        serial.enable_trace();
+        serial.set_fault_plan(mk_plan());
+        serial.run(RunLimits::none());
+        assert!(serial.stats().link_down > 0, "plan must actually fire");
+        assert_eq!(serial.stats().session_resets, 1);
+
+        for shards in 1..=4 {
+            let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(13, shards);
+            sharded.set_spawn_threshold(1);
+            for a in mk_agents() {
+                sharded.add_node(Box::new(a));
+            }
+            sharded.enable_trace();
+            sharded.set_fault_plan(mk_plan());
+            sharded.run(RunLimits::none());
+            assert_eq!(fingerprint_serial(&serial), fingerprint_sharded(&sharded), "{shards}");
+            for id in 0..4 {
+                let s: &SessionAware = serial.node(id).unwrap();
+                let p: &SessionAware = sharded.node(id).unwrap();
+                assert_eq!(s.received, p.received, "node {id} state diverged");
+                assert_eq!(s.sessions, p.sessions, "node {id} session log diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn paused_node_drops_traffic_both_engines() {
+        use crate::fault::{Fault, FaultPlan};
+        let plan = FaultPlan::new()
+            .at(SimTime(0), Fault::NodePause { node: 1 })
+            .at(SimTime(100_000), Fault::NodeResume { node: 1 });
+        let mut serial: Simulator<Token> = Simulator::new(3);
+        serial.add_node(Box::new(PingPong { peer: 1, received: vec![], kick_off: true }));
+        serial.add_node(Box::new(PingPong { peer: 0, received: vec![], kick_off: false }));
+        serial.set_fault_plan(plan.clone());
+        serial.run(RunLimits::none());
+        // Start-up precedes the t=0 fault, so the kick-off is already in
+        // flight (in-flight deliveries survive a pause); the paused
+        // node's reply is what gets dropped.
+        assert_eq!(serial.stats().delivered, 1);
+        assert_eq!(serial.stats().dropped, 1);
+        assert_eq!(serial.stats().node_pauses, 1);
+
+        let mut sharded: ShardedSimulator<Token> = ShardedSimulator::new(3, 2);
+        sharded.add_node(Box::new(PingPong { peer: 1, received: vec![], kick_off: true }));
+        sharded.add_node(Box::new(PingPong { peer: 0, received: vec![], kick_off: false }));
+        sharded.set_fault_plan(plan);
+        sharded.run(RunLimits::none());
+        assert_eq!(serial.stats(), sharded.stats());
     }
 
     #[test]

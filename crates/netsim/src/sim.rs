@@ -12,6 +12,7 @@
 //! * all randomness (jitter, drops) comes from one seeded [`HmacDrbg`];
 //! * agents only interact with the world through [`Context`].
 
+use crate::fault::{Fault, FaultInjector, FaultPlan};
 use crate::link::LinkConfig;
 use crate::time::{SimDuration, SimTime};
 use pvr_crypto::drbg::HmacDrbg;
@@ -49,6 +50,12 @@ pub trait Agent<P: Payload>: Any {
 
     /// Called when a timer armed via [`Context::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Context<P>, _timer: u64) {}
+
+    /// Called when the fault layer changes this node's session state
+    /// toward `peer`: `up == false` on link-down/session-teardown,
+    /// `up == true` on recovery. Default: ignore (non-session
+    /// protocols are unaffected by fault plans).
+    fn on_session(&mut self, _ctx: &mut Context<P>, _peer: NodeId, _up: bool) {}
 
     /// Downcast support (simulators are heterogeneous collections).
     fn as_any(&self) -> &dyn Any;
@@ -154,6 +161,16 @@ pvr_obs::metric_struct! {
         /// Messages injected from outside the simulation (attack campaigns,
         /// test harnesses) via [`Simulator::inject`].
         pub injected: u64,
+        /// Link-down faults applied by the fault plan.
+        pub link_down: u64,
+        /// Link-up (recovery) faults applied by the fault plan.
+        pub link_up: u64,
+        /// Link-degrade (loss/jitter ramp) faults applied.
+        pub link_degrades: u64,
+        /// Session-reset faults applied by the fault plan.
+        pub session_resets: u64,
+        /// Node-pause faults applied by the fault plan.
+        pub node_pauses: u64,
     }
 }
 
@@ -255,6 +272,10 @@ pub struct Simulator<P: Payload> {
     started: bool,
     /// Recycled buffer for agent actions (see `dispatch`).
     action_scratch: Vec<Action<P>>,
+    /// Scheduled fault events, if a plan was installed.
+    faults: Option<FaultInjector>,
+    /// Per-node pause flags (see [`Fault::NodePause`]).
+    paused: Vec<bool>,
 }
 
 impl<P: Payload> Simulator<P> {
@@ -273,12 +294,15 @@ impl<P: Payload> Simulator<P> {
             timeline: None,
             started: false,
             action_scratch: Vec::new(),
+            faults: None,
+            paused: Vec::new(),
         }
     }
 
     /// Adds a node, returning its id.
     pub fn add_node(&mut self, agent: Box<dyn Agent<P>>) -> NodeId {
         self.nodes.push(agent);
+        self.paused.push(false);
         self.nodes.len() - 1
     }
 
@@ -308,6 +332,13 @@ impl<P: Payload> Simulator<P> {
         let mut cfg = self.link_config(src, dst);
         cfg.down = down;
         self.links.insert((src, dst), cfg);
+    }
+
+    /// Installs a fault plan. Faults fire at their scheduled sim times,
+    /// before any queued event at the same instant; faults scheduled in
+    /// the past fire immediately. Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan.into_injector());
     }
 
     fn link_config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
@@ -384,6 +415,13 @@ impl<P: Payload> Simulator<P> {
         let cfg = self.link_config(src, dst);
         self.stats.sent += 1;
         self.stats.bytes_sent += msg.wire_size() as u64;
+        // Pause drops happen before the DRBG drop-check so a paused
+        // clean link consumes no randomness — the sharded engine's
+        // coordinator applies the identical rule.
+        if self.paused[src] || self.paused[dst] {
+            self.stats.dropped += 1;
+            return;
+        }
         if cfg.down || (cfg.drop_prob > 0.0 && self.rng.chance(cfg.drop_prob)) {
             self.stats.dropped += 1;
             return;
@@ -436,9 +474,76 @@ impl<P: Payload> Simulator<P> {
         }
     }
 
-    /// Processes a single event; returns `false` when the queue is empty.
+    /// Earliest unapplied fault time, clamped to `now` (late-installed
+    /// plans fire immediately, never in the past).
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.faults.as_ref().and_then(FaultInjector::next_time).map(|t| t.max(self.now))
+    }
+
+    /// Applies one fault. Link and session faults dispatch
+    /// [`Agent::on_session`] on both endpoints (`a` first), consuming
+    /// the link DRBG through any actions they produce — the sharded
+    /// engine runs the identical sequence on its coordinator.
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::LinkDown { a, b } => {
+                self.stats.link_down += 1;
+                self.set_link_down(a, b, true);
+                self.set_link_down(b, a, true);
+                self.dispatch(a, |agent, ctx| agent.on_session(ctx, b, false));
+                self.dispatch(b, |agent, ctx| agent.on_session(ctx, a, false));
+            }
+            Fault::LinkUp { a, b } => {
+                self.stats.link_up += 1;
+                self.set_link_down(a, b, false);
+                self.set_link_down(b, a, false);
+                self.dispatch(a, |agent, ctx| agent.on_session(ctx, b, true));
+                self.dispatch(b, |agent, ctx| agent.on_session(ctx, a, true));
+            }
+            Fault::LinkDegrade { a, b, drop_prob, jitter } => {
+                self.stats.link_degrades += 1;
+                for (src, dst) in [(a, b), (b, a)] {
+                    let mut cfg = self.link_config(src, dst);
+                    cfg.drop_prob = drop_prob;
+                    cfg.jitter = jitter;
+                    self.links.insert((src, dst), cfg);
+                }
+            }
+            Fault::SessionReset { a, b } => {
+                self.stats.session_resets += 1;
+                self.dispatch(a, |agent, ctx| agent.on_session(ctx, b, false));
+                self.dispatch(b, |agent, ctx| agent.on_session(ctx, a, false));
+                self.dispatch(a, |agent, ctx| agent.on_session(ctx, b, true));
+                self.dispatch(b, |agent, ctx| agent.on_session(ctx, a, true));
+            }
+            Fault::NodePause { node } => {
+                self.stats.node_pauses += 1;
+                self.paused[node] = true;
+            }
+            Fault::NodeResume { node } => {
+                self.paused[node] = false;
+            }
+        }
+    }
+
+    /// Processes a single event or fault instant; returns `false` when
+    /// nothing is pending (queue drained and fault plan exhausted).
     pub fn step(&mut self) -> bool {
         self.start_if_needed();
+        // A due fault fires before any queued event at the same time.
+        if let Some(ft) = self.next_fault_time() {
+            let fault_first = match self.queue.peek_time() {
+                Some(head) => ft <= head,
+                None => true,
+            };
+            if fault_first {
+                self.now = ft;
+                while let Some(fault) = self.faults.as_mut().and_then(|f| f.pop_due(ft)) {
+                    self.apply_fault(fault);
+                }
+                return true;
+            }
+        }
         let (time, kind) = match self.queue.pop() {
             Some(e) => e,
             None => return false,
@@ -489,7 +594,11 @@ impl<P: Payload> Simulator<P> {
                     return StopReason::EventLimit;
                 }
             }
-            if let (Some(head), Some(deadline)) = (self.queue.peek_time(), limits.deadline) {
+            let head = match (self.queue.peek_time(), self.next_fault_time()) {
+                (Some(q), Some(f)) => Some(q.min(f)),
+                (q, f) => q.or(f),
+            };
+            if let (Some(head), Some(deadline)) = (head, limits.deadline) {
                 if head > deadline {
                     return StopReason::Deadline;
                 }
@@ -534,7 +643,7 @@ pub enum StopReason {
 }
 
 /// Placeholder agent swapped in while a real agent's callback runs.
-struct InertAgent;
+pub(crate) struct InertAgent;
 
 impl<P: Payload> Agent<P> for InertAgent {
     fn on_message(&mut self, _ctx: &mut Context<P>, _from: NodeId, _msg: P) {

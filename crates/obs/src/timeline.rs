@@ -38,8 +38,12 @@ pub const RT_VERIFY_CALLS: usize = 1;
 /// Router channel: verifications answered by the cache (counted).
 /// Engine-dependent — see the carve-out in the module docs.
 pub const RT_VERIFY_HITS: usize = 2;
+/// Router channel: withdraws flooded to neighbors (counted) — the
+/// churn channel: fault-driven teardowns and workload withdrawals both
+/// land here, making withdraw storms visible per window.
+pub const RT_WITHDRAWS: usize = 3;
 /// Number of router channels.
-pub const RT_CHANNELS: usize = 3;
+pub const RT_CHANNELS: usize = 4;
 
 /// Per-window accumulator. See the module docs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -124,6 +128,8 @@ pub struct TimelineWindow {
     /// Verifications served from cache (engine-dependent; excluded
     /// from cross-engine comparisons).
     pub verify_cache_hits: u64,
+    /// Withdraws flooded to neighbors across all routers.
+    pub withdraws: u64,
 }
 
 /// The operator-facing convergence timeline: sim/router channels
@@ -164,6 +170,7 @@ impl ConvergenceTimeline {
             w.rib_churn = v[RT_RIB_CHURN];
             w.verify_calls = v[RT_VERIFY_CALLS];
             w.verify_cache_hits = v[RT_VERIFY_HITS];
+            w.withdraws = v[RT_WITHDRAWS];
         }
         ConvergenceTimeline { window_us: sim.window_us, windows: by_start.into_values().collect() }
     }
@@ -192,8 +199,15 @@ impl ConvergenceTimeline {
         let mut out = String::new();
         writeln!(
             out,
-            "{:>10}  {:>8}  {:>10}  {:>7}  {:>9}  {:>8}  {:>5}",
-            "window(ms)", "events", "ev/simsec", "queue", "rib-churn", "verifies", "hit%"
+            "{:>10}  {:>8}  {:>10}  {:>7}  {:>9}  {:>9}  {:>8}  {:>5}",
+            "window(ms)",
+            "events",
+            "ev/simsec",
+            "queue",
+            "rib-churn",
+            "withdraws",
+            "verifies",
+            "hit%"
         )
         .expect("write to String cannot fail");
         for w in &self.windows {
@@ -203,12 +217,13 @@ impl ConvergenceTimeline {
             };
             writeln!(
                 out,
-                "{:>10}  {:>8}  {:>10}  {:>7}  {:>9}  {:>8}  {:>5}",
+                "{:>10}  {:>8}  {:>10}  {:>7}  {:>9}  {:>9}  {:>8}  {:>5}",
                 w.start_us / 1000,
                 w.events,
                 self.events_per_sim_sec(w),
                 w.queue_depth,
                 w.rib_churn,
+                w.withdraws,
                 w.verify_calls,
                 hit_pct
             )
@@ -230,12 +245,13 @@ impl ConvergenceTimeline {
             write!(
                 out,
                 "{{\"start_us\":{},\"events\":{},\"delivered\":{},\"queue_depth\":{},\
-                 \"rib_churn\":{},\"verify_calls\":{},\"verify_cache_hits\":{}}}",
+                 \"rib_churn\":{},\"withdraws\":{},\"verify_calls\":{},\"verify_cache_hits\":{}}}",
                 w.start_us,
                 w.events,
                 w.delivered,
                 w.queue_depth,
                 w.rib_churn,
+                w.withdraws,
                 w.verify_calls,
                 w.verify_cache_hits
             )

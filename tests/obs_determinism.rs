@@ -5,8 +5,10 @@
 //! it): per-shard verification caches legitimately see fewer hits than
 //! the serial engine's network-wide cache.
 
-use pvr::bgp::{internet_like, InstantiateOptions, InternetParams};
-use pvr::netsim::{RunLimits, SimDuration, StopReason};
+use pvr::bgp::{
+    internet_like, workload, Asn, DampeningPolicy, Edge, InstantiateOptions, InternetParams, Prefix,
+};
+use pvr::netsim::{Fault, FaultPlan, NodeId, RunLimits, SimDuration, SimTime, StopReason};
 use std::sync::Arc;
 
 /// The carve-out predicate: every series derived from cache hits, by
@@ -85,6 +87,110 @@ fn telemetry_is_engine_invariant_modulo_cache_hits() {
                 assert!(sharded_hits <= serial_hits);
             }
         }
+    }
+}
+
+/// The two endpoints of a topology edge, whichever flavor.
+fn endpoints(edge: &Edge) -> (Asn, Asn) {
+    match *edge {
+        Edge::ProviderCustomer { provider, customer } => (provider, customer),
+        Edge::Peering(a, b) => (a, b),
+        Edge::PartialTransit { provider, customer, .. } => (provider, customer),
+    }
+}
+
+#[test]
+fn fault_telemetry_is_engine_invariant() {
+    // A churn-plus-faults run in plain mode: no signing → no verify
+    // cache → no carve-out anywhere. Snapshot, timeline, and trace must
+    // be byte-identical across engines, *including* every fault counter
+    // and the withdraw-storm channel the fault layer feeds.
+    let params = InternetParams { tier1: 3, tier2: 8, stubs: 24, ..InternetParams::default() };
+    let mut topology = internet_like(params, 73);
+    let candidates: Vec<(Asn, Prefix)> = topology
+        .ases()
+        .flat_map(|a| topology.originated_by(a).iter().map(move |&p| (a, p)))
+        .take(3)
+        .collect();
+    workload::continuous_churn(
+        &mut topology,
+        &candidates,
+        24,
+        SimDuration::from_millis(400),
+        SimDuration::from_millis(30),
+        73,
+    );
+    // Two faulted edges: a three-cycle flap fast enough to outrun the
+    // dampening half-life (penalties 1000 → 1707 → 2207 > the 2000
+    // suppress threshold) and a mid-churn session reset.
+    let (fa, fb) = endpoints(&topology.edges()[0]);
+    let (ra, rb) = endpoints(&topology.edges()[1]);
+    let fault_plan = |node_of: &dyn Fn(Asn) -> NodeId| {
+        let mut plan = FaultPlan::new();
+        plan.flap_link(
+            node_of(fa),
+            node_of(fb),
+            SimTime::ZERO + SimDuration::from_millis(500),
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(100),
+            3,
+        );
+        plan.push(
+            SimTime::ZERO + SimDuration::from_millis(700),
+            Fault::SessionReset { a: node_of(ra), b: node_of(rb) },
+        );
+        plan
+    };
+    let options = InstantiateOptions {
+        seed: 73,
+        mrai: Some(SimDuration::from_millis(5)),
+        mrai_jitter: Some(SimDuration::from_millis(1)),
+        dampening: Some(DampeningPolicy::default()),
+        timeline_window: Some(SimDuration::from_millis(5)),
+        journal_capacity: 32,
+        ..Default::default()
+    };
+
+    let mut serial = topology.instantiate(options);
+    serial.install_fault_plan(fault_plan(&|a| serial.node_of(a)));
+    assert_eq!(serial.converge(RunLimits::none()), StopReason::Quiescent);
+    let serial_snap = serial.metrics_snapshot("plain");
+    let serial_tl = serial.convergence_timeline().expect("timeline enabled");
+    let serial_trace = serial.trace_jsonl();
+
+    // The fault layer actually showed up in the telemetry.
+    for name in [
+        "pvr_sim_link_down_total",
+        "pvr_sim_session_resets_total",
+        "pvr_router_withdraws_sent_total",
+        "pvr_router_dampening_suppressed_total",
+    ] {
+        assert!(
+            serial_snap.counter_value(name).unwrap_or(0) > 0,
+            "{name} should be non-zero in a churn-plus-faults run"
+        );
+    }
+    assert!(
+        serial_tl.windows.iter().any(|w| w.withdraws > 0),
+        "some timeline window should carry withdraw-storm activity"
+    );
+
+    for shards in [2usize, 4, 8] {
+        let mut sharded = topology.instantiate_sharded(options, shards);
+        sharded.install_fault_plan(fault_plan(&|a| sharded.node_of(a)));
+        assert_eq!(sharded.converge(RunLimits::none()), StopReason::Quiescent);
+        // Plain mode: full equality, no carve-out predicate in sight.
+        assert_eq!(
+            sharded.metrics_snapshot("plain"),
+            serial_snap,
+            "fault metrics diverge at {shards} shards"
+        );
+        assert_eq!(
+            sharded.convergence_timeline().expect("timeline enabled"),
+            serial_tl,
+            "fault timeline diverges at {shards} shards"
+        );
+        assert_eq!(sharded.trace_jsonl(), serial_trace, "fault trace diverges at {shards} shards");
     }
 }
 
