@@ -17,8 +17,11 @@ RIB size, bytes on the wire, O(1) short-circuits; e15's metrics series
 and convergence-timeline windows; e16's settle-time percentiles,
 withdraw fan-out, dampening suppressions, fault counts, and the
 degradation/deployment tables (all sim-time derived, no timing fields
-at all) — must survive unchanged, or the sharded engine has diverged
-from the serial one.
+at all); e17's baseline/private event counts, sim-time convergence,
+sim-time privacy-overhead multiplier, batch occupancy, and the full
+SMC bill (requests, batches, rounds, bits broadcast, modeled latency,
+verdict tally) — must survive unchanged, or the sharded engine has
+diverged from the serial one.
 
 Usage: normalize_e14.py BENCH.json > normalized.json
 """
@@ -69,6 +72,21 @@ def normalize_e16(e16):
     return {k: v for k, v in sorted(metrics.items())}
 
 
+def normalize_e17(e17):
+    rows = e17.get("metrics")
+    assert rows, "e17 record carries no metrics array"
+    out = []
+    for row in rows:
+        kept = {
+            k: v
+            for k, v in sorted(row.items())
+            if k not in ("shards", "baseline_wall_secs", "private_wall_secs", "wall_overhead")
+        }
+        out.append(kept)
+    out.sort(key=lambda r: r["scale"])
+    return out
+
+
 def normalize(doc):
     assert doc.get("schema") == "pvr-bench-v1", f"unexpected schema {doc.get('schema')!r}"
     experiments = doc.get("experiments", [])
@@ -81,6 +99,9 @@ def normalize(doc):
     e16 = next((e for e in experiments if e.get("id") == "e16"), None)
     if e16 is not None:
         out["e16"] = normalize_e16(e16)
+    e17 = next((e for e in experiments if e.get("id") == "e17"), None)
+    if e17 is not None:
+        out["e17"] = normalize_e17(e17)
     return out
 
 

@@ -1,0 +1,84 @@
+//! Bit-sliced batch GMW vs the serial engine (e17's tentpole claim).
+//!
+//! Gate throughput: one `BatchGmw::run` at batch width 1/8/64 against
+//! 64 serial `run_gmw` calls over the same circuit — per-lane outputs
+//! are identical (the randomness-independence argument in
+//! `pvr_smc::batch`), so the ratio is an honest speedup. Plus the two
+//! end-to-end circuits the network's private verifier actually runs:
+//! min and majority over a full batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pvr_crypto::drbg::HmacDrbg;
+use pvr_smc::{
+    majority_circuit, min_circuit, pack_lane_inputs, run_gmw, to_bits, BatchGmw, MAX_LANES,
+};
+use std::hint::black_box;
+
+/// The verifier's workload shape: 4-party 8-bit minimum.
+const PARTIES: usize = 4;
+const WIDTH: usize = 8;
+
+/// Per-lane serial inputs: lane `l`, party `p` holds `2 + (l + p) % 11`.
+fn lane_inputs(lanes: usize) -> Vec<Vec<Vec<bool>>> {
+    (0..lanes)
+        .map(|l| (0..PARTIES).map(|p| to_bits(2 + ((l + p) % 11) as u64, WIDTH)).collect())
+        .collect()
+}
+
+fn bench_gate_throughput(c: &mut Criterion) {
+    let circuit = min_circuit(PARTIES, WIDTH);
+    let mut g = c.benchmark_group("smc_gate_throughput");
+
+    // Serial baseline: 64 independent evaluations, one per lane.
+    let serial = lane_inputs(MAX_LANES);
+    g.throughput(Throughput::Elements((circuit.len() * MAX_LANES) as u64));
+    g.bench_function("serial_x64", |b| {
+        let mut rng = HmacDrbg::from_u64_labeled(17, "bench-smc-serial");
+        b.iter(|| {
+            for inputs in &serial {
+                black_box(run_gmw(&circuit, inputs, &mut rng).outputs);
+            }
+        });
+    });
+
+    // Batch engine at increasing widths: same gates-per-lane, one word
+    // op per gate regardless of width.
+    for lanes in [1usize, 8, 64] {
+        let packed = pack_lane_inputs(&lane_inputs(lanes));
+        g.throughput(Throughput::Elements((circuit.len() * lanes) as u64));
+        g.bench_with_input(BenchmarkId::new("batch", lanes), &packed, |b, packed| {
+            let mut rng = HmacDrbg::from_u64_labeled(17, "bench-smc-batch");
+            b.iter(|| {
+                let runner = BatchGmw::new(&circuit);
+                black_box(runner.run(packed, &mut rng).outputs);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_verifier_circuits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smc_verifier_e2e");
+    // A full-width batch through both circuits the private verifier
+    // chains per batch: min over the candidates, then the per-party
+    // majority vote.
+    let min = min_circuit(PARTIES, WIDTH);
+    let min_in = pack_lane_inputs(&lane_inputs(MAX_LANES));
+    g.bench_function("min_x64", |b| {
+        let mut rng = HmacDrbg::from_u64_labeled(17, "bench-smc-min");
+        b.iter(|| black_box(BatchGmw::new(&min).run(&min_in, &mut rng).outputs));
+    });
+
+    let majority = majority_circuit(PARTIES);
+    let votes: Vec<Vec<Vec<bool>>> =
+        (0..MAX_LANES).map(|l| (0..PARTIES).map(|p| vec![(l + p) % 3 != 0]).collect()).collect();
+    let maj_in = pack_lane_inputs(&votes);
+    g.bench_function("majority_x64", |b| {
+        let mut rng = HmacDrbg::from_u64_labeled(17, "bench-smc-majority");
+        b.iter(|| black_box(BatchGmw::new(&majority).run(&maj_in, &mut rng).outputs));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gate_throughput, bench_verifier_circuits);
+criterion_main!(benches);

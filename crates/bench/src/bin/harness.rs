@@ -11,19 +11,23 @@
 //!   cargo run --release -p pvr-bench --bin harness -- --shards 1,4 e14
 //!   cargo run --release -p pvr-bench --bin harness -- --metrics-out m.prom e15
 //!   cargo run --release -p pvr-bench --bin harness -- --churn 128 e16
+//!   cargo run --release -p pvr-bench --bin harness -- --smc-batch 8 e17
 //!
 //! `--scale N` sets the largest AS count the scale experiments (e14,
-//! e15, e16) converge: default 5000, or 500 under `--quick` so CI
+//! e15, e16, e17) converge: default 5000, or 500 under `--quick` so CI
 //! smoke stays within budget. E15 additionally caps its ladder at 1000
 //! ASes — its per-router journals and timelines are meant for operator
 //! inspection, not internet-scale stress.
 //!
 //! `--shards LIST` (comma-separated, e.g. `--shards 1,2,4`) selects the
-//! engine(s) e14, e15, and e16 run on: 1 is the serial engine, >1 the
-//! sharded engine with that many worker calendars. Defaults to `1`, or
-//! `1,2` under `--quick` so CI smoke covers both engines.
-//! Deterministic e14/e15/e16 fields are identical at every shard
+//! engine(s) e14, e15, e16, and e17 run on: 1 is the serial engine, >1
+//! the sharded engine with that many worker calendars. Defaults to `1`,
+//! or `1,2` under `--quick` so CI smoke covers both engines.
+//! Deterministic e14/e15/e16/e17 fields are identical at every shard
 //! count; the CI determinism job diffs them.
+//!
+//! `--smc-batch N` sets e17's GMW batch width (lanes per word, 1–64;
+//! default 64). Requires e17 to be selected.
 //!
 //! `--churn N` sets e16's continuous-churn event count (default 64);
 //! `--fault-seed N` seeds its fault plan, degradation edge choice, and
@@ -48,9 +52,15 @@
 //! The e16 record carries a `metrics` object with the churn run's
 //! settle-time percentiles, withdraw fan-out, dampening suppressions,
 //! fault counts, and the degradation/deployment tables — all sim-time
-//! deterministic. `ci/normalize_e14.py` strips the
-//! `verify_cache_hit*` series/fields — the engine-local carve-out —
-//! and diffs the rest across shard counts.
+//! deterministic. The e17 record carries a `metrics` array with one
+//! object per (scale, shards) pair: the signed-baseline and private-run
+//! events/sim-time/wall-clock, the sim-time privacy-overhead
+//! multiplier, batch occupancy, and the verifier's full `smc` bill
+//! (requests, batches, AND gates, rounds, triples, OTs, bits
+//! broadcast, modeled latency, verdict tally). `ci/normalize_e14.py`
+//! strips the `verify_cache_hit*` series/fields — the engine-local
+//! carve-out — plus all wall-clock fields, and diffs the rest across
+//! shard counts.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
@@ -59,7 +69,7 @@ type Runner = fn() -> String;
 /// a CI smoke pass exercises the harness end-to-end in seconds. E14
 /// and e15 ride along at a reduced `--scale` (500 ASes): small enough
 /// for CI, large enough that a propagation regression shows.
-const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15", "e16"];
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15", "e16", "e17"];
 
 /// Default largest AS count for e14 (overridable with `--scale`).
 const DEFAULT_SCALE: usize = 5000;
@@ -76,6 +86,9 @@ const QUICK_SHARDS: &[usize] = &[1, 2];
 const DEFAULT_CHURN: usize = 64;
 /// E16's default fault seed (`--fault-seed` overrides).
 const DEFAULT_FAULT_SEED: u64 = 16;
+/// E17's default GMW batch width (`--smc-batch` overrides): the full
+/// 64-lane word.
+const DEFAULT_SMC_BATCH: usize = 64;
 
 /// Validates an output-file flag up front: the file's directory must
 /// exist before any experiment burns CPU.
@@ -118,6 +131,7 @@ fn main() {
     let mut shards: Option<Vec<usize>> = None;
     let mut churn: Option<usize> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut smc_batch: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
@@ -149,6 +163,15 @@ fn main() {
                 Some(n) if (1..=100_000).contains(&n) => churn = Some(n),
                 _ => {
                     eprintln!("error: --churn needs an event count between 1 and 100000");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--smc-batch" {
+            let v = it.next().and_then(|v| v.parse::<usize>().ok());
+            match v {
+                Some(n) if (1..=64).contains(&n) => smc_batch = Some(n),
+                _ => {
+                    eprintln!("error: --smc-batch needs a lane count between 1 and 64");
                     std::process::exit(2);
                 }
             }
@@ -184,7 +207,7 @@ fn main() {
     {
         eprintln!(
             "error: unknown flag `{flag}` (flags: --quick, --json, --scale N, --shards LIST, \
-             --churn N, --fault-seed N, --metrics-out FILE, --trace-out FILE)"
+             --churn N, --fault-seed N, --smc-batch N, --metrics-out FILE, --trace-out FILE)"
         );
         std::process::exit(2);
     }
@@ -195,23 +218,32 @@ fn main() {
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
-    // --scale/--shards parameterize e14/e15/e16 only, --churn/
-    // --fault-seed are e16 knobs, and --metrics-out/--trace-out are
-    // e15 artifacts; silently ignoring them on a selection without
-    // those experiments would contradict the strict flag validation
-    // above.
-    let scale_exp =
-        |w: &[&str]| w.is_empty() || w.contains(&"e14") || w.contains(&"e15") || w.contains(&"e16");
+    // --scale/--shards parameterize e14/e15/e16/e17 only, --churn/
+    // --fault-seed are e16 knobs, --smc-batch is an e17 knob, and
+    // --metrics-out/--trace-out are e15 artifacts; silently ignoring
+    // them on a selection without those experiments would contradict
+    // the strict flag validation above.
+    let scale_exp = |w: &[&str]| {
+        w.is_empty()
+            || w.contains(&"e14")
+            || w.contains(&"e15")
+            || w.contains(&"e16")
+            || w.contains(&"e17")
+    };
     if scale.is_some() && !scale_exp(&wanted) {
-        eprintln!("error: --scale only applies to e14/e15/e16, none of which is selected");
+        eprintln!("error: --scale only applies to e14/e15/e16/e17, none of which is selected");
         std::process::exit(2);
     }
     if shards.is_some() && !scale_exp(&wanted) {
-        eprintln!("error: --shards only applies to e14/e15/e16, none of which is selected");
+        eprintln!("error: --shards only applies to e14/e15/e16/e17, none of which is selected");
         std::process::exit(2);
     }
     if (churn.is_some() || fault_seed.is_some()) && !wanted.is_empty() && !wanted.contains(&"e16") {
         eprintln!("error: --churn/--fault-seed need e16, which is not selected");
+        std::process::exit(2);
+    }
+    if smc_batch.is_some() && !wanted.is_empty() && !wanted.contains(&"e17") {
+        eprintln!("error: --smc-batch needs e17, which is not selected");
         std::process::exit(2);
     }
     if (metrics_out.is_some() || trace_out.is_some())
@@ -225,6 +257,7 @@ fn main() {
     let shards = shards.unwrap_or_else(|| if quick { QUICK_SHARDS.to_vec() } else { vec![1] });
     let churn = churn.unwrap_or(DEFAULT_CHURN);
     let fault_seed = fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
+    let smc_batch = smc_batch.unwrap_or(DEFAULT_SMC_BATCH);
 
     if !json {
         println!("PVR reproduction — experiment harness");
@@ -253,6 +286,7 @@ fn main() {
     known.push("e14");
     known.push("e15");
     known.push("e16");
+    known.push("e17");
     if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
         eprintln!("error: unknown experiment id `{bad}` (known: {})", known.join(", "));
         std::process::exit(2);
@@ -390,6 +424,47 @@ fn main() {
         } else {
             println!("{table}");
             println!("[e16 completed in {wall:.2} s]\n{}", "=".repeat(72));
+        }
+    }
+    if wanted.is_empty() || wanted.contains(&"e17") {
+        let t = std::time::Instant::now();
+        let (table, rows) = pvr_bench::e17_private_path(scale, &shards, smc_batch);
+        let wall = t.elapsed().as_secs_f64();
+        if json {
+            let mut extra = String::from(",\"metrics\":[");
+            for (k, r) in rows.iter().enumerate() {
+                if k > 0 {
+                    extra.push(',');
+                }
+                let smc: Vec<String> =
+                    r.smc.fields().iter().map(|(name, v)| format!("\"{name}\":{v}")).collect();
+                extra.push_str(&format!(
+                    "{{\"scale\":{},\"shards\":{},\"lane_cap\":{},\"ases\":{},\
+                     \"baseline_events\":{},\"baseline_sim_us\":{},\"baseline_wall_secs\":{:.4},\
+                     \"private_events\":{},\"private_sim_us\":{},\"private_wall_secs\":{:.4},\
+                     \"sim_time_overhead\":{:.4},\"wall_overhead\":{:.4},\
+                     \"occupancy_pct\":{:.2},\"smc\":{{{}}}}}",
+                    r.scale,
+                    r.shards,
+                    r.lane_cap,
+                    r.ases,
+                    r.baseline_events,
+                    r.baseline_sim_us,
+                    r.baseline_wall_secs,
+                    r.private_events,
+                    r.private_sim_us,
+                    r.private_wall_secs,
+                    r.sim_time_overhead,
+                    r.wall_overhead,
+                    r.occupancy_pct,
+                    smc.join(","),
+                ));
+            }
+            extra.push(']');
+            records.push(("e17", wall, table, extra));
+        } else {
+            println!("{table}");
+            println!("[e17 completed in {wall:.2} s]\n{}", "=".repeat(72));
         }
     }
 

@@ -12,6 +12,9 @@
 //!   transit example ("routes from, e.g., European peers");
 //! * [`sbgp`] — S-BGP-style route attestations \[13\], the substrate for
 //!   PVR's condition 1 ("sign all the routing announcements", §3.2);
+//! * [`private`] — the paper's tentpole run for real: batched GMW
+//!   verification of route selections during convergence, flushed at
+//!   engine barriers and priced by the SMC cost model;
 //! * [`router`] — the speaker as a simulator agent;
 //! * [`dampening`] — RFC 2439-style route-flap dampening state;
 //! * [`topology`] — Figure 1 scenario and Internet-like generators;
@@ -38,6 +41,7 @@ pub mod messages;
 pub mod partition;
 pub mod path;
 pub mod policy;
+pub mod private;
 pub mod rib;
 pub mod route;
 pub mod router;
@@ -53,6 +57,7 @@ pub use messages::BgpUpdate;
 pub use partition::{cut_edges, partition_by_degree};
 pub use path::AsPath;
 pub use policy::{PolicyConfig, Role};
+pub use private::{PrivateRequest, PrivateVerifier, SmcBatchStats, PVR_VERDICT_TIMER};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib};
 pub use route::{Community, Origin, Route};
 pub use router::{BgpRouter, LocalEvent, Malice, RouterStats, SecurityMode};

@@ -39,6 +39,7 @@ use crate::dampening::{DampState, DampeningPolicy};
 use crate::decision::Candidate;
 use crate::messages::BgpUpdate;
 use crate::policy::PolicyConfig;
+use crate::private::{PrivateRequest, PrivateVerifier, PVR_VERDICT_TIMER};
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib, ReselectHint, ReselectOutcome};
 use crate::route::Route;
 use crate::sbgp::{SignedRoute, VerifyCache};
@@ -214,6 +215,15 @@ pub struct BgpRouter {
     /// installed by `Topology::instantiate`, shared by every router of
     /// one `BgpNetwork`).
     verify_cache: Option<Arc<VerifyCache>>,
+    /// Shared private-verification service (PVR mode; installed by
+    /// `Topology::instantiate` when private verification is enabled).
+    /// Best-route changes with ≥ 2 winning-tier candidates enqueue an
+    /// SMC verification request; verdicts come back on
+    /// [`PVR_VERDICT_TIMER`] after the cost-model latency.
+    private_verifier: Option<Arc<PrivateVerifier>>,
+    /// Router-local request sequence — with the ASN, the engine-
+    /// invariant ordering key for private-verification flushes.
+    pvr_seq: u64,
     /// When this router first dropped an announcement for a security
     /// reason (attestation or origin failure) — the campaign engine's
     /// detection-latency measurement.
@@ -264,6 +274,8 @@ impl BgpRouter {
             malice: Malice::default(),
             origin_table: None,
             verify_cache: None,
+            private_verifier: None,
+            pvr_seq: 0,
             first_security_reject: None,
             touched_scratch: Vec::new(),
             pending_scratch: SortedMap::new(),
@@ -352,6 +364,12 @@ impl BgpRouter {
     /// are unchanged; repeated chain verifies skip the RSA math.
     pub fn set_verify_cache(&mut self, cache: Arc<VerifyCache>) {
         self.verify_cache = Some(cache);
+    }
+
+    /// Installs the shared private-verification service; subsequent
+    /// best-route changes enqueue SMC verification requests.
+    pub fn set_private_verifier(&mut self, verifier: Arc<PrivateVerifier>) {
+        self.private_verifier = Some(verifier);
     }
 
     /// The signing identity (signed mode only).
@@ -499,7 +517,44 @@ impl BgpRouter {
         }
         self.stats.best_changes += 1;
         self.observe_churn(now);
+        self.request_private_verification(prefix);
         self.export(prefix, now, pending);
+    }
+
+    /// Enqueues a private-verification request for the fresh selection
+    /// of `prefix`, when the mode is on and there is something to
+    /// verify: a *learned* best route with at least one competing
+    /// candidate in the winning LOCAL_PREF tier. Each tier candidate's
+    /// path length is one party's secret input; the claimed length is
+    /// the selected route's. An honest selection always passes both
+    /// circuits (the claim *is* the tier minimum, so every "claim ≤
+    /// mine" vote is true).
+    fn request_private_verification(&mut self, prefix: Prefix) {
+        let Some(verifier) = &self.private_verifier else { return };
+        let Some(best) = self.loc_rib.get(prefix) else { return };
+        if best.learned_from.is_none() {
+            return; // locally originated: no neighbors to compare
+        }
+        let pref = best.route.local_pref;
+        let claimed_len = best.route.path_len() as u64;
+        let candidate_lens: Vec<u64> = self
+            .adj_in
+            .candidate_refs(prefix)
+            .filter(|(_, r)| r.local_pref == pref)
+            .map(|(_, r)| r.path_len() as u64)
+            .collect();
+        if candidate_lens.len() < 2 {
+            return; // a lone candidate leaks nothing by comparison
+        }
+        let seq = self.pvr_seq;
+        self.pvr_seq += 1;
+        verifier.enqueue(PrivateRequest {
+            asn: self.asn,
+            seq,
+            prefix,
+            claimed_len,
+            candidate_lens,
+        });
     }
 
     /// The per-neighbor half of [`reselect_and_export`]: advertises or
@@ -913,6 +968,16 @@ impl Agent<BgpUpdate> for BgpRouter {
         }
         if timer == DAMP_TIMER {
             self.damp_tick(ctx);
+            return;
+        }
+        if timer == PVR_VERDICT_TIMER {
+            // SMC verdicts due now land in this router's mailbox; the
+            // drain is pure accounting (no routing action, no new
+            // events), so verification latency extends convergence
+            // wall-clock without perturbing route selection.
+            if let Some(verifier) = &self.private_verifier {
+                verifier.deliver(self.asn, ctx.now());
+            }
             return;
         }
         let (_, event) = match self.schedule.get(timer as usize) {

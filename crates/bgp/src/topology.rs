@@ -10,6 +10,7 @@ use crate::dampening::DampeningPolicy;
 use crate::messages::BgpUpdate;
 use crate::partition::partition_by_degree;
 use crate::policy::{PolicyConfig, Role};
+use crate::private::PrivateVerifier;
 use crate::route::Community;
 use crate::router::{BgpRouter, LocalEvent, RouterStats, SecurityMode};
 use crate::sbgp::VerifyCache;
@@ -318,12 +319,20 @@ impl Topology {
         // limb at every subsequent hop.
         let verify_cache = keystore.as_ref().map(|_| Arc::new(VerifyCache::new()));
 
+        // Private verification: one shared verifier flushed at engine
+        // barriers (the sharded path installs the identical service,
+        // so outputs match across engines).
+        let private_verifier = new_private_verifier(options);
+
         // First pass: create routers so node ids are known.
         let mut node_of = BTreeMap::new();
         for &asn in &self.ases {
             let mut router = self.build_router(asn, &keystore, options);
             if let Some(cache) = &verify_cache {
                 router.set_verify_cache(Arc::clone(cache));
+            }
+            if let Some(verifier) = &private_verifier {
+                router.set_private_verifier(Arc::clone(verifier));
             }
             let node = sim.add_node(Box::new(router));
             node_of.insert(asn, node);
@@ -339,7 +348,18 @@ impl Topology {
             }
         }
 
-        BgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks), verify_cache }
+        if let Some(verifier) = &private_verifier {
+            verifier.set_node_map(node_of.clone());
+            sim.set_barrier_hook(PrivateVerifier::hook(verifier));
+        }
+
+        BgpNetwork {
+            sim,
+            node_of,
+            keystore: keystore.map(|(ks, _)| ks),
+            verify_cache,
+            private_verifier,
+        }
     }
 
     /// Instantiates the topology into the sharded engine, partitioning
@@ -379,6 +399,13 @@ impl Topology {
             Vec::new()
         };
 
+        // Unlike the verify cache, the private verifier stays
+        // network-wide even under sharding: its flush sorts requests
+        // by the engine-invariant `(asn, seq)` key, so one shared
+        // service produces byte-identical outputs at any shard count
+        // (no per-shard carve-out needed).
+        let private_verifier = new_private_verifier(options);
+
         let assignment = partition_by_degree(self, shards);
         let mut node_of = BTreeMap::new();
         for &asn in &self.ases {
@@ -386,6 +413,9 @@ impl Topology {
             let shard = assignment[&asn];
             if let Some(cache) = verify_caches.get(shard) {
                 router.set_verify_cache(Arc::clone(cache));
+            }
+            if let Some(verifier) = &private_verifier {
+                router.set_private_verifier(Arc::clone(verifier));
             }
             let node = sim.add_node_to_shard(Box::new(router), shard);
             node_of.insert(asn, node);
@@ -400,8 +430,33 @@ impl Topology {
             }
         }
 
-        ShardedBgpNetwork { sim, node_of, keystore: keystore.map(|(ks, _)| ks), verify_caches }
+        if let Some(verifier) = &private_verifier {
+            verifier.set_node_map(node_of.clone());
+            sim.set_barrier_hook(PrivateVerifier::hook(verifier));
+        }
+
+        ShardedBgpNetwork {
+            sim,
+            node_of,
+            keystore: keystore.map(|(ks, _)| ks),
+            verify_caches,
+            private_verifier,
+        }
     }
+}
+
+/// Builds the shared [`PrivateVerifier`] when the options ask for one.
+/// The verifier's SMC timeline uses the observability window when set
+/// (so e17's SMC timeline aligns with the e15-style windows), falling
+/// back to 5 ms.
+fn new_private_verifier(options: InstantiateOptions) -> Option<Arc<PrivateVerifier>> {
+    options.private_verification.then(|| {
+        Arc::new(PrivateVerifier::new(
+            options.seed,
+            options.smc_lane_cap,
+            options.timeline_window.unwrap_or_else(|| SimDuration::from_millis(5)),
+        ))
+    })
 }
 
 /// Options for [`Topology::instantiate`].
@@ -433,6 +488,15 @@ pub struct InstantiateOptions {
     /// for forensic JSONL dumps); `0` (the default) disables the
     /// journal.
     pub journal_capacity: usize,
+    /// Enables private (SMC-based) verification of route selections:
+    /// one shared [`PrivateVerifier`] across the network, flushed at
+    /// engine barriers through bit-sliced GMW passes and charged as
+    /// sim-time latency. The paper's PVR mode combines this with
+    /// `signed: true` (attestations remain the integrity substrate).
+    pub private_verification: bool,
+    /// Lanes per SMC batch (1..=64; clamped). Only read when
+    /// `private_verification` is set.
+    pub smc_lane_cap: usize,
 }
 
 impl Default for InstantiateOptions {
@@ -447,6 +511,8 @@ impl Default for InstantiateOptions {
             dampening: None,
             timeline_window: None,
             journal_capacity: 0,
+            private_verification: false,
+            smc_lane_cap: pvr_smc::MAX_LANES,
         }
     }
 }
@@ -550,6 +616,7 @@ pub struct BgpNetwork {
     node_of: BTreeMap<Asn, NodeId>,
     keystore: Option<Arc<KeyStore>>,
     verify_cache: Option<Arc<VerifyCache>>,
+    private_verifier: Option<Arc<PrivateVerifier>>,
 }
 
 impl BgpNetwork {
@@ -582,6 +649,13 @@ impl BgpNetwork {
     /// The network-wide attestation-verification cache in signed mode.
     pub fn verify_cache(&self) -> Option<&Arc<VerifyCache>> {
         self.verify_cache.as_ref()
+    }
+
+    /// The network-wide private-verification service when the network
+    /// was instantiated with
+    /// [`InstantiateOptions::private_verification`] set.
+    pub fn private_verifier(&self) -> Option<&Arc<PrivateVerifier>> {
+        self.private_verifier.as_ref()
     }
 
     /// Installs an origin-authorization table on every router. Call
@@ -673,6 +747,7 @@ pub struct ShardedBgpNetwork {
     node_of: BTreeMap<Asn, NodeId>,
     keystore: Option<Arc<KeyStore>>,
     verify_caches: Vec<Arc<VerifyCache>>,
+    private_verifier: Option<Arc<PrivateVerifier>>,
 }
 
 impl ShardedBgpNetwork {
@@ -706,6 +781,15 @@ impl ShardedBgpNetwork {
     /// (empty in plain mode), indexed by shard.
     pub fn verify_caches(&self) -> &[Arc<VerifyCache>] {
         &self.verify_caches
+    }
+
+    /// The network-wide private-verification service when the network
+    /// was instantiated with
+    /// [`InstantiateOptions::private_verification`] set. One verifier
+    /// serves every shard: flush order is keyed on `(asn, seq)`, not on
+    /// shard scheduling, so its outputs are shard-count invariant.
+    pub fn private_verifier(&self) -> Option<&Arc<PrivateVerifier>> {
+        self.private_verifier.as_ref()
     }
 
     /// Installs an origin-authorization table on every router. Call
@@ -1111,6 +1195,68 @@ mod tests {
                     "{asn} at {shards} shards"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn private_verification_serial_matches_sharded() {
+        let params = InternetParams {
+            tier1: 3,
+            tier2: 5,
+            stubs: 12,
+            t2_peering_prob: 0.3,
+            ..InternetParams::default()
+        };
+        let t = internet_like(params, 21);
+        let options = InstantiateOptions {
+            seed: 21,
+            private_verification: true,
+            smc_lane_cap: 8,
+            ..Default::default()
+        };
+
+        let mut serial = t.instantiate(options);
+        assert_eq!(serial.converge(RunLimits::none()), StopReason::Quiescent);
+        let serial_stats = serial.private_verifier().expect("verifier").stats();
+        // Honest routers always select a shortest top-preference path,
+        // so every private verdict passes; multi-candidate ties do
+        // occur in this topology, so the service actually ran.
+        assert!(serial_stats.requests > 0);
+        assert!(serial_stats.batches > 0);
+        assert_eq!(serial_stats.verdict_fail, 0);
+        assert_eq!(serial_stats.verdicts_delivered, serial_stats.requests);
+
+        for shards in [2, 4] {
+            let mut sharded = t.instantiate_sharded(options, shards);
+            assert_eq!(sharded.converge(RunLimits::none()), StopReason::Quiescent);
+            let sharded_stats = sharded.private_verifier().expect("verifier").stats();
+            assert_eq!(serial_stats, sharded_stats, "{shards} shards");
+            assert_eq!(serial.sim.now(), sharded.sim.now(), "{shards} shards");
+            assert_eq!(serial.router_totals(), sharded.router_totals(), "{shards} shards");
+            assert_eq!(
+                serial.private_verifier().unwrap().timeline(),
+                sharded.private_verifier().unwrap().timeline(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn private_verification_leaves_routing_outcomes_unchanged() {
+        let (t, cast) = figure1(&[0, 1, 2]);
+        let mut plain = t.instantiate(InstantiateOptions::default());
+        assert_eq!(plain.converge(RunLimits::none()), StopReason::Quiescent);
+        let mut private =
+            t.instantiate(InstantiateOptions { private_verification: true, ..Default::default() });
+        assert_eq!(private.converge(RunLimits::none()), StopReason::Quiescent);
+        // The verifier observes selections and charges time; it never
+        // changes which route wins.
+        for asn in t.ases() {
+            assert_eq!(
+                plain.router(asn).best_route(cast.prefix),
+                private.router(asn).best_route(cast.prefix),
+                "{asn}"
+            );
         }
     }
 

@@ -21,6 +21,7 @@ pub use fault::{Fault, FaultPlan};
 pub use link::LinkConfig;
 pub use shard::ShardedSimulator;
 pub use sim::{
-    Agent, Context, Delivery, NodeId, Payload, RunLimits, SimStats, Simulator, StopReason,
+    Agent, BarrierHook, Context, Delivery, NodeId, Payload, RunLimits, SimStats, Simulator,
+    StopReason,
 };
 pub use time::{SimDuration, SimTime};

@@ -174,6 +174,11 @@ pub struct ShardedSimulator<P: Payload + Send> {
     faults: Option<FaultInjector>,
     /// Per-node pause flags (see [`Fault::NodePause`]).
     paused: Vec<bool>,
+    /// Optional drained-instant callback (see
+    /// [`BarrierHook`](crate::sim::BarrierHook)), fired by the
+    /// coordinator only — at the same instants, in the same order
+    /// relative to the queue-depth sample, as the serial engine.
+    barrier: Option<Box<dyn crate::sim::BarrierHook>>,
 }
 
 impl<P: Payload + Send> ShardedSimulator<P> {
@@ -199,7 +204,17 @@ impl<P: Payload + Send> ShardedSimulator<P> {
             merged: Vec::new(),
             faults: None,
             paused: Vec::new(),
+            barrier: None,
         }
+    }
+
+    /// Installs a [`BarrierHook`](crate::sim::BarrierHook), replacing
+    /// any previous one — the sharded counterpart of
+    /// [`Simulator::set_barrier_hook`](crate::Simulator::set_barrier_hook).
+    /// Returned timers receive fresh global sequence numbers in the
+    /// returned order, so their firing order matches the serial engine.
+    pub fn set_barrier_hook(&mut self, hook: Box<dyn crate::sim::BarrierHook>) {
+        self.barrier = Some(hook);
     }
 
     /// Adds a node on an explicit shard, returning its global id.
@@ -590,16 +605,38 @@ impl<P: Payload + Send> ShardedSimulator<P> {
                 continue;
             }
             self.run_window(time);
-            if self.timeline.is_some() {
-                // Mirror the serial engine's queue-depth sampling rule:
-                // sample only once the instant `time` has fully drained
-                // (zero-latency cascades re-enter the window above), at
-                // which point both engines hold the same pending set.
+            // Mirror the serial engine's drained-instant rule: the
+            // queue-depth sample and the barrier hook both run only
+            // once the instant `time` has fully drained (zero-latency
+            // cascades re-enter the window above), at which point both
+            // engines hold the same pending set.
+            if self.timeline.is_some() || self.barrier.is_some() {
                 let head = self.shards.iter().filter_map(|s| s.queue.peek_time()).min();
                 if head != Some(time) {
-                    let depth: usize = self.shards.iter().map(|s| s.queue.len()).sum();
-                    if let Some(tl) = &mut self.timeline {
-                        tl.set(time.as_micros(), pvr_obs::timeline::SIM_QUEUE_DEPTH, depth as u64);
+                    if self.timeline.is_some() {
+                        let depth: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+                        if let Some(tl) = &mut self.timeline {
+                            tl.set(
+                                time.as_micros(),
+                                pvr_obs::timeline::SIM_QUEUE_DEPTH,
+                                depth as u64,
+                            );
+                        }
+                    }
+                    // Depth first, hook second — identical to the
+                    // serial engine, so hook timers never count into
+                    // the sample on either engine.
+                    if self.barrier.is_some() {
+                        let mut hook = self.barrier.take().expect("checked above");
+                        let timers = hook.on_barrier(time);
+                        self.barrier = Some(hook);
+                        for (node, delay, timer) in timers {
+                            let at = time + delay;
+                            let seq = self.next_seq;
+                            self.next_seq += 1;
+                            let s = self.node_shard[node] as usize;
+                            self.shards[s].queue.push(at, (seq, EventKind::Timer { node, timer }));
+                        }
                     }
                 }
             }

@@ -254,6 +254,25 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// A network-level barrier callback, fired whenever a sim-time instant
+/// fully drains (no further event is scheduled at the current `now`).
+///
+/// Drained instants are the one point where the serial and sharded
+/// engines provably hold the same pending set (the same rule the
+/// convergence timeline uses for queue-depth sampling), which makes a
+/// hook fired there — and any timers it schedules — engine-invariant.
+/// Fault-only instants never fire the hook on either engine.
+///
+/// The returned `(node, delay, timer)` triples are scheduled exactly as
+/// if each node had called `SetTimer` itself, in the returned order
+/// (the sharded engine tags them with fresh global sequence numbers in
+/// that order). A hook that returns an empty vec at an empty queue lets
+/// the run go quiescent; returned timers keep it alive.
+pub trait BarrierHook: Send {
+    /// Called at each drained instant; returns timers to schedule.
+    fn on_barrier(&mut self, now: SimTime) -> Vec<(NodeId, SimDuration, u64)>;
+}
+
 /// The simulator: nodes, links, clock, queue, stats, and optional trace.
 pub struct Simulator<P: Payload> {
     nodes: Vec<Box<dyn Agent<P>>>,
@@ -276,6 +295,8 @@ pub struct Simulator<P: Payload> {
     faults: Option<FaultInjector>,
     /// Per-node pause flags (see [`Fault::NodePause`]).
     paused: Vec<bool>,
+    /// Optional drained-instant callback (see [`BarrierHook`]).
+    barrier: Option<Box<dyn BarrierHook>>,
 }
 
 impl<P: Payload> Simulator<P> {
@@ -296,7 +317,16 @@ impl<P: Payload> Simulator<P> {
             action_scratch: Vec::new(),
             faults: None,
             paused: Vec::new(),
+            barrier: None,
         }
+    }
+
+    /// Installs a [`BarrierHook`], replacing any previous one. The hook
+    /// fires at every drained sim-time instant from then on; with no
+    /// hook installed the engine's behaviour is bit-identical to before
+    /// this API existed.
+    pub fn set_barrier_hook(&mut self, hook: Box<dyn BarrierHook>) {
+        self.barrier = Some(hook);
     }
 
     /// Adds a node, returning its id.
@@ -579,6 +609,19 @@ impl<P: Payload> Simulator<P> {
             // making the sample engine-independent.
             if self.queue.peek_time() != Some(self.now) {
                 tl.set(t_us, SIM_QUEUE_DEPTH, self.queue.len() as u64);
+            }
+        }
+        // Fire the barrier hook at the same drained-instant condition
+        // the timeline samples at (and after the depth sample, so hook
+        // timers never count into it) — the sharded engine mirrors both
+        // the condition and the ordering.
+        if self.barrier.is_some() && self.queue.peek_time() != Some(self.now) {
+            let mut hook = self.barrier.take().expect("checked above");
+            let timers = hook.on_barrier(self.now);
+            self.barrier = Some(hook);
+            for (node, delay, timer) in timers {
+                let at = self.now + delay;
+                self.schedule(at, EventKind::Timer { node, timer });
             }
         }
         true

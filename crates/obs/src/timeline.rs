@@ -45,6 +45,25 @@ pub const RT_WITHDRAWS: usize = 3;
 /// Number of router channels.
 pub const RT_CHANNELS: usize = 4;
 
+/// SMC channel: private-verification requests flushed (counted).
+/// These channels feed the *verifier-owned* recorder (one per
+/// `PrivateVerifier`), kept deliberately separate from the simulator
+/// and router recorders so enabling private verification never changes
+/// the channel layout — or the bytes — of the e15 timeline.
+pub const SMC_REQUESTS: usize = 0;
+/// SMC channel: batches executed (counted).
+pub const SMC_BATCHES: usize = 1;
+/// SMC channel: lane slots provisioned across those batches (counted;
+/// batches × lane capacity) — [`SMC_REQUESTS`]` / `[`SMC_LANES`] is
+/// the per-window batch occupancy.
+pub const SMC_LANES: usize = 2;
+/// SMC channel: communication rounds charged to the cost model
+/// (counted; rounds are shared across a batch's lanes — the win
+/// bit-slicing buys).
+pub const SMC_ROUNDS: usize = 3;
+/// Number of SMC channels.
+pub const SMC_CHANNELS: usize = 4;
+
 /// Per-window accumulator. See the module docs.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TimelineRecorder {

@@ -134,6 +134,47 @@ mod tests {
     }
 
     #[test]
+    fn costmodel_matches_measured() {
+        // The cost model consumes GmwStats; this pins the closed-form
+        // predictions (what a deployment planner would compute from the
+        // circuit alone) against stats *measured* from real batched
+        // runs, so formula drift in either engine breaks loudly.
+        use crate::batch::{pack_lane_inputs, BatchGmw};
+        for (parties, width, lanes) in [(3usize, 8usize, 64usize), (5, 8, 17), (4, 6, 1)] {
+            let c = min_circuit(parties, width);
+            let lane_inputs: Vec<Vec<Vec<bool>>> = (0..lanes)
+                .map(|k| (0..parties).map(|p| to_bits((k * 7 + p) as u64 % 50, width)).collect())
+                .collect();
+            let packed = pack_lane_inputs(&lane_inputs);
+            let mut rng = HmacDrbg::from_u64_labeled(11, "costmodel-measured");
+            let measured = BatchGmw::new(&c).run(&packed, &mut rng);
+
+            // Closed-form predictions from circuit structure alone.
+            let n = parties as u64;
+            let per_lane_bits =
+                c.and_count() as u64 * 2 * n * (n - 1) + c.outputs().len() as u64 * n * (n - 1);
+            let per_lane_ots = c.and_count() as u64 * 2 * n * (n - 1);
+            assert_eq!(measured.lane_stats.rounds, c.and_depth(), "rounds = AND depth");
+            assert_eq!(measured.lane_stats.bits_broadcast, per_lane_bits);
+            assert_eq!(measured.lane_stats.equivalent_ots, per_lane_ots);
+
+            // Batch aggregate: rounds shared, traffic scales with lanes.
+            let agg = measured.aggregate_stats();
+            assert_eq!(agg.rounds, c.and_depth());
+            assert_eq!(agg.bits_broadcast, per_lane_bits * lanes as u64);
+            assert_eq!(agg.equivalent_ots, per_lane_ots * lanes as u64);
+
+            // And the modeled seconds decompose exactly over the terms.
+            let model = SmcCostModel::fairplay_calibrated();
+            let predicted = model.setup
+                + c.and_depth() as f64 * model.rtt
+                + (per_lane_ots * lanes as u64) as f64 * model.per_ot
+                + (per_lane_bits * lanes as u64) as f64 * model.per_bit;
+            assert!((model.estimate_seconds(&agg) - predicted).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn setup_dominates_trivial_circuits() {
         let model = SmcCostModel::fairplay_calibrated();
         let stats = GmwStats { parties: 2, ..Default::default() };

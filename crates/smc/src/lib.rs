@@ -13,12 +13,20 @@
 //!   Beaver triples, counting rounds, triples, equivalent OTs, and bits;
 //! * [`costmodel`] — WAN deployment models calibrated to the paper's
 //!   FairplayMP data point ("about 15 seconds … for voting" at five
-//!   players) plus a generic per-gate ZKP model.
+//!   players) plus a generic per-gate ZKP model;
+//! * [`batch`] — the bit-sliced engine: 64 independent verifications
+//!   lane-packed into `u64` words and evaluated in one circuit pass,
+//!   per-lane identical to serial [`gmw::run_gmw`] (see the module docs
+//!   for the layout and determinism proof sketch). This is what lets
+//!   `pvr-bgp`'s private verification run across full topologies
+//!   instead of microbenchmarks.
 
+pub mod batch;
 pub mod circuit;
 pub mod costmodel;
 pub mod gmw;
 
+pub use batch::{pack_lane_inputs, BatchGmw, BatchGmwResult, BitBatch, MAX_LANES};
 pub use circuit::{from_bits, majority_circuit, min_circuit, to_bits, Circuit, Gate, WireId};
 pub use costmodel::{SmcCostModel, ZkpCostModel};
 pub use gmw::{run_gmw, GmwResult, GmwStats};
