@@ -10,7 +10,10 @@ to differ:
   run's parameter, not its result);
 - everything derived from `verify_cache_hits` — the workspace-wide
   carve-out: the sharded engine's per-shard verification caches see
-  fewer hits than the serial engine's network-wide cache, by design.
+  fewer hits than the serial engine's network-wide cache, by design;
+- e18's checkpoint byte size — the checkpoint file's ENGINE section
+  encodes per-engine scheduler state, so serial and sharded files for
+  the same logical instant legitimately differ in size.
 
 Every other metric — e14's AS/edge/origin counts, event totals, peak
 RIB size, bytes on the wire, O(1) short-circuits; e15's metrics series
@@ -20,8 +23,11 @@ degradation/deployment tables (all sim-time derived, no timing fields
 at all); e17's baseline/private event counts, sim-time convergence,
 sim-time privacy-overhead multiplier, batch occupancy, and the full
 SMC bill (requests, batches, rounds, bits broadcast, modeled latency,
-verdict tally) — must survive unchanged, or the sharded engine has
-diverged from the serial one.
+verdict tally); e18's convergence events, snapshot/checkpoint counts,
+replayed events, `recovered_identical` verdict, the converged RIB's
+SHA-256 (both e14's per-cell `final_rib_sha256` and e18's), and the
+hijack-bisect forensic row — must survive unchanged, or the sharded
+engine has diverged from the serial one.
 
 Usage: normalize_e14.py BENCH.json > normalized.json
 """
@@ -87,6 +93,30 @@ def normalize_e17(e17):
     return out
 
 
+def normalize_e18(e18):
+    m = e18.get("metrics")
+    assert m, "e18 record carries no metrics object"
+    timing = (
+        "shards",
+        "baseline_wall_secs",
+        "checkpointed_wall_secs",
+        "snapshot_overhead_pct",
+        "checkpoint_write_secs",
+        "write_mb_per_sec",
+        "recovery_wall_secs",
+        # Engine-local, not timing: the file's ENGINE section encodes
+        # per-shard scheduler state, so its size differs by design.
+        "last_checkpoint_bytes",
+    )
+    rows = [
+        {k: v for k, v in sorted(r.items()) if k not in timing}
+        for r in m["rows"]
+    ]
+    kept = {k: v for k, v in sorted(m.items()) if k != "rows"}
+    kept["rows"] = rows
+    return kept
+
+
 def normalize(doc):
     assert doc.get("schema") == "pvr-bench-v1", f"unexpected schema {doc.get('schema')!r}"
     experiments = doc.get("experiments", [])
@@ -102,6 +132,9 @@ def normalize(doc):
     e17 = next((e for e in experiments if e.get("id") == "e17"), None)
     if e17 is not None:
         out["e17"] = normalize_e17(e17)
+    e18 = next((e for e in experiments if e.get("id") == "e18"), None)
+    if e18 is not None:
+        out["e18"] = normalize_e18(e18)
     return out
 
 

@@ -1,0 +1,143 @@
+//! Post-incident forensics over the durability layer's RIB history:
+//! given a network that converged with copy-on-write snapshots enabled
+//! (see `pvr_bgp::checkpoint`), binary-search the retained history for
+//! the **first snapshot at which a hijack was visible** — without
+//! re-running the simulation.
+//!
+//! This is the read side of the crash-consistency PR's time-travel
+//! queries: `route_at` answers "what did AS x believe about prefix p
+//! at time t" from shared-subtree snapshots, so probing a snapshot
+//! costs O(poisonable ASes · log history) trie lookups, not a replay.
+//!
+//! The bisect assumes the predicate is *monotone* over the retained
+//! window — once the hijack is visible it stays visible — which holds
+//! for an originated hijack that is never withdrawn (the campaign
+//! catalog's hijack cells). For flapping incidents, scan linearly.
+
+use pvr_bgp::{Asn, BgpNetwork, Prefix};
+use pvr_netsim::SimTime;
+use std::collections::BTreeSet;
+
+/// What the snapshot bisect found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForensicBisect {
+    /// Capture time of the earliest retained snapshot where the
+    /// hijack was visible.
+    pub first_poisoned_at: SimTime,
+    /// ASes whose snapshot route for the prefix went through the
+    /// attacker at that instant.
+    pub poisoned: BTreeSet<Asn>,
+    /// Snapshots the binary search probed (≈ log₂ of history length —
+    /// the point of bisecting instead of scanning).
+    pub probes: usize,
+}
+
+/// Which honest ASes routed `prefix` through `attacker` in the
+/// snapshot covering `t`.
+fn poisoned_at(net: &BgpNetwork, attacker: Asn, prefix: Prefix, t: SimTime) -> BTreeSet<Asn> {
+    let mut out = BTreeSet::new();
+    for asn in net.ases() {
+        if asn == attacker {
+            continue;
+        }
+        if let Some(cand) = net.route_at(asn, prefix, t) {
+            if cand.route.path.contains(attacker) || cand.learned_from == Some(attacker) {
+                out.insert(asn);
+            }
+        }
+    }
+    out
+}
+
+/// Binary-searches the network's snapshot history for the first
+/// instant at which any honest AS routed `prefix` through `attacker`.
+/// `None` when the history never shows the hijack (or is empty).
+pub fn bisect_first_poisoned(
+    net: &BgpNetwork,
+    attacker: Asn,
+    prefix: Prefix,
+) -> Option<ForensicBisect> {
+    let times = net.snapshot_times();
+    if times.is_empty() {
+        return None;
+    }
+    let mut probes = 0;
+    let mut probe = |t: SimTime| {
+        probes += 1;
+        poisoned_at(net, attacker, prefix, t)
+    };
+    // Invariant: predicate false strictly before `lo`'s snapshot, true
+    // at `hi`'s (once established).
+    if probe(*times.last().expect("nonempty")).is_empty() {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, times.len() - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(times[mid]).is_empty() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let first_poisoned_at = times[lo];
+    let poisoned = poisoned_at(net, attacker, prefix, first_poisoned_at);
+    Some(ForensicBisect { first_poisoned_at, poisoned, probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvr_bgp::{InstantiateOptions, Topology};
+    use pvr_netsim::{RunLimits, SimDuration};
+
+    /// Victim and observer hang off a shared transit; the attacker is
+    /// the observer's *customer*, so when it originates the victim's
+    /// prefix after a delay, Gao–Rexford preference (customer beats
+    /// provider) makes the observer switch to the hijacked route —
+    /// early snapshots are clean, late ones are poisoned.
+    #[test]
+    fn bisect_finds_the_first_poisoned_snapshot() {
+        let (victim, transit, observer, attacker) = (Asn(1), Asn(2), Asn(3), Asn(66));
+        let prefix = Prefix::parse("192.0.2.0/24").expect("parse");
+        let mut topology = Topology::new();
+        topology.provider_customer(transit, victim);
+        topology.provider_customer(transit, observer);
+        topology.provider_customer(observer, attacker);
+        topology.originate(victim, prefix);
+        topology.schedule(
+            attacker,
+            SimDuration::from_millis(60),
+            pvr_bgp::LocalEvent::Announce(prefix),
+        );
+
+        let mut net = topology.instantiate(InstantiateOptions { seed: 11, ..Default::default() });
+        net.converge_with_snapshots(RunLimits::none(), SimDuration::from_millis(10));
+
+        let hit = bisect_first_poisoned(&net, attacker, prefix).expect("hijack is in history");
+        // The hijack fired at 60 ms; the first poisoned snapshot is the
+        // first boundary at/after propagation, and certainly after the
+        // clean early window.
+        assert!(hit.first_poisoned_at > SimTime(50_000), "{:?}", hit.first_poisoned_at);
+        assert!(!hit.poisoned.is_empty());
+        // The bisect probed fewer snapshots than a linear scan would.
+        assert!(hit.probes <= net.snapshot_times().len());
+        // And every earlier snapshot is clean.
+        let times = net.snapshot_times();
+        for &t in times.iter().filter(|&&t| t < hit.first_poisoned_at) {
+            assert!(poisoned_at(&net, attacker, prefix, t).is_empty(), "clean before first hit");
+        }
+    }
+
+    #[test]
+    fn bisect_returns_none_without_a_hijack() {
+        let (victim, transit) = (Asn(1), Asn(2));
+        let prefix = Prefix::parse("192.0.2.0/24").expect("parse");
+        let mut topology = Topology::new();
+        topology.provider_customer(transit, victim);
+        topology.originate(victim, prefix);
+        let mut net = topology.instantiate(InstantiateOptions { seed: 12, ..Default::default() });
+        net.converge_with_snapshots(RunLimits::none(), SimDuration::from_millis(10));
+        assert_eq!(bisect_first_poisoned(&net, Asn(66), prefix), None);
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`deployment`] — partial-deployment curves: attack success vs
 //!   fraction of ASes running origin validation, with the unprotected
 //!   fringe scored separately (experiment E16's deployment table);
+//! * [`forensic`] — snapshot bisect over the durability layer's COW
+//!   RIB history: find the first instant a hijack was visible without
+//!   re-running the simulation;
 //! * [`mod@sweep`] — the deterministic multi-threaded executor (the
 //!   workspace's first parallel path: derived per-cell seeds, results
 //!   merged in cell order, output independent of scheduling).
@@ -42,6 +45,7 @@
 pub mod campaign;
 pub mod cell;
 pub mod deployment;
+pub mod forensic;
 pub mod gossip;
 pub mod metrics;
 pub mod strategy;
@@ -53,6 +57,7 @@ pub use campaign::{
 };
 pub use cell::CellContext;
 pub use deployment::{deployment_sweep, DeploymentPoint, DeploymentSweepConfig};
+pub use forensic::{bisect_first_poisoned, ForensicBisect};
 pub use gossip::{leak_gossip_audit, LeakEvidence};
 pub use metrics::AttackOutcome;
 pub use strategy::{catalog, AttackKind, AttackStrategy, SecurityMode};

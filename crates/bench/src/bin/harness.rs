@@ -12,19 +12,29 @@
 //!   cargo run --release -p pvr-bench --bin harness -- --metrics-out m.prom e15
 //!   cargo run --release -p pvr-bench --bin harness -- --churn 128 e16
 //!   cargo run --release -p pvr-bench --bin harness -- --smc-batch 8 e17
+//!   cargo run --release -p pvr-bench --bin harness -- --checkpoint-dir ckpts e18
+//!   cargo run --release -p pvr-bench --bin harness -- --restore ckpts/s1/ckpt-00000050.pvr e18
 //!
 //! `--scale N` sets the largest AS count the scale experiments (e14,
-//! e15, e16, e17) converge: default 5000, or 500 under `--quick` so CI
-//! smoke stays within budget. E15 additionally caps its ladder at 1000
-//! ASes — its per-router journals and timelines are meant for operator
+//! e15, e16, e17, e18) converge: default 5000, or 500 under `--quick`
+//! so CI smoke stays within budget. E15 and e18 additionally cap their
+//! ladders at 1000 ASes — their artifacts are meant for operator
 //! inspection, not internet-scale stress.
 //!
 //! `--shards LIST` (comma-separated, e.g. `--shards 1,2,4`) selects the
-//! engine(s) e14, e15, e16, and e17 run on: 1 is the serial engine, >1
-//! the sharded engine with that many worker calendars. Defaults to `1`,
-//! or `1,2` under `--quick` so CI smoke covers both engines.
-//! Deterministic e14/e15/e16/e17 fields are identical at every shard
-//! count; the CI determinism job diffs them.
+//! engine(s) e14, e15, e16, e17, and e18 run on: 1 is the serial
+//! engine, >1 the sharded engine with that many worker calendars.
+//! Defaults to `1`, or `1,2` under `--quick` so CI smoke covers both
+//! engines. Deterministic e14/e15/e16/e17/e18 fields are identical at
+//! every shard count; the CI determinism job diffs them.
+//!
+//! `--checkpoint-every MS` sets e18's checkpoint cadence in sim-time
+//! milliseconds (default 10); `--checkpoint-dir DIR` keeps e18's
+//! checkpoint files under DIR (per-shard-count subdirectories `s<N>/`)
+//! instead of a deleted temp directory; `--restore FILE` adds e18's
+//! operator drill — restore FILE (either engine) and replay it to
+//! quiescence. All three require e18 to be selected and are validated
+//! up front (exit 2).
 //!
 //! `--smc-batch N` sets e17's GMW batch width (lanes per word, 1–64;
 //! default 64). Requires e17 to be selected.
@@ -46,7 +56,8 @@
 //! e14 record additionally carries a `metrics` array with one object
 //! per (scale, shards, mode) cell: `{scale, mode, shards, ases, edges,
 //! origins, events, wall_secs, events_per_sec, peak_rib_entries,
-//! bytes_on_wire, short_circuits}`. The e15 record carries a `metrics`
+//! bytes_on_wire, short_circuits, final_rib_sha256}`. The e15 record
+//! carries a `metrics`
 //! array (the pvr-obs JSON exposition of the merged snapshot) and a
 //! `timeline` array (the signed run's convergence-timeline windows).
 //! The e16 record carries a `metrics` object with the churn run's
@@ -57,10 +68,15 @@
 //! events/sim-time/wall-clock, the sim-time privacy-overhead
 //! multiplier, batch occupancy, and the verifier's full `smc` bill
 //! (requests, batches, AND gates, rounds, triples, OTs, bits
-//! broadcast, modeled latency, verdict tally). `ci/normalize_e14.py`
-//! strips the `verify_cache_hit*` series/fields — the engine-local
-//! carve-out — plus all wall-clock fields, and diffs the rest across
-//! shard counts.
+//! broadcast, modeled latency, verdict tally). The e18 record carries
+//! a `metrics` object with one row per shard count — convergence
+//! events, snapshot/checkpoint counts, checkpoint bytes, the
+//! kill-and-recover drill's replayed events and `recovered_identical`
+//! verdict, and the converged RIB's SHA-256 — plus the hijack-bisect
+//! forensic row. `ci/normalize_e14.py` strips the `verify_cache_hit*`
+//! series/fields — the engine-local carve-out — plus all wall-clock
+//! fields and e18's engine-local checkpoint byte size, and diffs the
+//! rest across shard counts.
 
 /// One experiment: renders its table as a string.
 type Runner = fn() -> String;
@@ -69,7 +85,7 @@ type Runner = fn() -> String;
 /// a CI smoke pass exercises the harness end-to-end in seconds. E14
 /// and e15 ride along at a reduced `--scale` (500 ASes): small enough
 /// for CI, large enough that a propagation regression shows.
-const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15", "e16", "e17"];
+const QUICK: &[&str] = &["e1", "e2", "e5", "e12", "e13", "e14", "e15", "e16", "e17", "e18"];
 
 /// Default largest AS count for e14 (overridable with `--scale`).
 const DEFAULT_SCALE: usize = 5000;
@@ -89,6 +105,10 @@ const DEFAULT_FAULT_SEED: u64 = 16;
 /// E17's default GMW batch width (`--smc-batch` overrides): the full
 /// 64-lane word.
 const DEFAULT_SMC_BATCH: usize = 64;
+/// E18 never converges past this many ASes regardless of `--scale`:
+/// its checkpoint/restore cycles are durability drills, not a stress
+/// test (e14 covers internet scale).
+const E18_MAX_SCALE: usize = 1000;
 
 /// Validates an output-file flag up front: the file's directory must
 /// exist before any experiment burns CPU.
@@ -134,6 +154,9 @@ fn main() {
     let mut smc_batch: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut checkpoint_dir: Option<String> = None;
+    let mut restore: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -175,6 +198,40 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--checkpoint-every" {
+            let v = it.next().and_then(|v| v.parse::<u64>().ok());
+            match v {
+                Some(n) if (1..=60_000).contains(&n) => checkpoint_every = Some(n),
+                _ => {
+                    eprintln!(
+                        "error: --checkpoint-every needs a sim-time cadence between \
+                         1 and 60000 milliseconds"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--checkpoint-dir" {
+            let Some(path) = it.next().filter(|p| !p.starts_with("--") && !p.is_empty()) else {
+                eprintln!("error: --checkpoint-dir needs a directory path");
+                std::process::exit(2);
+            };
+            // The directory itself is created on demand; its parent
+            // must already exist (same contract as the output files).
+            let p = std::path::Path::new(path);
+            if !p.is_dir() {
+                validate_out_path(a, path);
+            }
+            checkpoint_dir = Some(path.clone());
+        } else if a == "--restore" {
+            let Some(path) = it.next().filter(|p| !p.starts_with("--") && !p.is_empty()) else {
+                eprintln!("error: --restore needs a checkpoint file path");
+                std::process::exit(2);
+            };
+            if !std::path::Path::new(path).is_file() {
+                eprintln!("error: --restore checkpoint `{path}` does not exist");
+                std::process::exit(2);
+            }
+            restore = Some(path.clone());
         } else if a == "--fault-seed" {
             let Some(v) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
                 eprintln!("error: --fault-seed needs an unsigned integer");
@@ -207,7 +264,8 @@ fn main() {
     {
         eprintln!(
             "error: unknown flag `{flag}` (flags: --quick, --json, --scale N, --shards LIST, \
-             --churn N, --fault-seed N, --smc-batch N, --metrics-out FILE, --trace-out FILE)"
+             --churn N, --fault-seed N, --smc-batch N, --metrics-out FILE, --trace-out FILE, \
+             --checkpoint-every MS, --checkpoint-dir DIR, --restore FILE)"
         );
         std::process::exit(2);
     }
@@ -218,24 +276,36 @@ fn main() {
         std::process::exit(2);
     }
     let wanted: Vec<&str> = if quick { QUICK.to_vec() } else { explicit };
-    // --scale/--shards parameterize e14/e15/e16/e17 only, --churn/
-    // --fault-seed are e16 knobs, --smc-batch is an e17 knob, and
-    // --metrics-out/--trace-out are e15 artifacts; silently ignoring
-    // them on a selection without those experiments would contradict
-    // the strict flag validation above.
+    // --scale/--shards parameterize e14/e15/e16/e17/e18 only, --churn/
+    // --fault-seed are e16 knobs, --smc-batch is an e17 knob,
+    // --metrics-out/--trace-out are e15 artifacts, and
+    // --checkpoint-every/--checkpoint-dir/--restore are e18 knobs;
+    // silently ignoring them on a selection without those experiments
+    // would contradict the strict flag validation above.
     let scale_exp = |w: &[&str]| {
         w.is_empty()
             || w.contains(&"e14")
             || w.contains(&"e15")
             || w.contains(&"e16")
             || w.contains(&"e17")
+            || w.contains(&"e18")
     };
     if scale.is_some() && !scale_exp(&wanted) {
-        eprintln!("error: --scale only applies to e14/e15/e16/e17, none of which is selected");
+        eprintln!("error: --scale only applies to e14/e15/e16/e17/e18, none of which is selected");
         std::process::exit(2);
     }
     if shards.is_some() && !scale_exp(&wanted) {
-        eprintln!("error: --shards only applies to e14/e15/e16/e17, none of which is selected");
+        eprintln!("error: --shards only applies to e14/e15/e16/e17/e18, none of which is selected");
+        std::process::exit(2);
+    }
+    if (checkpoint_every.is_some() || checkpoint_dir.is_some() || restore.is_some())
+        && !wanted.is_empty()
+        && !wanted.contains(&"e18")
+    {
+        eprintln!(
+            "error: --checkpoint-every/--checkpoint-dir/--restore need e18, \
+             which is not selected"
+        );
         std::process::exit(2);
     }
     if (churn.is_some() || fault_seed.is_some()) && !wanted.is_empty() && !wanted.contains(&"e16") {
@@ -258,6 +328,7 @@ fn main() {
     let churn = churn.unwrap_or(DEFAULT_CHURN);
     let fault_seed = fault_seed.unwrap_or(DEFAULT_FAULT_SEED);
     let smc_batch = smc_batch.unwrap_or(DEFAULT_SMC_BATCH);
+    let checkpoint_every = checkpoint_every.unwrap_or(pvr_bench::E18_DEFAULT_EVERY_MS);
 
     if !json {
         println!("PVR reproduction — experiment harness");
@@ -287,6 +358,7 @@ fn main() {
     known.push("e15");
     known.push("e16");
     known.push("e17");
+    known.push("e18");
     if let Some(bad) = wanted.iter().find(|w| !known.contains(w)) {
         eprintln!("error: unknown experiment id `{bad}` (known: {})", known.join(", "));
         std::process::exit(2);
@@ -324,7 +396,7 @@ fn main() {
                     extra.push(',');
                 }
                 extra.push_str(&format!(
-                    "{{\"scale\":{},\"mode\":\"{}\",\"shards\":{},\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{}}}",
+                    "{{\"scale\":{},\"mode\":\"{}\",\"shards\":{},\"ases\":{},\"edges\":{},\"origins\":{},\"events\":{},\"wall_secs\":{:.4},\"events_per_sec\":{:.1},\"peak_rib_entries\":{},\"bytes_on_wire\":{},\"short_circuits\":{},\"final_rib_sha256\":\"{}\"}}",
                     c.scale,
                     c.mode,
                     c.shards,
@@ -337,6 +409,7 @@ fn main() {
                     c.peak_rib_entries,
                     c.bytes_on_wire,
                     c.short_circuits,
+                    c.final_rib_sha256,
                 ));
             }
             extra.push(']');
@@ -465,6 +538,65 @@ fn main() {
         } else {
             println!("{table}");
             println!("[e17 completed in {wall:.2} s]\n{}", "=".repeat(72));
+        }
+    }
+    if wanted.is_empty() || wanted.contains(&"e18") {
+        let t = std::time::Instant::now();
+        let (table, m) = pvr_bench::e18_durability(
+            scale.min(E18_MAX_SCALE),
+            &shards,
+            checkpoint_every,
+            checkpoint_dir.as_deref().map(std::path::Path::new),
+            restore.as_deref().map(std::path::Path::new),
+        );
+        let wall = t.elapsed().as_secs_f64();
+        if json {
+            let rows: Vec<String> = m
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"shards\":{},\"events\":{},\"baseline_wall_secs\":{:.4},\
+                         \"checkpointed_wall_secs\":{:.4},\"snapshot_overhead_pct\":{:.2},\
+                         \"snapshots_retained\":{},\"checkpoints_written\":{},\
+                         \"last_checkpoint_bytes\":{},\"checkpoint_write_secs\":{:.6},\
+                         \"write_mb_per_sec\":{:.2},\"recovery_wall_secs\":{:.4},\
+                         \"replay_events\":{},\"recovered_identical\":{},\
+                         \"final_rib_sha256\":\"{}\"}}",
+                        r.shards,
+                        r.events,
+                        r.baseline_wall_secs,
+                        r.checkpointed_wall_secs,
+                        r.snapshot_overhead_pct,
+                        r.snapshots_retained,
+                        r.checkpoints_written,
+                        r.last_checkpoint_bytes,
+                        r.checkpoint_write_secs,
+                        r.write_mb_per_sec,
+                        r.recovery_wall_secs,
+                        r.replay_events,
+                        r.recovered_identical,
+                        r.final_rib_sha256,
+                    )
+                })
+                .collect();
+            let extra = format!(
+                ",\"metrics\":{{\"scale\":{},\"ases\":{},\"checkpoint_every_ms\":{},\
+                 \"rows\":[{}],\"forensic\":{{\"snapshots\":{},\"probes\":{},\
+                 \"first_poisoned_ms\":{},\"poisoned_ases\":{}}}}}",
+                m.scale,
+                m.ases,
+                m.checkpoint_every_ms,
+                rows.join(","),
+                m.forensic.snapshots,
+                m.forensic.probes,
+                m.forensic.first_poisoned_ms,
+                m.forensic.poisoned_ases,
+            );
+            records.push(("e18", wall, table, extra));
+        } else {
+            println!("{table}");
+            println!("[e18 completed in {wall:.2} s]\n{}", "=".repeat(72));
         }
     }
 

@@ -875,6 +875,11 @@ pub struct E14Cell {
     /// Decision runs resolved O(1) by the incremental path
     /// (deterministic).
     pub short_circuits: u64,
+    /// Content hash (hex SHA-256) of the converged network-wide
+    /// Loc-RIB, from the durability layer's COW snapshot trie.
+    /// Deterministic and identical across shard counts — the CI
+    /// crash-recovery gate diffs exactly this (deterministic).
+    pub final_rib_sha256: String,
 }
 
 /// The topology a given E14 scale runs on. At the seed scale (≤56) this
@@ -1009,6 +1014,49 @@ impl E14Net {
             E14Net::Sharded(n) => n.private_verifier(),
         }
     }
+
+    fn rib_fingerprint_hex(&self) -> String {
+        match self {
+            E14Net::Serial(n) => n.rib_fingerprint().to_hex(),
+            E14Net::Sharded(n) => n.rib_fingerprint().to_hex(),
+        }
+    }
+
+    fn snapshot_times(&self) -> Vec<pvr_netsim::SimTime> {
+        match self {
+            E14Net::Serial(n) => n.snapshot_times(),
+            E14Net::Sharded(n) => n.snapshot_times(),
+        }
+    }
+
+    fn checkpoint(&mut self, path: &std::path::Path) -> Result<u64, pvr_bgp::CheckpointError> {
+        match self {
+            E14Net::Serial(n) => n.checkpoint(path),
+            E14Net::Sharded(n) => n.checkpoint(path),
+        }
+    }
+
+    fn converge_checkpointed(
+        &mut self,
+        limits: RunLimits,
+        every: SimDuration,
+        dir: &std::path::Path,
+    ) -> Result<(pvr_netsim::StopReason, std::path::PathBuf), pvr_bgp::CheckpointError> {
+        match self {
+            E14Net::Serial(n) => n.converge_checkpointed(limits, every, dir),
+            E14Net::Sharded(n) => n.converge_checkpointed(limits, every, dir),
+        }
+    }
+
+    /// Restores from a checkpoint file onto the engine the file was
+    /// written by (`shards` picks the variant, matching `build`).
+    fn restore(shards: usize, path: &std::path::Path) -> Result<E14Net, pvr_bgp::CheckpointError> {
+        if shards <= 1 {
+            pvr_bgp::BgpNetwork::restore(path).map(E14Net::Serial)
+        } else {
+            pvr_bgp::ShardedBgpNetwork::restore(path).map(E14Net::Sharded)
+        }
+    }
 }
 
 /// E14 — internet-scale route propagation: converged `internet_like`
@@ -1050,7 +1098,7 @@ pub fn e14_scale(max_scale: usize, shard_counts: &[usize]) -> (String, Vec<E14Ce
     writeln!(out, " are post-hoc; shards=1 is the serial engine, >1 the sharded engine)").unwrap();
     writeln!(
         out,
-        "{:>6} {:<7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>10} {:>14} {:>11}",
+        "{:>6} {:<7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>10} {:>14} {:>11} {:>12}",
         "scale",
         "mode",
         "shards",
@@ -1061,7 +1109,8 @@ pub fn e14_scale(max_scale: usize, shard_counts: &[usize]) -> (String, Vec<E14Ce
         "events/s",
         "peak RIB",
         "bytes",
-        "O(1) skips"
+        "O(1) skips",
+        "rib sha256"
     )
     .unwrap();
     // (scale, shards) → signed wall-clock, for the speedup footer.
@@ -1111,6 +1160,7 @@ pub fn e14_scale(max_scale: usize, shard_counts: &[usize]) -> (String, Vec<E14Ce
                     peak_rib_entries: rib,
                     bytes_on_wire: stats.bytes_sent,
                     short_circuits: shorts,
+                    final_rib_sha256: net.rib_fingerprint_hex(),
                 };
                 write_e14_row(&mut out, &cell);
                 if signed {
@@ -1154,11 +1204,12 @@ pub fn e14_scale(max_scale: usize, shard_counts: &[usize]) -> (String, Vec<E14Ce
     (out, cells)
 }
 
-/// Renders one E14 table row.
+/// Renders one E14 table row (the RIB hash column is truncated for
+/// width; the JSON record carries the full 64 hex digits).
 fn write_e14_row(out: &mut String, c: &E14Cell) {
     writeln!(
         out,
-        "{:>6} {:<7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10.0} {:>10} {:>14} {:>11}",
+        "{:>6} {:<7} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10.0} {:>10} {:>14} {:>11} {:>12}",
         c.scale,
         c.mode,
         c.shards,
@@ -1169,7 +1220,8 @@ fn write_e14_row(out: &mut String, c: &E14Cell) {
         c.events_per_sec,
         c.peak_rib_entries,
         c.bytes_on_wire,
-        c.short_circuits
+        c.short_circuits,
+        &c.final_rib_sha256[..12]
     )
     .unwrap();
 }
@@ -2087,6 +2139,360 @@ pub fn committed_min(bed: &Figure1Bed) -> Option<usize> {
         .map(|i| c.reveal_bit(i).unwrap().bit().unwrap())
         .collect();
     claimed_min(&bits)
+}
+
+/// E18's default checkpoint cadence, sim-time milliseconds
+/// (`--checkpoint-every` overrides via the harness).
+pub const E18_DEFAULT_EVERY_MS: u64 = 10;
+
+/// One measured shard-count row of E18: an uninterrupted baseline, a
+/// checkpoint-every-boundary run, and a kill-and-recover cycle from the
+/// middle checkpoint. The wall-clock fields and the checkpoint byte
+/// size are engine-local (the file encodes per-engine scheduler state);
+/// everything else is deterministic and identical across shard counts.
+#[derive(Clone, Debug)]
+pub struct E18Row {
+    /// Shard count (1 = the serial engine). Run parameter.
+    pub shards: usize,
+    /// Convergence events of the uninterrupted run (deterministic).
+    pub events: u64,
+    /// Wall-clock of the uninterrupted baseline (timing).
+    pub baseline_wall_secs: f64,
+    /// Wall-clock of the checkpoint-every-boundary run (timing).
+    pub checkpointed_wall_secs: f64,
+    /// `(checkpointed - baseline) / baseline`, percent (timing).
+    pub snapshot_overhead_pct: f64,
+    /// COW RIB snapshots retained at quiescence (deterministic).
+    pub snapshots_retained: usize,
+    /// Checkpoint files the sliced run wrote (deterministic).
+    pub checkpoints_written: usize,
+    /// Size of the final checkpoint file (engine-local: the ENGINE
+    /// section encodes per-shard scheduler state).
+    pub last_checkpoint_bytes: u64,
+    /// Wall-clock of one explicit `checkpoint()` call (timing).
+    pub checkpoint_write_secs: f64,
+    /// Checkpoint serialization + write throughput (timing).
+    pub write_mb_per_sec: f64,
+    /// Restore-from-middle-checkpoint + replay-to-quiescence wall
+    /// clock (timing).
+    pub recovery_wall_secs: f64,
+    /// Events replayed between the kill point and quiescence
+    /// (deterministic).
+    pub replay_events: u64,
+    /// Recovered run's RIB fingerprint and simulator stats equal the
+    /// uninterrupted run's — the crash-consistency contract
+    /// (deterministic, must be true).
+    pub recovered_identical: bool,
+    /// Hex SHA-256 of the converged Loc-RIB (deterministic).
+    pub final_rib_sha256: String,
+}
+
+/// E18's forensic row: the snapshot bisect over a hijack run's COW
+/// history (serial engine; all fields sim-time deterministic).
+#[derive(Clone, Debug)]
+pub struct E18Forensic {
+    /// Snapshots the hijack run retained.
+    pub snapshots: usize,
+    /// Snapshots the binary search probed (≈ log₂ of the history).
+    pub probes: usize,
+    /// Capture time of the first poisoned snapshot, sim ms.
+    pub first_poisoned_ms: u64,
+    /// Honest ASes routing through the attacker at that instant.
+    pub poisoned_ases: usize,
+}
+
+/// Everything E18 returns beyond the human table — the harness embeds
+/// it as the record's `metrics` object.
+#[derive(Clone, Debug)]
+pub struct E18Metrics {
+    /// Requested AS-count scale.
+    pub scale: usize,
+    /// Actual AS count of the generated topology.
+    pub ases: usize,
+    /// Checkpoint cadence, sim-time milliseconds.
+    pub checkpoint_every_ms: u64,
+    /// One row per shard count.
+    pub rows: Vec<E18Row>,
+    /// The hijack-bisect forensic row.
+    pub forensic: E18Forensic,
+}
+
+/// E18 — durability: crash-consistent checkpoint/restore and
+/// deterministic replay recovery (ISSUE 10's tentpole, measured). Per
+/// shard count: converge an `internet_like` run (signed substrate,
+/// MRAI + dampening, a scheduled flap) uninterrupted, then again
+/// writing a checkpoint at every `every_ms` slice boundary; then
+/// simulate a crash by restoring the *middle* checkpoint and replaying
+/// to quiescence, asserting the recovered RIB fingerprint and
+/// simulator stats equal the uninterrupted run's. The forensic section
+/// runs a delayed prefix hijack under COW snapshots and bisects the
+/// history for the first poisoned instant (`pvr_attack::forensic`).
+///
+/// `checkpoint_dir` keeps the checkpoint files (per-shard-count
+/// subdirectories `s<N>/`); by default they go to a temp directory
+/// that is removed afterwards. `restore` adds an operator drill: the
+/// given checkpoint file is restored (either engine) and replayed to
+/// quiescence, reported in the table only.
+pub fn e18_durability(
+    max_scale: usize,
+    shard_counts: &[usize],
+    every_ms: u64,
+    checkpoint_dir: Option<&std::path::Path>,
+    restore: Option<&std::path::Path>,
+) -> (String, E18Metrics) {
+    use pvr_netsim::StopReason;
+
+    let scale = max_scale;
+    let every = SimDuration::from_millis(every_ms.max(1));
+    let mut shard_counts: Vec<usize> =
+        if shard_counts.is_empty() { vec![1] } else { shard_counts.to_vec() };
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+
+    // The same dynamic-state surface the crash-recovery property tests
+    // cover: signed substrate, MRAI + jitter, dampening, and a
+    // scheduled flap so the kill point crosses pending local events.
+    let mut topology = internet_like(e14_params(scale), 18);
+    let ases: Vec<Asn> = topology.ases().collect();
+    let flapper = ases[ases.len() / 2];
+    let flap_prefix = pvr_bgp::Prefix::parse("203.0.113.0/24").expect("parse");
+    topology.originate(flapper, flap_prefix);
+    topology.schedule(
+        flapper,
+        SimDuration::from_millis(40),
+        pvr_bgp::LocalEvent::Withdraw(flap_prefix),
+    );
+    topology.schedule(
+        flapper,
+        SimDuration::from_millis(90),
+        pvr_bgp::LocalEvent::Announce(flap_prefix),
+    );
+    let options = InstantiateOptions {
+        seed: 18,
+        signed: true,
+        key_bits: 512,
+        mrai: Some(SimDuration::from_millis(5)),
+        mrai_jitter: Some(SimDuration::from_millis(1)),
+        dampening: Some(pvr_bgp::DampeningPolicy::default()),
+        ..Default::default()
+    };
+    let origin_table = std::sync::Arc::new(topology.origin_table());
+
+    let temp_base = std::env::temp_dir().join(format!("pvr-e18-{}", std::process::id()));
+    let keep_files = checkpoint_dir.is_some();
+    let base_dir = checkpoint_dir.map(|d| d.to_path_buf()).unwrap_or_else(|| temp_base.clone());
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "E18: durability — COW snapshots, checkpoint/restore, replay recovery \
+         (scale {scale}, checkpoint every {every_ms} ms)"
+    )
+    .unwrap();
+    writeln!(out, "(signed substrate + MRAI + dampening + a scheduled flap; per row: baseline")
+        .unwrap();
+    writeln!(out, " vs checkpoint-at-every-boundary run, then kill at the middle checkpoint,")
+        .unwrap();
+    writeln!(out, " restore, replay; `identical` = RIB fingerprint + SimStats equality with")
+        .unwrap();
+    writeln!(out, " the never-crashed run — the crash-consistency contract)").unwrap();
+    writeln!(
+        out,
+        "{:>6} {:>9} {:>6} {:>6} {:>11} {:>6} {:>10} {:>11} {:>9} {:>9} {:>12}",
+        "shards",
+        "events",
+        "snaps",
+        "ckpts",
+        "last-ckpt-B",
+        "ovh%",
+        "write-MB/s",
+        "recovery-ms",
+        "replayed",
+        "identical",
+        "rib sha256"
+    )
+    .unwrap();
+
+    let mut rows = Vec::new();
+    let mut ases_actual = topology.as_count();
+    for &shards in &shard_counts {
+        // Uninterrupted baseline.
+        let mut baseline = E14Net::build(&topology, options, shards);
+        baseline.install_origin_table(std::sync::Arc::clone(&origin_table));
+        let t = Instant::now();
+        let stop = baseline.converge(RunLimits::none());
+        let baseline_wall_secs = t.elapsed().as_secs_f64();
+        assert_eq!(stop, StopReason::Quiescent, "e18 baseline shards {shards}");
+        let base_stats = baseline.sim_stats();
+        let final_rib_sha256 = baseline.rib_fingerprint_hex();
+        ases_actual = topology.as_count();
+
+        // The same run, checkpointed at every slice boundary.
+        let dir = base_dir.join(format!("s{shards}"));
+        let mut ck = E14Net::build(&topology, options, shards);
+        ck.install_origin_table(std::sync::Arc::clone(&origin_table));
+        let t = Instant::now();
+        let (stop, _last) = ck
+            .converge_checkpointed(RunLimits::none(), every, &dir)
+            .expect("e18 checkpointed converge");
+        let checkpointed_wall_secs = t.elapsed().as_secs_f64();
+        assert_eq!(stop, StopReason::Quiescent, "e18 checkpointed shards {shards}");
+        assert_eq!(ck.sim_stats().events, base_stats.events, "e18 slicing changed the run");
+        let snapshots_retained = ck.snapshot_times().len();
+
+        // One explicit checkpoint, timed in isolation for throughput.
+        let final_path = dir.join("final.pvr");
+        let t = Instant::now();
+        let final_bytes = ck.checkpoint(&final_path).expect("e18 final checkpoint");
+        let checkpoint_write_secs = t.elapsed().as_secs_f64();
+
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .expect("e18 checkpoint dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "pvr")
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("ckpt-"))
+            })
+            .collect();
+        files.sort();
+        let checkpoints_written = files.len();
+        let kill_point = &files[files.len() / 2];
+        let last_checkpoint_bytes = std::fs::metadata(files.last().expect("e18 wrote checkpoints"))
+            .expect("e18 checkpoint metadata")
+            .len();
+
+        // The crash: restore the middle checkpoint, replay, compare.
+        let t = Instant::now();
+        let mut recovered = E14Net::restore(shards, kill_point).expect("e18 restore");
+        let events_at_kill = recovered.sim_stats().events;
+        let stop = recovered.converge(RunLimits::none());
+        let recovery_wall_secs = t.elapsed().as_secs_f64();
+        assert_eq!(stop, StopReason::Quiescent, "e18 recovery shards {shards}");
+        let recovered_identical = recovered.rib_fingerprint_hex() == final_rib_sha256
+            && recovered.sim_stats() == base_stats;
+        let replay_events = recovered.sim_stats().events - events_at_kill;
+
+        let row = E18Row {
+            shards,
+            events: base_stats.events,
+            baseline_wall_secs,
+            checkpointed_wall_secs,
+            snapshot_overhead_pct: (checkpointed_wall_secs - baseline_wall_secs)
+                / baseline_wall_secs.max(1e-9)
+                * 100.0,
+            snapshots_retained,
+            checkpoints_written,
+            last_checkpoint_bytes,
+            checkpoint_write_secs,
+            write_mb_per_sec: final_bytes as f64 / 1e6 / checkpoint_write_secs.max(1e-9),
+            recovery_wall_secs,
+            replay_events,
+            recovered_identical,
+            final_rib_sha256,
+        };
+        writeln!(
+            out,
+            "{:>6} {:>9} {:>6} {:>6} {:>11} {:>6.1} {:>10.1} {:>11.1} {:>9} {:>9} {:>12}",
+            row.shards,
+            row.events,
+            row.snapshots_retained,
+            row.checkpoints_written,
+            row.last_checkpoint_bytes,
+            row.snapshot_overhead_pct,
+            row.write_mb_per_sec,
+            row.recovery_wall_secs * 1e3,
+            row.replay_events,
+            if row.recovered_identical { "yes" } else { "NO" },
+            &row.final_rib_sha256[..12]
+        )
+        .unwrap();
+        assert!(row.recovered_identical, "e18 shards {shards}: recovered run diverged");
+        rows.push(row);
+        if !keep_files {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    if !keep_files {
+        let _ = std::fs::remove_dir_all(&temp_base);
+    }
+
+    // Forensic bisect: a delayed hijack under COW snapshots, then
+    // binary-search the history for the first poisoned instant. Plain
+    // substrate (no origin validation — the hijack must land) on the
+    // serial engine (the bisect reads `BgpNetwork` history).
+    let mut hijack_top = internet_like(e14_params(scale), 18);
+    let victim_prefix = hijack_top
+        .ases()
+        .collect::<Vec<_>>()
+        .iter()
+        .find_map(|&a| hijack_top.originated_by(a).first().copied())
+        .expect("e18 forensic: an originated prefix");
+    let transit = hijack_top.ases().next().expect("e18 forensic: a transit");
+    let attacker = Asn(65_001);
+    hijack_top.provider_customer(transit, attacker);
+    hijack_top.schedule(
+        attacker,
+        SimDuration::from_millis(60),
+        pvr_bgp::LocalEvent::Announce(victim_prefix),
+    );
+    let mut hijacked =
+        hijack_top.instantiate(InstantiateOptions { seed: 18, ..Default::default() });
+    let stop = hijacked.converge_with_snapshots(RunLimits::none(), every);
+    assert_eq!(stop, StopReason::Quiescent, "e18 forensic run");
+    let hit = pvr_attack::bisect_first_poisoned(&hijacked, attacker, victim_prefix)
+        .expect("e18 forensic: hijack must appear in the history");
+    let forensic = E18Forensic {
+        snapshots: hijacked.snapshot_times().len(),
+        probes: hit.probes,
+        first_poisoned_ms: hit.first_poisoned_at.as_micros() / 1000,
+        poisoned_ases: hit.poisoned.len(),
+    };
+    writeln!(
+        out,
+        "forensic bisect: hijack first visible at {} ms ({} of {} snapshots probed; \
+         {} ASes poisoned)",
+        forensic.first_poisoned_ms, forensic.probes, forensic.snapshots, forensic.poisoned_ases
+    )
+    .unwrap();
+
+    // Operator drill (`--restore`): bring an arbitrary checkpoint file
+    // back and replay it to quiescence. Reported in the table only —
+    // it parameterizes the run, so it stays out of the metrics record.
+    if let Some(path) = restore {
+        let t = Instant::now();
+        let mut net = E14Net::restore(1, path)
+            .or_else(|_| E14Net::restore(2, path))
+            .unwrap_or_else(|e| panic!("e18 --restore {}: {e}", path.display()));
+        let before = net.sim_stats().events;
+        let stop = net.converge(RunLimits::none());
+        writeln!(
+            out,
+            "restore drill: {}: replayed {} events to {:?} in {:.1} ms, rib sha256={}",
+            path.display(),
+            net.sim_stats().events - before,
+            stop,
+            t.elapsed().as_secs_f64() * 1e3,
+            &net.rib_fingerprint_hex()[..12]
+        )
+        .unwrap();
+    }
+
+    writeln!(out, "(expected: every row identical=yes — restore+replay is byte-equal to the")
+        .unwrap();
+    writeln!(out, " uninterrupted run; events/snaps/ckpts/replayed/sha identical across shard")
+        .unwrap();
+    writeln!(out, " counts; checkpoint bytes and all wall-clock columns are engine-local)")
+        .unwrap();
+    let metrics = E18Metrics {
+        scale,
+        ases: ases_actual,
+        checkpoint_every_ms: every_ms.max(1),
+        rows,
+        forensic,
+    };
+    (out, metrics)
 }
 
 /// All experiments in order, as (id, output) pairs.

@@ -12,6 +12,7 @@
 //! both engines computes bit-identical penalties (no floating-point
 //! `exp`, no rounding-mode drift).
 
+use pvr_crypto::encoding::{Reader, Wire, WireError};
 use pvr_netsim::{SimDuration, SimTime};
 
 /// Per-router dampening configuration, in RFC 2439's vocabulary.
@@ -49,6 +50,32 @@ impl Default for DampeningPolicy {
             max_penalty: 16_000,
             reuse_tick: SimDuration::from_millis(50),
         }
+    }
+}
+
+/// The policy rides inside checkpoint META sections (as part of
+/// `InstantiateOptions`), so a restored run dampens identically.
+impl Wire for DampeningPolicy {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.penalty_flap.encode(buf);
+        self.suppress_threshold.encode(buf);
+        self.reuse_threshold.encode(buf);
+        self.half_life.encode(buf);
+        self.max_penalty.encode(buf);
+        self.reuse_tick.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DampeningPolicy {
+            penalty_flap: u64::decode(r)?,
+            suppress_threshold: u64::decode(r)?,
+            reuse_threshold: u64::decode(r)?,
+            half_life: SimDuration::decode(r)?,
+            max_penalty: u64::decode(r)?,
+            reuse_tick: SimDuration::decode(r)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        6 * 8
     }
 }
 

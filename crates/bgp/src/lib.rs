@@ -18,6 +18,8 @@
 //! * [`router`] — the speaker as a simulator agent;
 //! * [`dampening`] — RFC 2439-style route-flap dampening state;
 //! * [`topology`] — Figure 1 scenario and Internet-like generators;
+//! * [`checkpoint`] — crash-consistent checkpoint/restore and the
+//!   copy-on-write RIB snapshot history (time travel, forensics);
 //! * [`partition`] — deterministic AS → shard assignment for the
 //!   sharded engine;
 //! * [`workload`] — flaps, bursts, churn.
@@ -35,6 +37,7 @@
 //! iBGP, route reflection, aggregation/AS_SET, IPv6 (IPv4 prefixes
 //! only).
 
+pub mod checkpoint;
 pub mod dampening;
 pub mod decision;
 pub mod messages;
@@ -51,6 +54,7 @@ pub mod topology;
 pub mod types;
 pub mod workload;
 
+pub use checkpoint::{CheckpointError, CKPT_MAGIC, CKPT_VERSION};
 pub use dampening::{DampState, DampeningPolicy};
 pub use decision::{best, prefer, Candidate};
 pub use messages::BgpUpdate;

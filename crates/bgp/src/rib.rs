@@ -259,6 +259,13 @@ impl LocRib {
         self.best.get(&prefix)
     }
 
+    /// Installs a selection directly, bypassing the decision process.
+    /// Checkpoint restore only: the candidate must be what a reselect
+    /// over the restored Adj-RIB-In would have produced.
+    pub(crate) fn install(&mut self, prefix: Prefix, cand: Candidate) {
+        self.best.insert(prefix, cand);
+    }
+
     /// All selected prefixes, in prefix order.
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
         let mut keys: Vec<Prefix> = self.best.keys().copied().collect();
@@ -317,6 +324,19 @@ impl AdjRibOut {
     /// Neighbors with at least one advertised route, in ASN order.
     pub fn neighbors(&self) -> BTreeSet<Asn> {
         self.routes.keys().copied().collect()
+    }
+
+    /// Every `(neighbor, prefix, route)` cell in `(neighbor, prefix)`
+    /// order — the deterministic iteration the checkpoint codec needs
+    /// (the export hot path never calls this).
+    pub(crate) fn entries(&self) -> Vec<(Asn, Prefix, &Route)> {
+        let mut out: Vec<(Asn, Prefix, &Route)> = self
+            .routes
+            .iter()
+            .flat_map(|(&n, per)| per.iter().map(move |(&p, r)| (n, p, r)))
+            .collect();
+        out.sort_by_key(|&(n, p, _)| (n, p));
+        out
     }
 
     /// Forgets everything advertised to `neighbor` (session teardown:

@@ -47,6 +47,7 @@ use crate::sorted::SortedMap;
 use crate::topology::OriginTable;
 use crate::types::{Asn, Prefix};
 use pvr_crypto::drbg::HmacDrbg;
+use pvr_crypto::encoding::{Reader, Wire, WireError};
 use pvr_crypto::keys::{Identity, KeyStore};
 use pvr_netsim::{Agent, Context, NodeId, SimDuration, SimTime};
 use std::any::Any;
@@ -60,6 +61,28 @@ pub enum LocalEvent {
     Announce(Prefix),
     /// Stop originating `prefix`.
     Withdraw(Prefix),
+}
+
+impl Wire for LocalEvent {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            LocalEvent::Announce(p) => {
+                buf.push(0);
+                p.encode(buf);
+            }
+            LocalEvent::Withdraw(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.take(1)?[0] {
+            0 => Ok(LocalEvent::Announce(Prefix::decode(r)?)),
+            1 => Ok(LocalEvent::Withdraw(Prefix::decode(r)?)),
+            _ => Err(WireError::Invalid("local event discriminant")),
+        }
+    }
 }
 
 /// Security mode for a router.
@@ -354,10 +377,24 @@ impl BgpRouter {
         self.malice = malice;
     }
 
+    /// True when any malicious-behaviour switch is set. Checkpointing
+    /// refuses such routers: malice is installed imperatively by the
+    /// campaign engine, so a restore from topology + options alone
+    /// could not reconstruct it.
+    pub fn malice_active(&self) -> bool {
+        self.malice.leak_all
+    }
+
     /// Installs an origin-authorization table; subsequently received
     /// announcements whose origin is unauthorized are dropped.
     pub fn set_origin_table(&mut self, table: Arc<OriginTable>) {
         self.origin_table = Some(table);
+    }
+
+    /// The installed origin table, if any (checkpoints embed it so a
+    /// restored network keeps rejecting unauthorized origins).
+    pub(crate) fn origin_table_ref(&self) -> Option<&Arc<OriginTable>> {
+        self.origin_table.as_ref()
     }
 
     /// Installs the shared attestation-verification cache. Verdicts
@@ -880,7 +917,258 @@ impl BgpRouter {
             ctx.set_timer(policy.reuse_tick, DAMP_TIMER);
         }
     }
+
+    /// Serializes every field the event loop mutates — RIBs, chains,
+    /// MRAI buffer, dampening state, session set, counters, recorders —
+    /// in a fixed deterministic order. Static configuration (policy,
+    /// keys, neighbors, schedule) is *not* written: restore rebuilds it
+    /// from the topology and overlays this dynamic state on top.
+    pub(crate) fn save_dynamic(&self, buf: &mut Vec<u8>) {
+        // Adj-RIB-In: routes carry their own prefix, so each cell is
+        // (neighbor, route); prefix-major, neighbor-ascending order.
+        (self.adj_in.len() as u32).encode(buf);
+        for prefix in self.adj_in.prefixes().collect::<Vec<_>>() {
+            for (n, r) in self.adj_in.candidate_refs(prefix) {
+                n.encode(buf);
+                r.encode(buf);
+            }
+        }
+        // Loc-RIB: candidates re-key by their route's prefix on load.
+        (self.loc_rib.len() as u32).encode(buf);
+        for prefix in self.loc_rib.prefixes().collect::<Vec<_>>() {
+            self.loc_rib.get(prefix).expect("listed prefix").encode(buf);
+        }
+        let adj_out = self.adj_out.entries();
+        (adj_out.len() as u32).encode(buf);
+        for (n, _, r) in adj_out {
+            n.encode(buf);
+            r.encode(buf);
+        }
+        (self.chains_in.len() as u32).encode(buf);
+        for (&(n, _), sr) in &self.chains_in {
+            n.encode(buf);
+            sr.encode(buf);
+        }
+        (self.local.len() as u32).encode(buf);
+        for cand in self.local.values() {
+            cand.encode(buf);
+        }
+        (self.mrai_buffer.len() as u32).encode(buf);
+        for (&node, update) in &self.mrai_buffer {
+            (node as u64).encode(buf);
+            update.encode(buf);
+        }
+        self.mrai_armed.encode(buf);
+        match &self.jitter_rng {
+            None => false.encode(buf),
+            Some(rng) => {
+                true.encode(buf);
+                buf.extend_from_slice(&rng.state_bytes());
+            }
+        }
+        (self.damp_states.len() as u32).encode(buf);
+        for (&(n, p), state) in &self.damp_states {
+            n.encode(buf);
+            p.encode(buf);
+            state.penalty.encode(buf);
+            state.last_decay.encode(buf);
+            state.suppressed.encode(buf);
+        }
+        (self.parked.len() as u32).encode(buf);
+        for (&(n, _), sr) in &self.parked {
+            n.encode(buf);
+            sr.encode(buf);
+        }
+        self.damp_timer_armed.encode(buf);
+        (self.sessions_down.len() as u32).encode(buf);
+        for &n in &self.sessions_down {
+            n.encode(buf);
+        }
+        self.pvr_seq.encode(buf);
+        self.first_security_reject.encode(buf);
+        // Counters by name, so a build whose stats struct drifted
+        // rejects the checkpoint instead of misattributing counts.
+        let fields = self.stats.fields();
+        (fields.len() as u32).encode(buf);
+        for (name, value) in fields {
+            name.to_string().encode(buf);
+            value.encode(buf);
+        }
+        match &self.obs_timeline {
+            None => false.encode(buf),
+            Some(tl) => {
+                true.encode(buf);
+                tl.window_us().encode(buf);
+                (tl.channels() as u64).encode(buf);
+                (tl.cells().len() as u32).encode(buf);
+                for (&window, row) in tl.cells() {
+                    window.encode(buf);
+                    for &v in row {
+                        v.encode(buf);
+                    }
+                }
+            }
+        }
+        (self.journal.capacity() as u64).encode(buf);
+        self.journal.evicted().encode(buf);
+        (self.journal.len() as u32).encode(buf);
+        for e in self.journal.entries() {
+            e.t_us.encode(buf);
+            e.kind.to_string().encode(buf);
+            e.value.encode(buf);
+        }
+    }
+
+    /// Decodes and applies the counterpart of
+    /// [`save_dynamic`](Self::save_dynamic). Everything is decoded and
+    /// validated before any field is touched, so a corrupt blob leaves
+    /// the router exactly as built.
+    pub(crate) fn load_dynamic(&mut self, r: &mut Reader<'_>) -> Result<(), WireError> {
+        let mut adj_in = AdjRibIn::new();
+        for _ in 0..u32::decode(r)? {
+            let n = Asn::decode(r)?;
+            adj_in.insert(n, Route::decode(r)?);
+        }
+        let mut loc_rib = LocRib::new();
+        for _ in 0..u32::decode(r)? {
+            let cand = Candidate::decode(r)?;
+            loc_rib.install(cand.route.prefix, cand);
+        }
+        let mut adj_out = AdjRibOut::new();
+        for _ in 0..u32::decode(r)? {
+            let n = Asn::decode(r)?;
+            adj_out.advertise(n, Route::decode(r)?);
+        }
+        let mut chains_in = BTreeMap::new();
+        for _ in 0..u32::decode(r)? {
+            let n = Asn::decode(r)?;
+            let sr = SignedRoute::decode(r)?;
+            chains_in.insert((n, sr.route.prefix), sr);
+        }
+        let mut local = BTreeMap::new();
+        for _ in 0..u32::decode(r)? {
+            let cand = Candidate::decode(r)?;
+            local.insert(cand.route.prefix, cand);
+        }
+        let mut mrai_buffer = BTreeMap::new();
+        for _ in 0..u32::decode(r)? {
+            let node = u64::decode(r)? as NodeId;
+            if !self.asn_of_node.contains_key(&node) {
+                return Err(WireError::Invalid("MRAI buffer entry for a non-neighbor node"));
+            }
+            mrai_buffer.insert(node, BgpUpdate::decode(r)?);
+        }
+        let mrai_armed = bool::decode(r)?;
+        let jitter_rng = if bool::decode(r)? {
+            Some(HmacDrbg::from_state_bytes(&r.take_array::<{ HmacDrbg::STATE_LEN }>()?))
+        } else {
+            None
+        };
+        let mut damp_states = BTreeMap::new();
+        for _ in 0..u32::decode(r)? {
+            let key = (Asn::decode(r)?, Prefix::decode(r)?);
+            let state = DampState {
+                penalty: u64::decode(r)?,
+                last_decay: SimTime::decode(r)?,
+                suppressed: bool::decode(r)?,
+            };
+            damp_states.insert(key, state);
+        }
+        let mut parked = BTreeMap::new();
+        for _ in 0..u32::decode(r)? {
+            let n = Asn::decode(r)?;
+            let sr = SignedRoute::decode(r)?;
+            parked.insert((n, sr.route.prefix), sr);
+        }
+        let damp_timer_armed = bool::decode(r)?;
+        let mut sessions_down = BTreeSet::new();
+        for _ in 0..u32::decode(r)? {
+            let n = Asn::decode(r)?;
+            if !self.neighbor_nodes.contains_key(&n) {
+                return Err(WireError::Invalid("torn-down session with a non-neighbor"));
+            }
+            sessions_down.insert(n);
+        }
+        let pvr_seq = u64::decode(r)?;
+        let first_security_reject = Option::<SimTime>::decode(r)?;
+        let mut stat_fields = Vec::new();
+        for _ in 0..u32::decode(r)? {
+            stat_fields.push((String::decode(r)?, u64::decode(r)?));
+        }
+        let stats = RouterStats::from_fields(stat_fields.iter().map(|(n, v)| (n.as_str(), *v)))
+            .ok_or(WireError::Invalid("router stats field list does not match this build"))?;
+        let obs_timeline = if bool::decode(r)? {
+            let window_us = u64::decode(r)?;
+            if window_us == 0 {
+                return Err(WireError::Invalid("timeline window must be positive"));
+            }
+            let channels = u64::decode(r)? as usize;
+            if channels != pvr_obs::timeline::RT_CHANNELS {
+                return Err(WireError::Invalid("router timeline channel count"));
+            }
+            let mut cells = BTreeMap::new();
+            for _ in 0..u32::decode(r)? {
+                let window = u64::decode(r)?;
+                let mut row = Vec::with_capacity(channels);
+                for _ in 0..channels {
+                    row.push(u64::decode(r)?);
+                }
+                if cells.insert(window, row).is_some() {
+                    return Err(WireError::Invalid("duplicate timeline window"));
+                }
+            }
+            Some(pvr_obs::TimelineRecorder::from_cells(window_us, channels, cells))
+        } else {
+            None
+        };
+        let journal_capacity = u64::decode(r)? as usize;
+        let journal_evicted = u64::decode(r)?;
+        let mut journal_entries = Vec::new();
+        for _ in 0..u32::decode(r)? {
+            let t_us = u64::decode(r)?;
+            let kind_owned = String::decode(r)?;
+            // The journal stores interned `&'static str` labels;
+            // re-intern against the table of every label the router
+            // ever records.
+            let kind = JOURNAL_KINDS
+                .iter()
+                .find(|k| **k == kind_owned)
+                .copied()
+                .ok_or(WireError::Invalid("unknown journal event kind"))?;
+            journal_entries.push(pvr_obs::JournalEntry { t_us, kind, value: u64::decode(r)? });
+        }
+
+        self.adj_in = adj_in;
+        self.loc_rib = loc_rib;
+        self.adj_out = adj_out;
+        self.chains_in = chains_in;
+        self.local = local;
+        self.mrai_buffer = mrai_buffer;
+        self.mrai_armed = mrai_armed;
+        self.jitter_rng = jitter_rng;
+        self.damp_states = damp_states;
+        self.parked = parked;
+        self.damp_timer_armed = damp_timer_armed;
+        self.sessions_down = sessions_down;
+        self.pvr_seq = pvr_seq;
+        self.first_security_reject = first_security_reject;
+        self.stats = stats;
+        self.obs_timeline = obs_timeline;
+        self.journal =
+            pvr_obs::EventJournal::restore(journal_capacity, journal_evicted, journal_entries);
+        // The checkpointed run had already started: start-time
+        // originations live in `local` now, and `on_start` will not run
+        // again on the restored engine.
+        self.originate_at_start.clear();
+        Ok(())
+    }
 }
+
+/// Every label the router ever journals. Checkpoint restore re-interns
+/// decoded labels against this table (journal entries carry
+/// `&'static str` kinds).
+const JOURNAL_KINDS: [&str; 5] =
+    ["best_change", "verify", "dampening_suppress", "attestation_reject", "origin_reject"];
 
 impl Agent<BgpUpdate> for BgpRouter {
     fn on_start(&mut self, ctx: &mut Context<BgpUpdate>) {

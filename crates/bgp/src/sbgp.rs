@@ -249,6 +249,10 @@ impl std::fmt::Debug for AttestationChain {
 /// genuine chain's cached `true` launder the forgery (pinned by the
 /// cache regression tests in `tests/detection_matrix.rs`).
 ///
+/// A cache memo exported for checkpointing: sorted
+/// `(signer, digest, verdict)` entries plus the call/hit counters.
+pub(crate) type CacheState = (Vec<(Asn, [u8; 32], bool)>, u64, u64);
+
 /// Interior mutability is a `Mutex` so the cache can be shared
 /// read-only across router agents; a simulation is single-threaded,
 /// so the lock is never contended.
@@ -273,6 +277,35 @@ impl VerifyCache {
     /// How many of those were answered from the memo (no RSA math).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Exports the memo for checkpointing: `(entries, calls, hits)`
+    /// with entries in `(signer, digest)` order, so the same cache
+    /// state always serializes to the same bytes.
+    pub(crate) fn export_state(&self) -> CacheState {
+        let mut entries: Vec<(Asn, [u8; 32], bool)> = self
+            .verdicts
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&(signer, digest), &verdict)| (signer, digest, verdict))
+            .collect();
+        entries.sort_unstable_by_key(|&(signer, digest, _)| (signer, digest));
+        (entries, self.calls(), self.hits())
+    }
+
+    /// Replaces the memo with a checkpointed state. Restore only: the
+    /// cache is shared by `Arc`, so this goes through the interior
+    /// mutability the hot path already uses.
+    pub(crate) fn load_state(&self, entries: Vec<(Asn, [u8; 32], bool)>, calls: u64, hits: u64) {
+        let mut verdicts = self.verdicts.lock().unwrap();
+        verdicts.clear();
+        for (signer, digest, verdict) in entries {
+            verdicts.insert((signer, digest), verdict);
+        }
+        drop(verdicts);
+        self.calls.store(calls, Ordering::Relaxed);
+        self.hits.store(hits, Ordering::Relaxed);
     }
 
     /// Checks `signer`'s signature over `signed_bytes`, consulting the

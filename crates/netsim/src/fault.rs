@@ -166,6 +166,18 @@ impl FaultInjector {
         self.cursor += 1;
         Some(fault)
     }
+
+    /// The unapplied tail of the schedule (checkpoint codecs persist
+    /// exactly this, so a restored run need not re-install the plan).
+    pub(crate) fn remaining(&self) -> &[(SimTime, Fault)] {
+        &self.schedule[self.cursor..]
+    }
+
+    /// Rebuilds an injector from a checkpointed remaining schedule
+    /// (already time-sorted by construction).
+    pub(crate) fn from_schedule(schedule: Vec<(SimTime, Fault)>) -> FaultInjector {
+        FaultInjector { schedule, cursor: 0 }
+    }
 }
 
 #[cfg(test)]

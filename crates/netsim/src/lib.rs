@@ -15,6 +15,7 @@ pub mod fault;
 pub mod link;
 pub mod shard;
 pub mod sim;
+pub mod state;
 pub mod time;
 
 pub use fault::{Fault, FaultPlan};
@@ -24,4 +25,5 @@ pub use sim::{
     Agent, BarrierHook, Context, Delivery, NodeId, Payload, RunLimits, SimStats, Simulator,
     StopReason,
 };
+pub use state::StateError;
 pub use time::{SimDuration, SimTime};

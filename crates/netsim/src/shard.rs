@@ -644,6 +644,155 @@ impl<P: Payload + Send> ShardedSimulator<P> {
     }
 }
 
+impl<P: Payload + Send + pvr_crypto::encoding::Wire> ShardedSimulator<P> {
+    /// Serializes the engine's dynamic state — the sharded counterpart
+    /// of `Simulator::save_state`. On top of the state both engines
+    /// share, this captures the global sequence counter, the
+    /// coordinator DRBG, and every shard's DRBG and sequence-tagged
+    /// calendar; the resulting bytes are therefore *shard-shaped* and
+    /// restore only into a simulator with the same shard count
+    /// (cross-shard-count recovery goes through store-level RIB
+    /// snapshots, which are engine-invariant).
+    ///
+    /// Must be called between `run` invocations (outboxes drained);
+    /// refuses when a trace or barrier hook is active, like the serial
+    /// engine.
+    pub fn save_state(&self) -> Result<Vec<u8>, crate::state::StateError> {
+        use crate::state::{self, CommonState, StateError, TAG_SHARDED};
+        use pvr_crypto::encoding::Wire;
+        if self.trace_enabled {
+            return Err(StateError::TraceActive);
+        }
+        if self.barrier.is_some() {
+            return Err(StateError::BarrierActive);
+        }
+        debug_assert!(
+            self.shards.iter().all(|s| s.outbox.is_empty() && s.events == 0),
+            "save_state must be called between runs, not mid-window"
+        );
+        let mut links: Vec<_> = self.links.iter().map(|(&k, &v)| (k, v)).collect();
+        links.sort_unstable_by_key(|&(key, _)| key);
+        let common = CommonState {
+            node_count: self.node_shard.len(),
+            now: self.now,
+            started: self.started,
+            stats: self.stats.clone(),
+            default_link: self.default_link,
+            links,
+            paused: self.paused.clone(),
+            faults: self.faults.as_ref().map(|f| f.remaining().to_vec()),
+            timeline: self
+                .timeline
+                .as_ref()
+                .map(|tl| (tl.window_us(), tl.channels(), tl.cells().clone())),
+        };
+        let mut out = vec![TAG_SHARDED];
+        (self.shards.len() as u64).encode(&mut out);
+        common.encode(&mut out);
+        self.next_seq.encode(&mut out);
+        state::encode_drbg(&self.rng, &mut out);
+        for shard in &self.shards {
+            state::encode_drbg(&shard.rng, &mut out);
+            (shard.queue.len() as u64).encode(&mut out);
+            for (time, (seq, kind)) in shard.queue.iter() {
+                time.encode(&mut out);
+                seq.encode(&mut out);
+                state::encode_event(kind, &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into
+    /// this simulator, which must hold the same node and shard layout.
+    /// Decode-then-apply: any error leaves the simulator untouched.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::state::StateError> {
+        use crate::state::{self, CommonState, StateError, TAG_SERIAL, TAG_SHARDED};
+        use pvr_crypto::encoding::{Reader, Wire, WireError};
+        if self.trace_enabled {
+            return Err(StateError::TraceActive);
+        }
+        if self.barrier.is_some() {
+            return Err(StateError::BarrierActive);
+        }
+        let mut r = Reader::new(bytes);
+        match r.take(1).map_err(StateError::from)?[0] {
+            TAG_SHARDED => {}
+            TAG_SERIAL => return Err(StateError::EngineMismatch),
+            _ => return Err(StateError::Corrupt("engine discriminant")),
+        }
+        let shard_count = state::checked_count(&mut r, 1)? as usize;
+        if shard_count != self.shards.len() {
+            return Err(StateError::ShardCountMismatch {
+                expected: shard_count,
+                found: self.shards.len(),
+            });
+        }
+        let common = CommonState::decode(&mut r)?;
+        if common.node_count != self.node_shard.len() {
+            return Err(StateError::NodeCountMismatch {
+                expected: common.node_count,
+                found: self.node_shard.len(),
+            });
+        }
+        let next_seq = u64::decode(&mut r)?;
+        let rng = state::decode_drbg(&mut r)?;
+        let mut shard_rngs = Vec::with_capacity(shard_count);
+        let mut shard_queues = Vec::with_capacity(shard_count);
+        for shard_ix in 0..shard_count {
+            shard_rngs.push(state::decode_drbg(&mut r)?);
+            let event_count = state::checked_count(&mut r, 17)?;
+            let mut queue = EventQueue::new();
+            let mut last_time = common.now;
+            for _ in 0..event_count {
+                let time = SimTime::decode(&mut r)?;
+                if time < last_time {
+                    return Err(StateError::Corrupt("event calendar out of order"));
+                }
+                last_time = time;
+                let seq = u64::decode(&mut r)?;
+                if seq >= next_seq {
+                    return Err(StateError::Corrupt("event sequence beyond counter"));
+                }
+                let kind = state::decode_event::<P>(&mut r, common.node_count)?;
+                // An event must live on the shard that owns its target
+                // node, or later local-index lookups would panic.
+                let target = match &kind {
+                    EventKind::Deliver { dst, .. } => *dst,
+                    EventKind::Timer { node, .. } => *node,
+                };
+                if self.node_shard[target] as usize != shard_ix {
+                    return Err(StateError::Corrupt("event on wrong shard"));
+                }
+                queue.push(time, (seq, kind));
+            }
+            shard_queues.push(queue);
+        }
+        if r.remaining() > 0 {
+            return Err(StateError::Wire(WireError::TrailingBytes(r.remaining())));
+        }
+        // Fully validated — apply.
+        self.now = common.now;
+        self.started = common.started;
+        self.stats = common.stats;
+        self.default_link = common.default_link;
+        self.links = common.links.into_iter().collect();
+        self.paused = common.paused;
+        self.faults = common.faults.map(FaultInjector::from_schedule);
+        self.timeline =
+            common.timeline.map(|(w, c, cells)| pvr_obs::TimelineRecorder::from_cells(w, c, cells));
+        self.next_seq = next_seq;
+        self.rng = rng;
+        for (shard, (rng, queue)) in
+            self.shards.iter_mut().zip(shard_rngs.into_iter().zip(shard_queues))
+        {
+            shard.rng = rng;
+            shard.queue = queue;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

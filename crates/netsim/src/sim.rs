@@ -252,6 +252,13 @@ impl<E> EventQueue<E> {
         }
         self.pop().map(|(_, item)| item)
     }
+
+    /// Iterates pending items in pop order (ascending time, FIFO per
+    /// bucket) without draining — the checkpoint codec's view of the
+    /// calendar.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (SimTime, &E)> {
+        self.buckets.iter().flat_map(|(&t, q)| q.iter().map(move |e| (t, e)))
+    }
 }
 
 /// A network-level barrier callback, fired whenever a sim-time instant
@@ -650,6 +657,113 @@ impl<P: Payload> Simulator<P> {
                 return StopReason::Quiescent;
             }
         }
+    }
+}
+
+impl<P: Payload + pvr_crypto::encoding::Wire> Simulator<P> {
+    /// Serializes the engine's dynamic state — clock, DRBG, calendar,
+    /// stats, link overrides, pause flags, unapplied faults, timeline
+    /// cells. Agents are **not** included: the caller owns their
+    /// reconstruction and overlays this state via
+    /// [`load_state`](Self::load_state) on a freshly built simulator.
+    ///
+    /// Refuses (typed [`crate::state::StateError`]) when a trace or barrier hook is
+    /// active — neither survives a round-trip, and silently dropping
+    /// them would corrupt the restored run's observable behaviour.
+    pub fn save_state(&self) -> Result<Vec<u8>, crate::state::StateError> {
+        use crate::state::{self, CommonState, StateError, TAG_SERIAL};
+        use pvr_crypto::encoding::Wire;
+        if self.trace.is_some() {
+            return Err(StateError::TraceActive);
+        }
+        if self.barrier.is_some() {
+            return Err(StateError::BarrierActive);
+        }
+        let mut links: Vec<_> = self.links.iter().map(|(&k, &v)| (k, v)).collect();
+        links.sort_unstable_by_key(|&(key, _)| key);
+        let common = CommonState {
+            node_count: self.nodes.len(),
+            now: self.now,
+            started: self.started,
+            stats: self.stats.clone(),
+            default_link: self.default_link,
+            links,
+            paused: self.paused.clone(),
+            faults: self.faults.as_ref().map(|f| f.remaining().to_vec()),
+            timeline: self
+                .timeline
+                .as_ref()
+                .map(|tl| (tl.window_us(), tl.channels(), tl.cells().clone())),
+        };
+        let mut out = vec![TAG_SERIAL];
+        common.encode(&mut out);
+        state::encode_drbg(&self.rng, &mut out);
+        (self.queue.len() as u64).encode(&mut out);
+        for (time, kind) in self.queue.iter() {
+            time.encode(&mut out);
+            state::encode_event(kind, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into
+    /// this simulator, which must hold the same number of nodes (the
+    /// caller rebuilds agents from its own configuration first).
+    ///
+    /// The input is decoded and validated in full before anything is
+    /// applied: on any error — truncation, corrupt discriminants,
+    /// out-of-range node ids, a mismatching stats field list — the
+    /// simulator is left exactly as it was.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), crate::state::StateError> {
+        use crate::state::{self, CommonState, StateError, TAG_SERIAL, TAG_SHARDED};
+        use pvr_crypto::encoding::{Reader, Wire, WireError};
+        if self.trace.is_some() {
+            return Err(StateError::TraceActive);
+        }
+        if self.barrier.is_some() {
+            return Err(StateError::BarrierActive);
+        }
+        let mut r = Reader::new(bytes);
+        match r.take(1).map_err(StateError::from)?[0] {
+            TAG_SERIAL => {}
+            TAG_SHARDED => return Err(StateError::EngineMismatch),
+            _ => return Err(StateError::Corrupt("engine discriminant")),
+        }
+        let common = CommonState::decode(&mut r)?;
+        if common.node_count != self.nodes.len() {
+            return Err(StateError::NodeCountMismatch {
+                expected: common.node_count,
+                found: self.nodes.len(),
+            });
+        }
+        let rng = state::decode_drbg(&mut r)?;
+        let event_count = state::checked_count(&mut r, 9)?;
+        let mut queue = EventQueue::new();
+        let mut last_time = common.now;
+        for _ in 0..event_count {
+            let time = SimTime::decode(&mut r)?;
+            if time < last_time {
+                return Err(StateError::Corrupt("event calendar out of order"));
+            }
+            last_time = time;
+            queue.push(time, state::decode_event::<P>(&mut r, common.node_count)?);
+        }
+        if r.remaining() > 0 {
+            return Err(StateError::Wire(WireError::TrailingBytes(r.remaining())));
+        }
+        // Fully validated — apply.
+        self.now = common.now;
+        self.started = common.started;
+        self.stats = common.stats;
+        self.default_link = common.default_link;
+        self.links = common.links.into_iter().collect();
+        self.paused = common.paused;
+        self.faults = common.faults.map(FaultInjector::from_schedule);
+        self.timeline =
+            common.timeline.map(|(w, c, cells)| pvr_obs::TimelineRecorder::from_cells(w, c, cells));
+        self.rng = rng;
+        self.queue = queue;
+        Ok(())
     }
 }
 

@@ -1,0 +1,214 @@
+//! Engine checkpoint/restore equivalence: a run interrupted at a
+//! deadline, saved, loaded into a freshly built simulator, and resumed
+//! must be indistinguishable — stats, clock, timeline, DRBG stream —
+//! from the same run left uninterrupted. Exercised on both engines,
+//! with jitter and loss (DRBG continuation) and fault plans (remaining
+//! schedule round-trip).
+
+use pvr_crypto::encoding::{Reader, Wire, WireError};
+use pvr_netsim::sim::Agent;
+use pvr_netsim::{
+    Context, Fault, FaultPlan, LinkConfig, NodeId, Payload, RunLimits, ShardedSimulator,
+    SimDuration, SimTime, Simulator, StateError, StopReason,
+};
+use std::any::Any;
+
+#[derive(Clone, Debug, PartialEq)]
+struct Token(u32);
+
+impl Payload for Token {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl Wire for Token {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Token(u32::decode(r)?))
+    }
+}
+
+/// Relay whose behaviour depends only on message contents, so a
+/// freshly built instance continues a restored run identically.
+#[derive(Clone)]
+struct Relay {
+    peer: NodeId,
+    kick_off: u32,
+}
+
+impl Agent<Token> for Relay {
+    fn on_start(&mut self, ctx: &mut Context<Token>) {
+        if self.kick_off > 0 {
+            ctx.send(self.peer, Token(self.kick_off));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<Token>, _from: NodeId, msg: Token) {
+        if msg.0 > 0 {
+            ctx.send(self.peer, Token(msg.0 - 1));
+        }
+    }
+    fn on_session(&mut self, ctx: &mut Context<Token>, peer: NodeId, up: bool) {
+        if up {
+            ctx.send(peer, Token(3));
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const SEED: u64 = 21;
+const NODES: usize = 4;
+
+fn ring_link() -> LinkConfig {
+    LinkConfig::with_latency(SimDuration::from_millis(3))
+        .jittered(SimDuration::from_micros(500))
+        .lossy(0.1)
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new()
+        .at(SimTime(40_000), Fault::LinkDown { a: 0, b: 1 })
+        .at(SimTime(90_000), Fault::LinkUp { a: 0, b: 1 })
+}
+
+fn serial_ring(with_plan: bool, with_timeline: bool) -> Simulator<Token> {
+    let mut sim = Simulator::new(SEED);
+    for i in 0..NODES {
+        sim.add_node(Box::new(Relay { peer: (i + 1) % NODES, kick_off: u32::from(i == 0) * 60 }));
+    }
+    sim.set_default_link(ring_link());
+    if with_plan {
+        sim.set_fault_plan(plan());
+    }
+    if with_timeline {
+        sim.enable_timeline(SimDuration::from_millis(10));
+    }
+    sim
+}
+
+fn sharded_ring(shards: usize, with_plan: bool, with_timeline: bool) -> ShardedSimulator<Token> {
+    let mut sim = ShardedSimulator::new(SEED, shards);
+    for i in 0..NODES {
+        sim.add_node(Box::new(Relay { peer: (i + 1) % NODES, kick_off: u32::from(i == 0) * 60 }));
+    }
+    sim.set_default_link(ring_link());
+    if with_plan {
+        sim.set_fault_plan(plan());
+    }
+    if with_timeline {
+        sim.enable_timeline(SimDuration::from_millis(10));
+    }
+    sim
+}
+
+#[test]
+fn serial_restore_matches_uninterrupted() {
+    for (with_plan, kill_at) in [(false, 20_000), (true, 50_000), (true, 131_072)] {
+        let mut baseline = serial_ring(with_plan, true);
+        baseline.run(RunLimits::none());
+
+        let mut first = serial_ring(with_plan, true);
+        first.run(RunLimits::until(SimTime(kill_at)));
+        let bytes = first.save_state().expect("clean engines must checkpoint");
+        drop(first);
+
+        // "Crash": rebuild from scratch — without re-installing the
+        // fault plan (the checkpoint carries its unapplied tail).
+        let mut restored = serial_ring(false, false);
+        restored.load_state(&bytes).expect("own bytes must load");
+        assert_eq!(restored.run(RunLimits::none()), StopReason::Quiescent);
+
+        assert_eq!(baseline.now(), restored.now(), "kill at {kill_at}");
+        assert_eq!(baseline.stats(), restored.stats(), "kill at {kill_at}");
+        assert_eq!(baseline.timeline(), restored.timeline(), "kill at {kill_at}");
+    }
+}
+
+#[test]
+fn sharded_restore_matches_uninterrupted() {
+    for shards in [1, 2, 4] {
+        let mut baseline = sharded_ring(shards, true, true);
+        baseline.run(RunLimits::none());
+
+        let mut first = sharded_ring(shards, true, true);
+        first.run(RunLimits::until(SimTime(50_000)));
+        let bytes = first.save_state().unwrap();
+        drop(first);
+
+        let mut restored = sharded_ring(shards, false, false);
+        restored.load_state(&bytes).unwrap();
+        assert_eq!(restored.run(RunLimits::none()), StopReason::Quiescent);
+
+        assert_eq!(baseline.now(), restored.now(), "{shards} shards");
+        assert_eq!(baseline.stats(), restored.stats(), "{shards} shards");
+        assert_eq!(baseline.timeline(), restored.timeline(), "{shards} shards");
+    }
+}
+
+#[test]
+fn engines_refuse_traces_and_mismatched_shapes() {
+    let mut traced = serial_ring(false, false);
+    traced.enable_trace();
+    assert_eq!(traced.save_state().unwrap_err(), StateError::TraceActive);
+
+    let sim = serial_ring(false, false);
+    let bytes = sim.save_state().unwrap();
+
+    // Wrong node count.
+    let mut small: Simulator<Token> = Simulator::new(SEED);
+    small.add_node(Box::new(Relay { peer: 0, kick_off: 0 }));
+    assert!(matches!(
+        small.load_state(&bytes).unwrap_err(),
+        StateError::NodeCountMismatch { expected: NODES, found: 1 }
+    ));
+
+    // Serial bytes into the sharded engine, and vice versa.
+    let mut sharded = sharded_ring(2, false, false);
+    assert_eq!(sharded.load_state(&bytes).unwrap_err(), StateError::EngineMismatch);
+    let sharded_bytes = sharded.save_state().unwrap();
+    let mut serial = serial_ring(false, false);
+    assert_eq!(serial.load_state(&sharded_bytes).unwrap_err(), StateError::EngineMismatch);
+
+    // Wrong shard count.
+    let mut other = sharded_ring(3, false, false);
+    assert!(matches!(
+        other.load_state(&sharded_bytes).unwrap_err(),
+        StateError::ShardCountMismatch { expected: 2, found: 3 }
+    ));
+}
+
+#[test]
+fn corrupt_engine_state_is_rejected_without_panic() {
+    let mut sim = serial_ring(true, true);
+    sim.run(RunLimits::until(SimTime(50_000)));
+    let bytes = sim.save_state().unwrap();
+
+    // Every strict prefix fails with a typed error.
+    for cut in 0..bytes.len() {
+        let mut target = serial_ring(false, false);
+        let err = target.load_state(&bytes[..cut]).expect_err("truncation must fail");
+        let _ = err.to_string();
+    }
+    // Trailing garbage fails.
+    let mut extended = bytes.clone();
+    extended.push(0);
+    let mut target = serial_ring(false, false);
+    assert!(target.load_state(&extended).is_err());
+
+    // A failed load leaves the target untouched (still at t=0, still
+    // able to run its own workload from scratch).
+    let mut target = serial_ring(false, false);
+    assert!(target.load_state(&bytes[..bytes.len() / 2]).is_err());
+    assert_eq!(target.now(), SimTime::ZERO);
+    target.run(RunLimits::none());
+    let mut fresh = serial_ring(false, false);
+    fresh.run(RunLimits::none());
+    assert_eq!(target.stats(), fresh.stats());
+}

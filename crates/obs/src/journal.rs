@@ -71,6 +71,27 @@ impl EventJournal {
         self.entries.iter()
     }
 
+    /// The configured ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Rebuilds a journal from checkpointed state: `entries` oldest
+    /// first, with the eviction counter restored. Oversized inputs keep
+    /// the newest `capacity` entries (without bumping the counter —
+    /// the counter is part of the restored state, not of this call).
+    /// `kind` labels are static strings, so checkpoint codecs must
+    /// re-intern decoded labels against the emitting crate's kind
+    /// table before calling.
+    pub fn restore(capacity: usize, evicted: u64, entries: Vec<JournalEntry>) -> EventJournal {
+        let keep = entries.len().min(capacity);
+        let skip = entries.len() - keep;
+        let mut j = EventJournal::new(capacity);
+        j.evicted = evicted;
+        j.entries.extend(entries.into_iter().skip(skip));
+        j
+    }
+
     /// Number of entries evicted by the ring bound.
     pub fn evicted(&self) -> u64 {
         self.evicted

@@ -103,6 +103,45 @@ macro_rules! metric_struct {
                 ::std::vec![ $( (stringify!($field), self.$field), )* ]
             }
 
+            /// Rebuilds the struct from `(name, value)` pairs — the
+            /// inverse of [`fields`](Self::fields). Every declared
+            /// field must appear exactly once and no unknown names may
+            /// appear, so a checkpoint written by a build with a
+            /// different field list is rejected instead of silently
+            /// zero-filled or misassigned.
+            pub fn from_fields<'a, I>(pairs: I) -> ::std::option::Option<$name>
+            where
+                I: ::std::iter::IntoIterator<Item = (&'a str, u64)>,
+            {
+                const FIELD_COUNT: usize = [$(stringify!($field)),*].len();
+                let mut out = <$name as ::std::default::Default>::default();
+                let mut seen = [false; FIELD_COUNT];
+                for (name, value) in pairs {
+                    let mut matched = false;
+                    let mut slot = 0usize;
+                    $(
+                        if name == stringify!($field) {
+                            if seen[slot] {
+                                return ::std::option::Option::None;
+                            }
+                            seen[slot] = true;
+                            out.$field = value;
+                            matched = true;
+                        }
+                        slot += 1;
+                    )*
+                    let _ = slot;
+                    if !matched {
+                        return ::std::option::Option::None;
+                    }
+                }
+                if seen.iter().all(|s| *s) {
+                    ::std::option::Option::Some(out)
+                } else {
+                    ::std::option::Option::None
+                }
+            }
+
             /// Registers every field as a counter named
             /// `<prefix>_<field>_total` under `labels` and adds the
             /// current values. Safe to call repeatedly (counters
@@ -154,5 +193,16 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter_value("pvr_demo_seen_total"), Some(10));
         assert_eq!(snap.counter_value("pvr_demo_kept_total"), Some(12));
+    }
+
+    #[test]
+    fn from_fields_inverts_fields() {
+        let a = DemoStats { seen: 3, kept: 9 };
+        let pairs = a.fields();
+        assert_eq!(DemoStats::from_fields(pairs.iter().copied()), Some(a));
+        // Unknown, missing, and duplicate names are all rejected.
+        assert_eq!(DemoStats::from_fields([("seen", 1), ("bogus", 2)]), None);
+        assert_eq!(DemoStats::from_fields([("seen", 1)]), None);
+        assert_eq!(DemoStats::from_fields([("seen", 1), ("seen", 2), ("kept", 0)]), None);
     }
 }

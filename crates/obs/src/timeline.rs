@@ -123,9 +123,36 @@ impl TimelineRecorder {
         self.window_us
     }
 
+    /// Number of channels per window.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
     /// The raw cells: window start (µs) → per-channel values.
     pub fn cells(&self) -> &BTreeMap<u64, Vec<u64>> {
         &self.cells
+    }
+
+    /// Rebuilds a recorder from checkpointed state, the inverse of
+    /// reading [`window_us`](Self::window_us),
+    /// [`channels`](Self::channels) and [`cells`](Self::cells).
+    ///
+    /// # Panics
+    /// Under the same conditions as [`new`](Self::new), or when a cell
+    /// disagrees with `channels` — checkpoint codecs must validate
+    /// shapes before constructing (their integrity layer rejects
+    /// corrupt bytes first).
+    pub fn from_cells(
+        window_us: u64,
+        channels: usize,
+        cells: BTreeMap<u64, Vec<u64>>,
+    ) -> TimelineRecorder {
+        assert!(window_us > 0, "timeline window must be positive");
+        assert!(channels > 0, "timeline needs at least one channel");
+        for cell in cells.values() {
+            assert_eq!(cell.len(), channels, "cell width disagrees with channel count");
+        }
+        TimelineRecorder { window_us, channels, cells }
     }
 }
 

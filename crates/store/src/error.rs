@@ -1,0 +1,71 @@
+//! Typed errors for checkpoint decode and integrity verification.
+//!
+//! The contract the robustness tests pin down: feeding a truncated,
+//! bit-flipped, or version-bumped file through any loader in this crate
+//! returns one of these variants — it never panics and never hands back
+//! partially-built state.
+
+use pvr_crypto::encoding::WireError;
+
+/// Everything that can go wrong reading a store dump or checkpoint
+/// container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The file's format version is newer (or older) than this build
+    /// understands.
+    UnsupportedVersion(u32),
+    /// Input ended before a value was complete.
+    Truncated,
+    /// Bytes were left over after the final value.
+    TrailingBytes(usize),
+    /// A structural invariant failed (impossible discriminant, bogus
+    /// length prefix, duplicate node, ...).
+    Corrupt(&'static str),
+    /// A node's recomputed SHA-256 content address does not match the
+    /// address stored with it — the payload was bit-flipped.
+    NodeHashMismatch {
+        /// Zero-based index of the offending node in the dump.
+        index: u32,
+    },
+    /// A node references a child hash that is not defined earlier in
+    /// the dump (post-order violation or missing data).
+    MissingChild,
+    /// A section's SHA-256 trailer does not match its payload.
+    SectionHashMismatch {
+        /// The corrupted section's tag.
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "bad magic bytes (not a PVR store file)"),
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StoreError::Truncated => write!(f, "file truncated"),
+            StoreError::TrailingBytes(n) => write!(f, "{n} trailing bytes after final value"),
+            StoreError::Corrupt(what) => write!(f, "corrupt file: {what}"),
+            StoreError::NodeHashMismatch { index } => {
+                write!(f, "node {index}: content hash mismatch (bit flip?)")
+            }
+            StoreError::MissingChild => write!(f, "node references an undefined child hash"),
+            StoreError::SectionHashMismatch { tag } => {
+                write!(f, "section {tag}: SHA-256 trailer mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> StoreError {
+        match e {
+            WireError::Truncated => StoreError::Truncated,
+            WireError::Invalid(what) => StoreError::Corrupt(what),
+            WireError::TrailingBytes(n) => StoreError::TrailingBytes(n),
+        }
+    }
+}

@@ -28,6 +28,9 @@
 //! * [`attack`] — the adversarial campaign engine: hijack/leak/forgery
 //!   strategies swept over placements and security modes on a
 //!   deterministic parallel executor;
+//! * [`store`] — the content-addressed copy-on-write persistent RIB
+//!   store: O(1) snapshots, structural diffs, and integrity-checked
+//!   dump/load under the crash-consistent checkpoint format;
 //! * [`obs`] — the deterministic telemetry layer: metrics registry,
 //!   sim-time tracing and event journals, convergence timelines, and
 //!   Prometheus/JSON exposition.
@@ -59,3 +62,4 @@ pub use pvr_netsim as netsim;
 pub use pvr_obs as obs;
 pub use pvr_rfg as rfg;
 pub use pvr_smc as smc;
+pub use pvr_store as store;

@@ -1,0 +1,421 @@
+//! The durability layer's recovery contract (ISSUE 10): kill a
+//! converging run at an arbitrary checkpoint instant, restore from the
+//! file, replay — and the recovered run is **byte-identical** to one
+//! that never crashed. Asserted over RIB fingerprints, simulator
+//! stats, and full metrics snapshots; over both engines at shard
+//! counts 1/2/4/8; with and without churn schedules and fault plans in
+//! the path. Plus the corrupt-checkpoint hardening: truncation, bit
+//! flips, and version bumps anywhere in the file must surface as typed
+//! errors — never a panic, never a partially-restored network.
+
+use proptest::prelude::*;
+use pvr::bgp::{
+    internet_like, Asn, BgpNetwork, CheckpointError, DampeningPolicy, InstantiateOptions,
+    InternetParams, LocalEvent, Malice, Prefix, ShardedBgpNetwork, Topology,
+};
+use pvr::crypto::drbg::HmacDrbg;
+use pvr::netsim::{Fault, FaultPlan, RunLimits, SimDuration, SimTime, StopReason};
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pvr-crash-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(format!("{tag}.pvr"))
+}
+
+fn small_internet(seed: u64) -> Topology {
+    let mut topology = internet_like(
+        InternetParams {
+            tier1: 3,
+            tier2: 5,
+            stubs: 12,
+            t2_peering_prob: 0.25,
+            ..InternetParams::default()
+        },
+        seed,
+    );
+    // Churn in the path: a couple of scheduled flaps so the recovered
+    // run has pending local events and MRAI state to get right.
+    let ases: Vec<Asn> = topology.ases().collect();
+    let flapper = ases[ases.len() / 2];
+    let prefix = Prefix::parse("203.0.113.0/24").expect("parse");
+    topology.originate(flapper, prefix);
+    topology.schedule(flapper, SimDuration::from_millis(40), LocalEvent::Withdraw(prefix));
+    topology.schedule(flapper, SimDuration::from_millis(90), LocalEvent::Announce(prefix));
+    topology
+}
+
+fn fault_plan(net_node_of: &dyn Fn(Asn) -> usize, ases: &[Asn], seed: u64) -> FaultPlan {
+    let mut rng = HmacDrbg::from_u64_labeled(seed, "crash-recovery faults");
+    let mut plan = FaultPlan::new();
+    let a = ases[rng.index(ases.len())];
+    let b = ases[rng.index(ases.len())];
+    if a != b {
+        plan.push(
+            SimTime::ZERO + SimDuration::from_millis(30 + rng.below(100)),
+            Fault::SessionReset { a: net_node_of(a), b: net_node_of(b) },
+        );
+    }
+    plan
+}
+
+/// One full kill-and-recover cycle on the serial engine: baseline run
+/// vs. run-until-`kill_at` → checkpoint → drop ("crash") → restore →
+/// replay. All three observables must match exactly.
+fn assert_serial_recovery(topology: &Topology, options: InstantiateOptions, kill_at: SimTime) {
+    let mut baseline = topology.instantiate(options);
+    assert_eq!(baseline.converge(RunLimits::none()), StopReason::Quiescent);
+
+    let path = temp_path(&format!("serial-{}-{}", options.seed, kill_at.as_micros()));
+    let mut victim = topology.instantiate(options);
+    victim.converge(RunLimits::until(kill_at));
+    victim.checkpoint(&path).expect("checkpoint");
+    drop(victim); // the crash
+
+    let mut recovered = BgpNetwork::restore(&path).expect("restore");
+    assert_eq!(recovered.converge(RunLimits::none()), StopReason::Quiescent);
+
+    assert_eq!(
+        recovered.rib_fingerprint(),
+        baseline.rib_fingerprint(),
+        "recovered RIBs diverge from the uninterrupted run (kill at {kill_at:?})"
+    );
+    assert_eq!(recovered.sim.stats(), baseline.sim.stats(), "SimStats diverge after recovery");
+    assert_eq!(
+        recovered.metrics_snapshot("plain"),
+        baseline.metrics_snapshot("plain"),
+        "metrics snapshots diverge after recovery"
+    );
+}
+
+/// The sharded counterpart, at a given shard count. The recovered
+/// sharded run must match both its own uninterrupted sharded baseline
+/// (exactly) and the serial fingerprint (engine-invariantly).
+fn assert_sharded_recovery(
+    topology: &Topology,
+    options: InstantiateOptions,
+    shards: usize,
+    kill_at: SimTime,
+) {
+    let mut serial = topology.instantiate(options);
+    assert_eq!(serial.converge(RunLimits::none()), StopReason::Quiescent);
+
+    let mut baseline = topology.instantiate_sharded(options, shards);
+    assert_eq!(baseline.converge(RunLimits::none()), StopReason::Quiescent);
+
+    let path = temp_path(&format!("sharded{shards}-{}-{}", options.seed, kill_at.as_micros()));
+    let mut victim = topology.instantiate_sharded(options, shards);
+    victim.converge(RunLimits::until(kill_at));
+    victim.checkpoint(&path).expect("checkpoint");
+    drop(victim);
+
+    let mut recovered = ShardedBgpNetwork::restore(&path).expect("restore");
+    assert_eq!(recovered.sim.shard_count(), shards, "restore must keep the shard shape");
+    assert_eq!(recovered.converge(RunLimits::none()), StopReason::Quiescent);
+
+    assert_eq!(
+        recovered.rib_fingerprint(),
+        baseline.rib_fingerprint(),
+        "recovered sharded RIBs diverge from uninterrupted sharded run ({shards} shards)"
+    );
+    assert_eq!(recovered.sim.stats(), baseline.sim.stats());
+    assert_eq!(recovered.metrics_snapshot("plain"), baseline.metrics_snapshot("plain"));
+    // Engine-invariance survives the crash: the recovered sharded RIB
+    // equals the serial one.
+    assert_eq!(recovered.rib_fingerprint(), serial.rib_fingerprint());
+}
+
+#[test]
+fn serial_kill_and_recover_plain() {
+    let topology = small_internet(301);
+    let options = InstantiateOptions { seed: 301, ..Default::default() };
+    assert_serial_recovery(&topology, options, SimTime(60_000));
+}
+
+#[test]
+fn serial_kill_and_recover_signed_with_mrai_dampening() {
+    // The full dynamic-state surface in one run: attestation chains,
+    // verify-cache verdicts, jittered MRAI timers, dampening penalties.
+    let topology = small_internet(302);
+    let options = InstantiateOptions {
+        seed: 302,
+        signed: true,
+        key_bits: 512,
+        mrai: Some(SimDuration::from_millis(5)),
+        mrai_jitter: Some(SimDuration::from_millis(1)),
+        dampening: Some(DampeningPolicy::default()),
+        ..Default::default()
+    };
+    assert_serial_recovery(&topology, options, SimTime(55_000));
+}
+
+#[test]
+fn serial_kill_and_recover_with_observability() {
+    // Timelines and journals are run state too: a recovered run's
+    // trace must cover the whole run, not the post-restore suffix.
+    let topology = small_internet(303);
+    let options = InstantiateOptions {
+        seed: 303,
+        timeline_window: Some(SimDuration::from_millis(5)),
+        journal_capacity: 64,
+        ..Default::default()
+    };
+    let mut baseline = topology.instantiate(options);
+    assert_eq!(baseline.converge(RunLimits::none()), StopReason::Quiescent);
+
+    let path = temp_path("serial-obs");
+    let mut victim = topology.instantiate(options);
+    victim.converge(RunLimits::until(SimTime(50_000)));
+    victim.checkpoint(&path).expect("checkpoint");
+    drop(victim);
+
+    let mut recovered = BgpNetwork::restore(&path).expect("restore");
+    assert_eq!(recovered.converge(RunLimits::none()), StopReason::Quiescent);
+    assert_eq!(recovered.trace_jsonl(), baseline.trace_jsonl(), "journals diverge");
+    assert_eq!(
+        recovered.convergence_timeline(),
+        baseline.convergence_timeline(),
+        "timelines diverge"
+    );
+}
+
+#[test]
+fn sharded_kill_and_recover_across_shard_counts() {
+    let topology = small_internet(304);
+    let options = InstantiateOptions { seed: 304, ..Default::default() };
+    for shards in [1, 2, 4, 8] {
+        assert_sharded_recovery(&topology, options, shards, SimTime(60_000));
+    }
+}
+
+#[test]
+fn kill_and_recover_with_fault_plan_pending() {
+    // Checkpoint lands *before* the scheduled faults fire: the
+    // unapplied plan rides in the engine section and fires on replay.
+    let topology = small_internet(305);
+    let options = InstantiateOptions { seed: 305, ..Default::default() };
+    let ases: Vec<Asn> = topology.ases().collect();
+
+    let mut baseline = topology.instantiate(options);
+    let plan = fault_plan(&|a| baseline.node_of(a), &ases, 305);
+    assert!(!plan.is_empty());
+    baseline.install_fault_plan(plan);
+    assert_eq!(baseline.converge(RunLimits::none()), StopReason::Quiescent);
+
+    let path = temp_path("serial-faults");
+    let mut victim = topology.instantiate(options);
+    let plan = fault_plan(&|a| victim.node_of(a), &ases, 305);
+    victim.install_fault_plan(plan);
+    victim.converge(RunLimits::until(SimTime(20_000)));
+    victim.checkpoint(&path).expect("checkpoint");
+    drop(victim);
+
+    let mut recovered = BgpNetwork::restore(&path).expect("restore");
+    assert_eq!(recovered.converge(RunLimits::none()), StopReason::Quiescent);
+    assert_eq!(recovered.rib_fingerprint(), baseline.rib_fingerprint());
+    assert_eq!(recovered.sim.stats(), baseline.sim.stats());
+    assert!(recovered.sim.stats().session_resets > 0, "the pending fault must have fired");
+}
+
+#[test]
+fn time_travel_queries_answer_from_history() {
+    let mut topology = Topology::new();
+    let (a, b, c) = (Asn(1), Asn(2), Asn(3));
+    topology.provider_customer(a, b).provider_customer(b, c);
+    let prefix = Prefix::parse("198.51.100.0/24").expect("parse");
+    topology.originate(c, prefix);
+    topology.schedule(c, SimDuration::from_millis(50), LocalEvent::Withdraw(prefix));
+
+    let options = InstantiateOptions { seed: 7, ..Default::default() };
+    let mut net = topology.instantiate(options);
+    let reason = net.converge_with_snapshots(RunLimits::none(), SimDuration::from_millis(10));
+    assert_eq!(reason, StopReason::Quiescent);
+
+    let times = net.snapshot_times();
+    assert!(times.len() >= 2, "expected several snapshots, got {times:?}");
+    // While the route was up, A reached the prefix through B...
+    let early = net.route_at(a, prefix, SimTime(40_000)).expect("route existed at 40 ms");
+    assert_eq!(early.learned_from, Some(b));
+    // ...and after the withdraw propagated, history says it vanished.
+    let last = *times.last().expect("nonempty");
+    assert_eq!(net.route_at(a, prefix, last), None, "route must be gone at quiescence");
+}
+
+#[test]
+fn checkpoint_refuses_private_verification_and_malice() {
+    let topology = small_internet(306);
+    let pvr_options = InstantiateOptions {
+        seed: 306,
+        signed: true,
+        key_bits: 512,
+        private_verification: true,
+        ..Default::default()
+    };
+    let mut net = topology.instantiate(pvr_options);
+    let err = net.checkpoint(&temp_path("refused-pvr")).expect_err("PVR mode must refuse");
+    assert!(matches!(err, CheckpointError::Refused(_)), "wrong error: {err:?}");
+
+    let options = InstantiateOptions { seed: 306, ..Default::default() };
+    let mut net = topology.instantiate(options);
+    let victim = topology.ases().next().expect("nonempty");
+    net.router_mut(victim).set_malice(Malice { leak_all: true });
+    let err = net.checkpoint(&temp_path("refused-malice")).expect_err("malice must refuse");
+    assert!(matches!(err, CheckpointError::Refused(_)), "wrong error: {err:?}");
+}
+
+#[test]
+fn restore_reinstalls_the_origin_table() {
+    let topology = small_internet(307);
+    let options = InstantiateOptions { seed: 307, ..Default::default() };
+    let mut net = topology.instantiate(options);
+    net.install_origin_table(std::sync::Arc::new(topology.origin_table()));
+    net.converge(RunLimits::until(SimTime(30_000)));
+    let path = temp_path("origin-table");
+    net.checkpoint(&path).expect("checkpoint");
+    let baseline_fp = {
+        assert_eq!(net.converge(RunLimits::none()), StopReason::Quiescent);
+        net.rib_fingerprint()
+    };
+    drop(net);
+
+    let mut recovered = BgpNetwork::restore(&path).expect("restore");
+    // Spot-check the table is live again, then replay to equality.
+    let any = topology.ases().next().expect("nonempty");
+    assert_eq!(
+        recovered.router(any).stats().origin_failures,
+        0,
+        "sanity: no rejections in a well-formed run"
+    );
+    assert_eq!(recovered.converge(RunLimits::none()), StopReason::Quiescent);
+    assert_eq!(recovered.rib_fingerprint(), baseline_fp);
+}
+
+// ---------------------------------------------------------------------
+// Corrupt-checkpoint hardening: no input may panic or half-apply.
+
+/// A small converged checkpoint to mutilate.
+fn checkpoint_bytes_fixture() -> Vec<u8> {
+    let topology = small_internet(308);
+    let options = InstantiateOptions { seed: 308, ..Default::default() };
+    let path = temp_path("fixture");
+    let mut net = topology.instantiate(options);
+    net.converge(RunLimits::until(SimTime(40_000)));
+    net.checkpoint(&path).expect("checkpoint");
+    std::fs::read(&path).expect("read fixture")
+}
+
+fn restore_mutilated(bytes: Vec<u8>, tag: &str) -> Result<BgpNetwork, CheckpointError> {
+    let path = temp_path(tag);
+    std::fs::write(&path, bytes).expect("write mutilated");
+    BgpNetwork::restore(&path)
+}
+
+/// `expect_err` without requiring `Debug` on the network type.
+fn must_fail<T>(res: Result<T, CheckpointError>, what: &str) -> CheckpointError {
+    match res {
+        Ok(_) => panic!("{what}: restore unexpectedly succeeded"),
+        Err(e) => e,
+    }
+}
+
+#[test]
+fn truncation_anywhere_is_a_typed_error() {
+    let bytes = checkpoint_bytes_fixture();
+    // Sweep truncation points across the whole file (step keeps the
+    // test fast; includes 0 and the last byte).
+    let mut cuts: Vec<usize> = (0..bytes.len()).step_by(997).collect();
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        let err = must_fail(
+            restore_mutilated(bytes[..cut].to_vec(), &format!("trunc-{cut}")),
+            "truncated checkpoint",
+        );
+        assert!(
+            !matches!(err, CheckpointError::Io(_)),
+            "truncation at {cut} must be a corruption error, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_are_typed_errors() {
+    let bytes = checkpoint_bytes_fixture();
+    let mut rng = HmacDrbg::from_u64_labeled(308, "bit flip fuzz");
+    for i in 0..64 {
+        let at = rng.index(bytes.len());
+        let bit = 1u8 << rng.below(8);
+        let mut bad = bytes.clone();
+        bad[at] ^= bit;
+        // Every section is hash-trailed, so any flip is either caught
+        // by a section hash, the store's node hashes, or a decoder.
+        if let Err(err) = restore_mutilated(bad, &format!("flip-{i}")) {
+            assert!(!matches!(err, CheckpointError::Io(_)), "flip at {at} gave {err:?}");
+        } else {
+            // A flip in pure padding space cannot happen: the format
+            // has no padding. Reaching here means a corrupted file
+            // restored silently.
+            panic!("bit flip at byte {at} (mask {bit:#x}) restored successfully");
+        }
+    }
+}
+
+#[test]
+fn version_bump_is_rejected() {
+    let mut bytes = checkpoint_bytes_fixture();
+    // Header: 8 bytes magic ‖ 4 bytes LE version.
+    bytes[8] = bytes[8].wrapping_add(1);
+    let err = must_fail(restore_mutilated(bytes, "version-bump"), "future version");
+    assert!(!matches!(err, CheckpointError::Io(_)), "got {err:?}");
+}
+
+#[test]
+fn wrong_engine_kind_is_rejected() {
+    let topology = small_internet(309);
+    let options = InstantiateOptions { seed: 309, ..Default::default() };
+    let path = temp_path("engine-mismatch");
+    let mut net = topology.instantiate_sharded(options, 2);
+    net.converge(RunLimits::until(SimTime(30_000)));
+    net.checkpoint(&path).expect("checkpoint");
+    let err = must_fail(BgpNetwork::restore(&path), "sharded file into serial restore");
+    assert!(matches!(err, CheckpointError::State(_)), "got {err:?}");
+    // The right engine still accepts it.
+    ShardedBgpNetwork::restore(&path).expect("sharded restore");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random topologies × random kill instants × random shard counts:
+    /// kill-and-recover equality holds everywhere, with dampening and
+    /// signing in the path on alternating seeds.
+    #[test]
+    fn random_kills_recover_identically(
+        seed in 0u64..10_000,
+        tier2 in 3usize..=6,
+        stubs in 4usize..=12,
+        kill_ms in 10u64..150,
+        shards in 1usize..=8,
+    ) {
+        let params = InternetParams {
+            tier1: 2,
+            tier2,
+            stubs,
+            t2_peering_prob: 0.3,
+            ..InternetParams::default()
+        };
+        let topology = internet_like(params, seed);
+        let options = InstantiateOptions {
+            seed,
+            signed: seed % 3 == 0,
+            key_bits: 512,
+            dampening: if seed % 2 == 1 { Some(DampeningPolicy::default()) } else { None },
+            ..Default::default()
+        };
+        let kill_at = SimTime(kill_ms * 1000);
+        if shards == 1 {
+            assert_serial_recovery(&topology, options, kill_at);
+        } else {
+            assert_sharded_recovery(&topology, options, shards, kill_at);
+        }
+    }
+}

@@ -161,6 +161,19 @@ impl Arbitrary for i64 {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A / 0, B / 1), (A / 0, B / 1, C / 2), (A / 0, B / 1, C / 2, D / 3),);
+
 /// The strategy returned by [`any`].
 pub struct AnyStrategy<T>(PhantomData<T>);
 
@@ -225,6 +238,61 @@ pub mod collection {
         fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
             let n = self.len.lo + (rng.next_u64() as usize) % (self.len.hi - self.len.lo);
             (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap`s with sizes drawn from `len` and
+    /// entries drawn from `key`/`value`. Duplicate sampled keys
+    /// collapse, exactly like the real proptest's `btree_map`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        len: SizeRange,
+    }
+
+    /// Mirrors `proptest::collection::btree_map(key, value, size_range)`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        len: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, len: len.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            let n = self.len.lo + (rng.next_u64() as usize) % (self.len.hi - self.len.lo);
+            (0..n).map(|_| (self.key.sample(rng), self.value.sample(rng))).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Mirrors `proptest::option`.
+    use super::{Rng, Strategy};
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// Mirrors `proptest::option::of`: `None` in ~1/4 of samples,
+    /// `Some(inner)` otherwise (the real crate defaults to a 75%
+    /// `Some` probability too).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
         }
     }
 }
